@@ -1,0 +1,46 @@
+// Ablation: multidim tile-size sweep for the Fig 11 workload.
+//
+// The paper fixes the multidim tile at 256x256 without justifying it; this
+// sweep shows the trade-off: tiny tiles explode request count (per-request
+// overhead dominates), huge tiles over-fetch when a chunk only needs part of
+// a tile column. The sweet spot sits where tile width divides the per-client
+// chunk width.
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+int main() {
+  using namespace dpfs::bench;
+  FileLevelConfig config;
+  config.compute_nodes = 8;
+  config.io_nodes = 4;
+  config.array_dim = 32 * 1024;
+
+  std::printf("=== Ablation: multidim striping-unit size ===\n");
+  std::printf("Fig 11 workload (8 clients, 4 servers, (*,BLOCK) on "
+              "32Kx32K), class-1 storage, combined requests\n\n");
+  std::printf("%8s %12s %12s %14s %12s\n", "tile", "brick-KB", "requests",
+              "bandwidth", "wire-eff");
+
+  for (const std::uint64_t tile : {32u, 64u, 128u, 256u, 512u, 1024u,
+                                   4096u}) {
+    config.md_tile = tile;
+    const dpfs::Result<dpfs::layout::IoPlan> plan = BuildFileLevelPlan(
+        config, Variant::kCombinedMultidim, dpfs::layout::IoDirection::kRead);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    const auto result =
+        MustReplay(plan.value(), UniformServers(dpfs::simnet::Class1(),
+                                                config.io_nodes));
+    std::printf("%5llux%-4llu %10llu %12zu %11.2f MB/s %11.2f%%\n",
+                static_cast<unsigned long long>(tile),
+                static_cast<unsigned long long>(tile),
+                static_cast<unsigned long long>(tile * tile / 1024),
+                result.total_requests, result.aggregate_bandwidth_MBps(),
+                result.efficiency() * 100.0);
+  }
+  return 0;
+}

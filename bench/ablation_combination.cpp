@@ -1,0 +1,66 @@
+// Ablation: request combination and schedule rotation as client count
+// scales.
+//
+// §4.2 argues combination matters more as clients multiply (request floods
+// and server-0 stampedes). We sweep compute nodes and report bandwidth for
+// general, combined-unrotated, and combined-rotated request streams on the
+// Fig 11 multidim workload.
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace {
+
+dpfs::Result<dpfs::layout::IoPlan> BuildPlan(std::uint32_t clients,
+                                             bool combine, bool rotate) {
+  using namespace dpfs::layout;
+  const Shape array = {16 * 1024, 16 * 1024};
+  DPFS_ASSIGN_OR_RETURN(const BrickMap map,
+                        BrickMap::Multidim(array, {256, 256}, 1));
+  DPFS_ASSIGN_OR_RETURN(const BrickDistribution dist,
+                        BrickDistribution::RoundRobin(map.num_bricks(), 4));
+  const HpfPattern pattern = HpfPattern::Parse("(*,BLOCK)").value();
+  ProcessGrid grid;
+  grid.grid = {clients};
+  DPFS_ASSIGN_OR_RETURN(const std::vector<Region> chunks,
+                        AllChunks(array, pattern, grid));
+  PlanOptions options;
+  options.direction = IoDirection::kRead;
+  options.combine = combine;
+  options.rotate_start = rotate;
+  return PlanCollectiveAccess(map, dist, chunks, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpfs::bench;
+  std::printf("=== Ablation: request combination vs client count ===\n");
+  std::printf("(*,BLOCK) reads on a 16Kx16K multidim file, 4 class-1 "
+              "servers\n\n");
+  std::printf("%8s %12s %16s %16s\n", "clients", "general",
+              "combined", "combined+rotate");
+
+  const auto servers = UniformServers(dpfs::simnet::Class1(), 4);
+  for (const std::uint32_t clients : {2u, 4u, 8u, 16u, 32u}) {
+    double bandwidth[3] = {0, 0, 0};
+    const struct {
+      bool combine;
+      bool rotate;
+    } variants[3] = {{false, false}, {true, false}, {true, true}};
+    for (int v = 0; v < 3; ++v) {
+      const auto plan =
+          BuildPlan(clients, variants[v].combine, variants[v].rotate);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan failed: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      bandwidth[v] =
+          MustReplay(plan.value(), servers).aggregate_bandwidth_MBps();
+    }
+    std::printf("%8u %9.2f MB/s %13.2f MB/s %13.2f MB/s\n", clients,
+                bandwidth[0], bandwidth[1], bandwidth[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: how the greedy/round-robin gap grows with storage
+// heterogeneity.
+//
+// Fig 13/14 test one operating point (class-1 vs class-3, ~3x). Here we
+// scale the slow class's link down by a factor r and give greedy the
+// matching §4.1 performance numbers. Round-robin's makespan is gated by the
+// slow servers, so its bandwidth should fall roughly as 1/r while greedy
+// degrades gracefully.
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+int main() {
+  using namespace dpfs::bench;
+  constexpr std::uint32_t kClients = 8;
+  constexpr std::uint32_t kServers = 8;
+
+  std::printf("=== Ablation: greedy vs round-robin across heterogeneity "
+              "ratios ===\n");
+  std::printf("%u clients, %u servers (half fast, half slowed by r), "
+              "combined reads\n\n",
+              kClients, kServers);
+  std::printf("%6s %14s %14s %10s\n", "ratio", "round-robin", "greedy",
+              "speedup");
+
+  for (const std::uint32_t ratio : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    // Build the server models: half class-1, half class-1 slowed r-fold.
+    std::vector<dpfs::simnet::StorageClassModel> servers;
+    for (std::uint32_t s = 0; s < kServers; ++s) {
+      dpfs::simnet::StorageClassModel model = dpfs::simnet::Class1();
+      if (s >= kServers / 2) {
+        model.link_bytes_per_s /= ratio;
+        model.disk_bytes_per_s /= ratio;
+        model.name = "slowed";
+      }
+      servers.push_back(model);
+    }
+    StripingAlgConfig config;
+    config.compute_nodes = kClients;
+    config.io_nodes = kServers;
+    config.performance =
+        dpfs::simnet::NormalizedPerformance(servers, config.brick_bytes);
+
+    double bandwidth[2] = {0, 0};
+    const dpfs::layout::PlacementPolicy policies[2] = {
+        dpfs::layout::PlacementPolicy::kRoundRobin,
+        dpfs::layout::PlacementPolicy::kGreedy};
+    for (int p = 0; p < 2; ++p) {
+      const auto plan =
+          BuildStripingAlgPlan(config, policies[p], /*combine=*/true,
+                               dpfs::layout::IoDirection::kRead);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan failed: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      bandwidth[p] =
+          MustReplay(plan.value(), servers).aggregate_bandwidth_MBps();
+    }
+    std::printf("%5ux %11.2f MB/s %11.2f MB/s %9.2fx\n", ratio, bandwidth[0],
+                bandwidth[1], bandwidth[1] / bandwidth[0]);
+  }
+  return 0;
+}

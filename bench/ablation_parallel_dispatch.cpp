@@ -1,0 +1,67 @@
+// Ablation: sequential request issue (the paper's client) vs parallel
+// dispatch (extension) — and how a shared compute-side uplink caps both.
+//
+// The paper's client walks its combined requests one server at a time, so a
+// single client never drives more than one server. Parallel dispatch sends
+// every combined request at once. With few clients the difference is large;
+// with many clients the servers are already saturated and it fades —
+// and once the compute partition's shared uplink becomes the bottleneck
+// (the SP2's situation), nothing on the client side matters.
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace {
+
+dpfs::Result<dpfs::layout::IoPlan> BuildPlan(std::uint32_t clients,
+                                             bool parallel) {
+  using namespace dpfs::layout;
+  const Shape array = {16 * 1024, 16 * 1024};
+  DPFS_ASSIGN_OR_RETURN(const BrickMap map,
+                        BrickMap::Multidim(array, {256, 256}, 1));
+  DPFS_ASSIGN_OR_RETURN(const BrickDistribution dist,
+                        BrickDistribution::RoundRobin(map.num_bricks(), 4));
+  const HpfPattern pattern = HpfPattern::Parse("(*,BLOCK)").value();
+  ProcessGrid grid;
+  grid.grid = {clients};
+  DPFS_ASSIGN_OR_RETURN(const std::vector<Region> chunks,
+                        AllChunks(array, pattern, grid));
+  PlanOptions options;
+  options.combine = true;
+  options.parallel_dispatch = parallel;
+  return PlanCollectiveAccess(map, dist, chunks, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpfs::bench;
+  const auto servers = UniformServers(dpfs::simnet::Class1(), 4);
+
+  std::printf("=== Ablation: sequential vs parallel request dispatch ===\n");
+  std::printf("(*,BLOCK) combined reads, 16Kx16K multidim file, 4 class-1 "
+              "servers\n\n");
+  std::printf("%8s %14s %14s %10s | %20s\n", "clients", "sequential",
+              "parallel", "speedup", "parallel w/ 4MB/s uplink");
+
+  for (const std::uint32_t clients : {1u, 2u, 4u, 8u, 16u}) {
+    const auto seq = BuildPlan(clients, false);
+    const auto par = BuildPlan(clients, true);
+    if (!seq.ok() || !par.ok()) {
+      std::fprintf(stderr, "plan failed\n");
+      return 1;
+    }
+    const double t_seq =
+        MustReplay(seq.value(), servers).aggregate_bandwidth_MBps();
+    const double t_par =
+        MustReplay(par.value(), servers).aggregate_bandwidth_MBps();
+    dpfs::simnet::ReplayOptions uplink;
+    uplink.client_uplink_bytes_per_s = 4.0 * 1024 * 1024;
+    const auto capped =
+        dpfs::simnet::Replay(par.value(), servers, uplink).value();
+    std::printf("%8u %9.2f MB/s %9.2f MB/s %9.2fx | %15.2f MB/s\n", clients,
+                t_seq, t_par, t_par / t_seq,
+                capped.aggregate_bandwidth_MBps());
+  }
+  return 0;
+}

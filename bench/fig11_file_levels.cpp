@@ -1,0 +1,13 @@
+// Figure 11: I/O bandwidth (MB/s) of the three file levels, with and
+// without request combination, on storage classes 1/2/3.
+// 8 compute nodes, 4 I/O nodes, 32K x 32K byte array accessed (*,BLOCK);
+// linear bricks 64 KB, multidim bricks 256x256, array chunks per HPF.
+#include "bench/file_level_figure.h"
+
+int main() {
+  dpfs::bench::FileLevelConfig config;
+  config.compute_nodes = 8;
+  config.io_nodes = 4;
+  dpfs::bench::RunFileLevelFigure(config, "Figure 11");
+  return 0;
+}

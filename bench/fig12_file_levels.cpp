@@ -1,0 +1,10 @@
+// Figure 12: as Figure 11 but with 16 compute nodes and 8 I/O nodes.
+#include "bench/file_level_figure.h"
+
+int main() {
+  dpfs::bench::FileLevelConfig config;
+  config.compute_nodes = 16;
+  config.io_nodes = 8;
+  dpfs::bench::RunFileLevelFigure(config, "Figure 12");
+  return 0;
+}

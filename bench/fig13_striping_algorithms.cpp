@@ -1,0 +1,8 @@
+// Figure 13: round-robin vs greedy striping, 8 compute nodes, 8 I/O nodes,
+// half class-1 / half class-3 storage.
+#include "bench/striping_alg_figure.h"
+
+int main() {
+  dpfs::bench::RunStripingAlgFigure(8, 8, "Figure 13");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 14: round-robin vs greedy striping, 16 compute nodes, 16 I/O
+// nodes, half class-1 / half class-3 storage.
+#include "bench/striping_alg_figure.h"
+
+int main() {
+  dpfs::bench::RunStripingAlgFigure(16, 16, "Figure 14");
+  return 0;
+}

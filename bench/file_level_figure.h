@@ -1,0 +1,64 @@
+// Shared driver for the Fig 11 / Fig 12 file-level comparison harnesses.
+#pragma once
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace dpfs::bench {
+
+/// Prints the figure's table: one row per variant, one bandwidth column per
+/// storage class, plus request-count and wire-efficiency diagnostics.
+inline void RunFileLevelFigure(const FileLevelConfig& config,
+                               const char* figure) {
+  std::printf("=== %s: File Level Comparisons ===\n", figure);
+  std::printf("%u compute nodes, %u I/O nodes, %lluK x %lluK array, "
+              "(*,BLOCK) access\n",
+              config.compute_nodes, config.io_nodes,
+              static_cast<unsigned long long>(config.array_dim / 1024),
+              static_cast<unsigned long long>(config.array_dim / 1024));
+
+  const simnet::StorageClassModel models[3] = {
+      simnet::Class1(), simnet::Class2(), simnet::Class3()};
+
+  const struct {
+    const char* title;
+    layout::IoDirection direction;
+  } phases[] = {
+      // The paper's workload writes the array and reads it back (§3.3); the
+      // read phase is the one whose pathologies the figure discusses.
+      {"READ phase", layout::IoDirection::kRead},
+      {"WRITE phase", layout::IoDirection::kWrite},
+  };
+  for (const auto& phase : phases) {
+    std::printf("\n[%s]\n", phase.title);
+    std::printf("%-20s %10s %10s %10s   %10s %12s\n", "variant", "class1",
+                "class2", "class3", "requests", "wire-eff");
+    for (const Variant variant :
+         {Variant::kLinear, Variant::kCombinedLinear, Variant::kMultidim,
+          Variant::kCombinedMultidim, Variant::kArray,
+          Variant::kCombinedArray}) {
+      const Result<layout::IoPlan> plan =
+          BuildFileLevelPlan(config, variant, phase.direction);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan failed: %s\n",
+                     plan.status().ToString().c_str());
+        return;
+      }
+      double bandwidth[3] = {0, 0, 0};
+      simnet::ReplayResult last;
+      for (int i = 0; i < 3; ++i) {
+        last = MustReplay(plan.value(),
+                          UniformServers(models[i], config.io_nodes));
+        bandwidth[i] = last.aggregate_bandwidth_MBps();
+      }
+      std::printf("%-20s %10.2f %10.2f %10.2f   %10zu %11.4f%%\n",
+                  VariantName(variant), bandwidth[0], bandwidth[1],
+                  bandwidth[2], last.total_requests,
+                  last.efficiency() * 100.0);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace dpfs::bench

@@ -1,0 +1,88 @@
+// Micro-benchmarks of the client-side striping math — the work DPFS-API
+// does before any byte moves ("DPFS API then calculates the brick
+// numbers...", §2). These costs bound metadata-path scalability.
+#include <benchmark/benchmark.h>
+
+#include "layout/plan.h"
+
+namespace {
+
+using namespace dpfs::layout;
+
+void BM_SummarizeMultidimChunk(benchmark::State& state) {
+  // A (*,BLOCK) chunk over a paper-scale multidim file; cost scales with
+  // bricks touched (state.range = clients, so chunk width shrinks).
+  const std::uint64_t dim = 32 * 1024;
+  const BrickMap map = BrickMap::Multidim({dim, dim}, {256, 256}, 1).value();
+  const std::uint64_t clients = static_cast<std::uint64_t>(state.range(0));
+  const Region chunk{{0, 0}, {dim, dim / clients}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.SummarizeRegion(chunk));
+  }
+  state.SetLabel(std::to_string(map.SummarizeRegion(chunk).value().size()) +
+                 " bricks");
+}
+BENCHMARK(BM_SummarizeMultidimChunk)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_SummarizeLinearColumnAccess(benchmark::State& state) {
+  // The §3.2 pathological case: the summary itself walks every row run.
+  const std::uint64_t dim = static_cast<std::uint64_t>(state.range(0));
+  const BrickMap map = BrickMap::LinearArray({dim, dim}, 1, 64 * 1024).value();
+  const Region column{{0, 0}, {dim, 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.SummarizeRegion(column));
+  }
+}
+BENCHMARK(BM_SummarizeLinearColumnAccess)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_RunEnumerationMultidim(benchmark::State& state) {
+  const BrickMap map = BrickMap::Multidim({4096, 4096}, {256, 256}, 1).value();
+  const Region region{{17, 33}, {2048, 1024}};
+  for (auto _ : state) {
+    std::uint64_t checksum = 0;
+    (void)map.ForEachRun(region, [&](const BrickRun& run) {
+      checksum += run.offset_in_brick + run.length;
+    });
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_RunEnumerationMultidim);
+
+void BM_GreedyPlacement(benchmark::State& state) {
+  const std::uint64_t bricks = static_cast<std::uint64_t>(state.range(0));
+  const std::vector<std::uint32_t> perf = {1, 1, 3, 3, 5, 2, 1, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BrickDistribution::Greedy(bricks, perf));
+  }
+}
+BENCHMARK(BM_GreedyPlacement)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_PlanCombinedAccess(benchmark::State& state) {
+  const std::uint64_t dim = 16 * 1024;
+  const BrickMap map = BrickMap::Multidim({dim, dim}, {256, 256}, 1).value();
+  const BrickDistribution dist =
+      BrickDistribution::RoundRobin(map.num_bricks(), 8).value();
+  const Region chunk{{0, 0}, {dim, dim / 8}};
+  PlanOptions options;
+  options.combine = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanRegionAccess(map, dist, 0, chunk, options));
+  }
+}
+BENCHMARK(BM_PlanCombinedAccess);
+
+void BM_BrickListCodec(benchmark::State& state) {
+  const BrickDistribution dist =
+      BrickDistribution::Greedy(16384, {1, 3, 1, 3}).value();
+  const std::string encoded =
+      BrickDistribution::EncodeBrickList(dist.bricks_on(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BrickDistribution::DecodeBrickList(encoded));
+  }
+  state.SetLabel(std::to_string(dist.bricks_on(0).size()) + " bricks");
+}
+BENCHMARK(BM_BrickListCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

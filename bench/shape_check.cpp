@@ -1,0 +1,160 @@
+// The reproduction's executable verdict: every qualitative claim from the
+// paper's evaluation, checked against the model and printed as PASS/FAIL.
+// Exits nonzero on any violation, and runs under ctest, so a calibration or
+// planner change that breaks a figure's *shape* fails the build.
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* claim, double lhs, double rhs) {
+  std::printf("[%s] %-68s (%.2f vs %.2f)\n", ok ? "PASS" : "FAIL", claim,
+              lhs, rhs);
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpfs::bench;
+  using dpfs::layout::IoDirection;
+  using dpfs::layout::PlacementPolicy;
+
+  std::printf("=== Shape check: the paper's claims, asserted ===\n\n");
+
+  // ------------------------------------------------------------- Fig 11/12
+  for (const auto& [clients, servers, figure] :
+       {std::tuple{8u, 4u, "Fig 11"}, std::tuple{16u, 8u, "Fig 12"}}) {
+    FileLevelConfig config;
+    config.compute_nodes = clients;
+    config.io_nodes = servers;
+    const auto servers_model = UniformServers(dpfs::simnet::Class1(), servers);
+    const auto bw = [&](Variant variant) {
+      return MustReplay(
+                 BuildFileLevelPlan(config, variant, IoDirection::kRead)
+                     .value(),
+                 servers_model)
+          .aggregate_bandwidth_MBps();
+    };
+    const double linear = bw(Variant::kLinear);
+    const double combined_linear = bw(Variant::kCombinedLinear);
+    const double multidim = bw(Variant::kMultidim);
+    const double combined_multidim = bw(Variant::kCombinedMultidim);
+    const double array = bw(Variant::kArray);
+    const double combined_array = bw(Variant::kCombinedArray);
+
+    std::printf("-- %s (%u clients / %u servers, class 1) --\n", figure,
+                clients, servers);
+    Check(multidim > 5 * linear,
+          "multidim beats linear by a large factor (paper: 10-20x)",
+          multidim, linear);
+    Check(combined_linear >= linear * 0.99,
+          "combination does not hurt linear", combined_linear, linear);
+    Check(combined_multidim > multidim,
+          "combination improves multidim", combined_multidim, multidim);
+    Check(array > 1.4 * multidim,
+          "array level ~doubles uncombined multidim", array, multidim);
+    Check(combined_array > 0.99 * array && combined_array < 1.01 * array,
+          "combination cannot further improve array level", combined_array,
+          array);
+    Check(array >= combined_multidim * 0.95,
+          "array >= combined multidim", array, combined_multidim);
+  }
+
+  // ------------------------------------------------------------- Fig 13/14
+  for (const auto& [clients, servers, figure] :
+       {std::tuple{8u, 8u, "Fig 13"}, std::tuple{16u, 16u, "Fig 14"}}) {
+    StripingAlgConfig config;
+    config.compute_nodes = clients;
+    config.io_nodes = servers;
+    config.performance.assign(servers, 1);
+    for (std::uint32_t s = servers / 2; s < servers; ++s) {
+      config.performance[s] = 3;
+    }
+    const auto models = HalfClass1HalfClass3(servers);
+    const auto bw = [&](PlacementPolicy policy, bool combine,
+                        IoDirection direction) {
+      return MustReplay(
+                 BuildStripingAlgPlan(config, policy, combine, direction)
+                     .value(),
+                 models)
+          .aggregate_bandwidth_MBps();
+    };
+    std::printf("-- %s (%u clients / %u servers, half class1 + half class3) "
+                "--\n",
+                figure, clients, servers);
+    for (const IoDirection direction :
+         {IoDirection::kWrite, IoDirection::kRead}) {
+      const char* dir_name =
+          direction == IoDirection::kWrite ? "write" : "read";
+      const double rr = bw(PlacementPolicy::kRoundRobin, false, direction);
+      const double greedy = bw(PlacementPolicy::kGreedy, false, direction);
+      const double rr_combined =
+          bw(PlacementPolicy::kRoundRobin, true, direction);
+      const double greedy_combined =
+          bw(PlacementPolicy::kGreedy, true, direction);
+      char claim[96];
+      std::snprintf(claim, sizeof(claim), "greedy beats round-robin (%s)",
+                    dir_name);
+      Check(greedy > rr, claim, greedy, rr);
+      std::snprintf(claim, sizeof(claim),
+                    "combination adds further improvement (%s)", dir_name);
+      Check(greedy_combined > greedy && rr_combined >= rr * 0.99, claim,
+            greedy_combined, greedy);
+    }
+  }
+
+  // --------------------------------------------------- §3.2 worked example
+  {
+    using namespace dpfs::layout;
+    const std::uint64_t k64 = 64 * 1024;
+    const BrickMap linear =
+        BrickMap::LinearArray({k64, k64}, 1, 64 * 1024).value();
+    const BrickMap multidim =
+        BrickMap::Multidim({k64, k64}, {256, 256}, 1).value();
+    const Region column{{0, 0}, {k64, 1}};
+    const double linear_bricks =
+        static_cast<double>(linear.SummarizeRegion(column).value().size());
+    const double multidim_bricks =
+        static_cast<double>(multidim.SummarizeRegion(column).value().size());
+    std::printf("-- Section 3.2 --\n");
+    Check(linear_bricks == 65536.0,
+          "64Kx64K column touches 65536 linear bricks", linear_bricks,
+          65536.0);
+    Check(multidim_bricks == 256.0,
+          "64Kx64K column touches 256 multidim bricks", multidim_bricks,
+          256.0);
+  }
+
+  // --------------------------------------------------- §4.2 worked example
+  {
+    using namespace dpfs::layout;
+    const BrickMap map = BrickMap::Linear(32 * 1024, 1024).value();
+    const BrickDistribution dist = BrickDistribution::RoundRobin(32, 4).value();
+    PlanOptions general;
+    general.combine = false;
+    PlanOptions combined;
+    combined.combine = true;
+    const double general_requests = static_cast<double>(
+        PlanByteAccess(map, dist, 0, 0, 8 * 1024, general)
+            .value()
+            .num_requests());
+    const double combined_requests = static_cast<double>(
+        PlanByteAccess(map, dist, 0, 0, 8 * 1024, combined)
+            .value()
+            .num_requests());
+    std::printf("-- Section 4.2 --\n");
+    Check(general_requests == 8.0, "general approach: 8 requests",
+          general_requests, 8.0);
+    Check(combined_requests == 4.0, "combined approach: 4 requests",
+          combined_requests, 4.0);
+  }
+
+  std::printf("\n%s: %d claim(s) violated\n",
+              g_failures == 0 ? "ALL SHAPES HOLD" : "SHAPE CHECK FAILED",
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

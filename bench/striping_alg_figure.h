@@ -1,0 +1,67 @@
+// Shared driver for the Fig 13 / Fig 14 striping-algorithm comparison.
+//
+// Half class-1 / half class-3 storage; each compute node writes then reads a
+// contiguous 32 MB block of a shared linear file. Greedy placement gives the
+// class-1 servers ~3x the bricks, so no client ends up gated on a slow
+// server's long queue.
+#pragma once
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace dpfs::bench {
+
+inline void RunStripingAlgFigure(std::uint32_t compute_nodes,
+                                 std::uint32_t io_nodes, const char* figure) {
+  StripingAlgConfig config;
+  config.compute_nodes = compute_nodes;
+  config.io_nodes = io_nodes;
+  // Performance numbers per §4.1: class 1 → 1, class 3 → 3.
+  config.performance.assign(io_nodes, 1);
+  for (std::uint32_t s = io_nodes / 2; s < io_nodes; ++s) {
+    config.performance[s] = 3;
+  }
+  const std::vector<simnet::StorageClassModel> servers =
+      HalfClass1HalfClass3(io_nodes);
+
+  std::printf("=== %s: Striping Algorithm Comparison ===\n", figure);
+  std::printf("%u compute nodes, %u I/O nodes, half class-1 / half class-3, "
+              "%llu MB per client\n\n",
+              compute_nodes, io_nodes,
+              static_cast<unsigned long long>(config.bytes_per_client >> 20));
+  std::printf("%-16s %14s %14s\n", "variant", "round-robin", "greedy");
+
+  const struct {
+    const char* name;
+    layout::IoDirection direction;
+    bool combine;
+  } rows[] = {
+      {"Write", layout::IoDirection::kWrite, false},
+      {"Combined Write", layout::IoDirection::kWrite, true},
+      {"Read", layout::IoDirection::kRead, false},
+      {"Combined Read", layout::IoDirection::kRead, true},
+  };
+
+  for (const auto& row : rows) {
+    double bandwidth[2] = {0, 0};
+    const layout::PlacementPolicy policies[2] = {
+        layout::PlacementPolicy::kRoundRobin, layout::PlacementPolicy::kGreedy};
+    for (int p = 0; p < 2; ++p) {
+      const Result<layout::IoPlan> plan = BuildStripingAlgPlan(
+          config, policies[p], row.combine, row.direction);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "plan failed: %s\n",
+                     plan.status().ToString().c_str());
+        return;
+      }
+      bandwidth[p] =
+          MustReplay(plan.value(), servers).aggregate_bandwidth_MBps();
+    }
+    std::printf("%-16s %14.2f %14.2f\n", row.name, bandwidth[0],
+                bandwidth[1]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace dpfs::bench

@@ -1,0 +1,37 @@
+// The calibration table: every storage-class model's constants, its solo
+// per-brick access time (the §4.1 calibration measurement), and the
+// normalized performance number the greedy algorithm derives from it.
+// This is the ground truth behind EXPERIMENTS.md's absolute numbers.
+#include <cstdio>
+
+#include "simnet/storage_class.h"
+
+int main() {
+  using namespace dpfs::simnet;
+  const StorageClassModel models[] = {Class1(), Class2(), Class3(),
+                                      RemoteWan()};
+  constexpr std::uint64_t kBrick = 64 * 1024;
+
+  std::printf("=== Storage class calibration (src/simnet/storage_class.cpp) "
+              "===\n\n");
+  std::printf("%-12s %10s %10s %10s %10s %12s %8s\n", "class", "link MB/s",
+              "lat ms", "disk MB/s", "seek ms", "64K brick ms", "perf");
+
+  std::vector<StorageClassModel> all(std::begin(models), std::end(models));
+  const std::vector<std::uint32_t> perf = NormalizedPerformance(all, kBrick);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const StorageClassModel& model = all[i];
+    std::printf("%-12s %10.1f %10.2f %10.1f %10.2f %12.2f %8u\n",
+                model.name.c_str(), model.link_bytes_per_s / (1024.0 * 1024),
+                model.link_latency_s * 1e3,
+                model.disk_bytes_per_s / (1024.0 * 1024),
+                model.disk_overhead_s * 1e3,
+                model.SoloBrickTime(kBrick) * 1e3, perf[i]);
+  }
+  std::printf("\nperf = round(solo_brick_time / fastest_solo_brick_time), "
+              "the paper's normalized\nperformance number (%s is the "
+              "baseline; class3/class1 = %.2f, the paper's ~3x).\n",
+              all[0].name.c_str(),
+              all[2].SoloBrickTime(kBrick) / all[0].SoloBrickTime(kBrick));
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Shared workload builders for the figure-reproduction harnesses.
+//
+// Each harness builds the paper's workload with the *real* DPFS planner
+// (layout::PlanCollectiveAccess et al.) and replays the resulting request
+// stream on simnet's storage-class models (see DESIGN.md for why this
+// substitution preserves the figures' shape).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/hpf.h"
+#include "layout/plan.h"
+#include "simnet/replay.h"
+
+namespace dpfs::bench {
+
+/// The six bars of Fig 11/12.
+enum class Variant {
+  kLinear,
+  kCombinedLinear,
+  kMultidim,
+  kCombinedMultidim,
+  kArray,
+  kCombinedArray,
+};
+
+inline const char* VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kLinear: return "Linear";
+    case Variant::kCombinedLinear: return "Combined Linear";
+    case Variant::kMultidim: return "Multi-dim";
+    case Variant::kCombinedMultidim: return "Combined Multi-dim";
+    case Variant::kArray: return "Array";
+    case Variant::kCombinedArray: return "Combined Array";
+  }
+  return "?";
+}
+
+inline bool VariantCombined(Variant variant) {
+  return variant == Variant::kCombinedLinear ||
+         variant == Variant::kCombinedMultidim ||
+         variant == Variant::kCombinedArray;
+}
+
+/// The Fig 11/12 workload: a square byte array accessed (*,BLOCK) by
+/// `compute_nodes` clients over `io_nodes` servers.
+struct FileLevelConfig {
+  std::uint32_t compute_nodes = 8;
+  std::uint32_t io_nodes = 4;
+  std::uint64_t array_dim = 32 * 1024;   // 32K x 32K bytes, as in §8.1
+  std::uint64_t brick_bytes = 64 * 1024; // linear striping unit
+  std::uint64_t md_tile = 256;           // multidim striping unit edge
+};
+
+/// Builds the collective (*,BLOCK) access plan for one variant.
+inline Result<layout::IoPlan> BuildFileLevelPlan(const FileLevelConfig& config,
+                                                 Variant variant,
+                                                 layout::IoDirection direction) {
+  using namespace dpfs::layout;
+  const Shape array = {config.array_dim, config.array_dim};
+  const HpfPattern star_block = HpfPattern::Parse("(*,BLOCK)").value();
+  ProcessGrid grid;
+  grid.grid = {config.compute_nodes};
+
+  BrickMap map;
+  switch (variant) {
+    case Variant::kLinear:
+    case Variant::kCombinedLinear: {
+      DPFS_ASSIGN_OR_RETURN(
+          map, BrickMap::LinearArray(array, 1, config.brick_bytes));
+      break;
+    }
+    case Variant::kMultidim:
+    case Variant::kCombinedMultidim: {
+      DPFS_ASSIGN_OR_RETURN(
+          map,
+          BrickMap::Multidim(array, {config.md_tile, config.md_tile}, 1));
+      break;
+    }
+    case Variant::kArray:
+    case Variant::kCombinedArray: {
+      DPFS_ASSIGN_OR_RETURN(map,
+                            BrickMap::Array(array, star_block, grid, 1));
+      break;
+    }
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      BrickDistribution dist,
+      BrickDistribution::RoundRobin(map.num_bricks(), config.io_nodes));
+
+  DPFS_ASSIGN_OR_RETURN(
+      const std::vector<Region> chunks,
+      AllChunks(array, star_block, grid));
+
+  PlanOptions options;
+  options.direction = direction;
+  options.combine = VariantCombined(variant);
+  return PlanCollectiveAccess(map, dist, chunks, options);
+}
+
+/// The Fig 13/14 workload: a linear file where client c reads/writes its own
+/// contiguous block, striped over heterogeneous servers by `policy`.
+struct StripingAlgConfig {
+  std::uint32_t compute_nodes = 8;
+  std::uint32_t io_nodes = 8;
+  std::uint64_t bytes_per_client = 32ull << 20;  // 32 MB each
+  std::uint64_t brick_bytes = 64 * 1024;
+  std::vector<std::uint32_t> performance;  // per server (§4.1 numbers)
+};
+
+inline Result<layout::IoPlan> BuildStripingAlgPlan(
+    const StripingAlgConfig& config, layout::PlacementPolicy policy,
+    bool combine, layout::IoDirection direction) {
+  using namespace dpfs::layout;
+  const std::uint64_t total =
+      config.bytes_per_client * config.compute_nodes;
+  DPFS_ASSIGN_OR_RETURN(const BrickMap map,
+                        BrickMap::Linear(total, config.brick_bytes));
+  DPFS_ASSIGN_OR_RETURN(
+      const BrickDistribution dist,
+      BrickDistribution::Create(policy, map.num_bricks(),
+                                config.performance));
+  PlanOptions options;
+  options.direction = direction;
+  options.combine = combine;
+  IoPlan plan;
+  for (std::uint32_t c = 0; c < config.compute_nodes; ++c) {
+    DPFS_ASSIGN_OR_RETURN(
+        ClientPlan client,
+        PlanByteAccess(map, dist, c, c * config.bytes_per_client,
+                       config.bytes_per_client, options));
+    plan.clients.push_back(std::move(client));
+  }
+  return plan;
+}
+
+inline std::vector<simnet::StorageClassModel> UniformServers(
+    const simnet::StorageClassModel& model, std::uint32_t count) {
+  return std::vector<simnet::StorageClassModel>(count, model);
+}
+
+/// Half class-1, half class-3, as in Fig 13/14.
+inline std::vector<simnet::StorageClassModel> HalfClass1HalfClass3(
+    std::uint32_t count) {
+  std::vector<simnet::StorageClassModel> servers;
+  servers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    servers.push_back(i < count / 2 ? simnet::Class1() : simnet::Class3());
+  }
+  return servers;
+}
+
+/// Replays and returns bandwidth in MB/s, aborting the harness on error
+/// (benchmarks have no meaningful recovery path).
+inline simnet::ReplayResult MustReplay(
+    const layout::IoPlan& plan,
+    const std::vector<simnet::StorageClassModel>& servers) {
+  Result<simnet::ReplayResult> result = simnet::Replay(plan, servers);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace dpfs::bench

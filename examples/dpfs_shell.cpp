@@ -1,0 +1,53 @@
+// Interactive DPFS shell (§7): boots a local cluster and drops you into the
+// UNIX-style command interface. Pipe a script on stdin for batch use.
+//
+//   $ ./dpfs_shell [--servers 4]
+//   dpfs:/> mkdir /home
+//   dpfs:/> import ./results.dat /home/results.dat
+//   dpfs:/> ls -l /home
+//   dpfs:/> export /home/results.dat ./roundtrip.dat
+//   dpfs:/> exit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/options.h"
+#include "core/dpfs.h"
+
+int main(int argc, char** argv) {
+  using namespace dpfs;
+  const Options opts = Options::Parse(argc, argv).value();
+  const auto servers = static_cast<std::uint32_t>(opts.GetInt("servers", 4));
+
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = servers;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+  shell::Shell shell(cluster.value()->fs());
+
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::printf("DPFS shell — %u I/O servers, storage under %s\n", servers,
+                cluster.value()->root().string().c_str());
+    std::printf("type 'help' for commands, 'exit' to quit\n");
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("dpfs:%s> ", shell.cwd().c_str());
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (line == "exit" || line == "quit") break;
+    const Status status = shell.Execute(line, std::cout);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Hint advisor: which file level should you ask for?
+//
+// §3.3 says the file system cannot pick the striping method by itself —
+// "only the user has the best picture of how her data will be utilized".
+// This tool closes that loop: describe the array and the expected access
+// pattern, and it uses the real DPFS planner plus the performance model to
+// predict bandwidth for every file level, then recommends a hint.
+//
+//   $ ./hint_advisor [--dim 32768] [--clients 8] [--servers 4]
+//                    [--pattern "(*,BLOCK)"] [--class class1]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "layout/hpf.h"
+#include "layout/plan.h"
+#include "simnet/replay.h"
+
+namespace {
+
+using namespace dpfs;
+
+struct Candidate {
+  std::string name;
+  std::string hint;
+  layout::BrickMap map;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::Parse(argc, argv).value();
+  const auto dim = static_cast<std::uint64_t>(opts.GetInt("dim", 32768));
+  const auto clients = static_cast<std::uint32_t>(opts.GetInt("clients", 8));
+  const auto servers = static_cast<std::uint32_t>(opts.GetInt("servers", 4));
+  const std::string pattern_text = opts.GetString("pattern", "(*,BLOCK)");
+  const std::string class_name = opts.GetString("class", "class1");
+
+  const Result<layout::HpfPattern> pattern =
+      layout::HpfPattern::Parse(pattern_text);
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "bad --pattern: %s\n",
+                 pattern.status().ToString().c_str());
+    return 2;
+  }
+  const Result<simnet::StorageClassModel> model =
+      simnet::StorageClassByName(class_name);
+  if (!model.ok()) {
+    std::fprintf(stderr, "bad --class: %s\n",
+                 model.status().ToString().c_str());
+    return 2;
+  }
+
+  const layout::Shape array = {dim, dim};
+  const layout::ProcessGrid grid =
+      layout::ProcessGrid::Auto(clients, pattern->num_block_dims());
+  const Result<std::vector<layout::Region>> chunks =
+      layout::AllChunks(array, *pattern, grid);
+  if (!chunks.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 chunks.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("workload: %llu x %llu bytes, %u clients accessing %s, "
+              "%u %s servers\n\n",
+              static_cast<unsigned long long>(dim),
+              static_cast<unsigned long long>(dim), clients,
+              pattern->ToString().c_str(), servers, class_name.c_str());
+
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {"linear", "level=linear brick_bytes=65536",
+       layout::BrickMap::LinearArray(array, 1, 64 * 1024).value()});
+  for (const std::uint64_t tile : {64ull, 256ull, 1024ull}) {
+    if (tile <= dim) {
+      candidates.push_back(
+          {"multidim " + std::to_string(tile) + "x" + std::to_string(tile),
+           "level=multidim brick_shape=" + std::to_string(tile) + "," +
+               std::to_string(tile),
+           layout::BrickMap::Multidim(array, {tile, tile}, 1).value()});
+    }
+  }
+  const Result<layout::BrickMap> array_map =
+      layout::BrickMap::Array(array, *pattern, grid, 1);
+  if (array_map.ok()) {
+    candidates.push_back({"array " + pattern->ToString(),
+                          "level=array pattern=" + pattern->ToString(),
+                          array_map.value()});
+  }
+
+  std::printf("%-20s %14s %12s %12s\n", "candidate", "bandwidth", "requests",
+              "wire-eff");
+  double best_bandwidth = 0;
+  std::string best_hint;
+  std::string best_name;
+  for (const Candidate& candidate : candidates) {
+    const auto dist = layout::BrickDistribution::RoundRobin(
+        candidate.map.num_bricks(), servers);
+    if (!dist.ok()) continue;
+    layout::PlanOptions plan_options;
+    plan_options.combine = true;
+    const auto plan = layout::PlanCollectiveAccess(
+        candidate.map, dist.value(), chunks.value(), plan_options);
+    if (!plan.ok()) continue;
+    const auto replay = simnet::Replay(
+        plan.value(),
+        std::vector<simnet::StorageClassModel>(servers, model.value()));
+    if (!replay.ok()) continue;
+    const double bandwidth = replay.value().aggregate_bandwidth_MBps();
+    std::printf("%-20s %9.2f MB/s %12zu %11.2f%%\n", candidate.name.c_str(),
+                bandwidth, replay.value().total_requests,
+                replay.value().efficiency() * 100);
+    if (bandwidth > best_bandwidth) {
+      best_bandwidth = bandwidth;
+      best_hint = candidate.hint;
+      best_name = candidate.name;
+    }
+  }
+  std::printf("\nrecommended hint structure: %s   (%s, %.2f MB/s "
+              "predicted)\n",
+              best_hint.c_str(), best_name.c_str(), best_bandwidth);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Out-of-core matrix access with multidimensional striping — the paper's
+// §3.2 argument, demonstrated with real data movement.
+//
+// A dim x dim matrix of floats lives in DPFS, too big (pretend) for any one
+// node's memory. A consumer needs column panels (the access pattern of
+// matrix multiplication, the paper's example). We store the matrix twice —
+// once linear, once multidim — and read the same panels from both, printing
+// the request/transfer amplification the striping choice causes. Both reads
+// must, of course, agree.
+//
+//   $ ./out_of_core_matrix [--dim 1024] [--tile 128] [--panels 4]
+#include <cstdio>
+
+#include "common/options.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/dpfs.h"
+
+namespace {
+
+using namespace dpfs;
+
+Bytes RandomMatrix(std::uint64_t elements, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Bytes data(elements * sizeof(float));
+  for (std::uint64_t i = 0; i < elements; ++i) {
+    const float v = static_cast<float>(rng.NextDouble());
+    std::memcpy(data.data() + i * sizeof(float), &v, sizeof(float));
+  }
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::Parse(argc, argv).value();
+  const auto dim = static_cast<std::uint64_t>(opts.GetInt("dim", 1024));
+  const auto tile = static_cast<std::uint64_t>(opts.GetInt("tile", 128));
+  const auto panels = static_cast<std::uint64_t>(opts.GetInt("panels", 4));
+
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 4;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options));
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+  const std::shared_ptr<client::FileSystem> fs = cluster.value()->fs();
+
+  // The producer writes the matrix under both striping methods.
+  const Bytes matrix = RandomMatrix(dim * dim, 2026);
+  const layout::Region whole{{0, 0}, {dim, dim}};
+
+  client::CreateOptions linear_create;
+  linear_create.level = layout::FileLevel::kLinear;
+  linear_create.element_size = sizeof(float);
+  linear_create.array_shape = {dim, dim};
+  linear_create.brick_bytes = 64 * 1024;
+  auto linear = fs->Create("/A.linear", linear_create);
+
+  client::CreateOptions md_create;
+  md_create.level = layout::FileLevel::kMultidim;
+  md_create.element_size = sizeof(float);
+  md_create.array_shape = {dim, dim};
+  md_create.brick_shape = {tile, tile};
+  auto multidim = fs->Create("/A.multidim", md_create);
+
+  if (!linear.ok() || !multidim.ok()) {
+    std::fprintf(stderr, "create failed\n");
+    return 1;
+  }
+  if (!fs->WriteRegion(*linear, whole, matrix).ok() ||
+      !fs->WriteRegion(*multidim, whole, matrix).ok()) {
+    std::fprintf(stderr, "matrix store failed\n");
+    return 1;
+  }
+  std::printf("stored %llu x %llu float matrix twice: linear (64 KB bricks) "
+              "and multidim (%llux%llu tiles)\n\n",
+              static_cast<unsigned long long>(dim),
+              static_cast<unsigned long long>(dim),
+              static_cast<unsigned long long>(tile),
+              static_cast<unsigned long long>(tile));
+
+  // The consumer streams column panels from both copies.
+  const std::uint64_t panel_width = dim / panels;
+  std::printf("%-8s %12s %14s %14s %12s\n", "panel", "level", "requests",
+              "transferred", "time");
+  bool all_match = true;
+  for (std::uint64_t p = 0; p < panels; ++p) {
+    const layout::Region panel{{0, p * panel_width}, {dim, panel_width}};
+    Bytes from_linear(panel.num_elements() * sizeof(float));
+    Bytes from_multidim(from_linear.size());
+
+    client::IoReport linear_report;
+    WallTimer linear_timer;
+    if (!fs->ReadRegion(*linear, panel, from_linear, {}, &linear_report)
+             .ok()) {
+      std::fprintf(stderr, "linear panel read failed\n");
+      return 1;
+    }
+    const double linear_ms = linear_timer.ElapsedMillis();
+
+    client::IoReport md_report;
+    WallTimer md_timer;
+    if (!fs->ReadRegion(*multidim, panel, from_multidim, {}, &md_report)
+             .ok()) {
+      std::fprintf(stderr, "multidim panel read failed\n");
+      return 1;
+    }
+    const double md_ms = md_timer.ElapsedMillis();
+
+    all_match = all_match && from_linear == from_multidim;
+    std::printf("%-8llu %12s %14zu %14s %9.1f ms\n",
+                static_cast<unsigned long long>(p), "linear",
+                linear_report.requests,
+                FormatByteSize(linear_report.transfer_bytes).c_str(),
+                linear_ms);
+    std::printf("%-8s %12s %14zu %14s %9.1f ms\n", "", "multidim",
+                md_report.requests,
+                FormatByteSize(md_report.transfer_bytes).c_str(), md_ms);
+  }
+  std::printf("\npanel contents from both striping methods %s\n",
+              all_match ? "agree" : "DISAGREE");
+  std::printf("multidim tiles turn the column-panel pathology (whole-brick "
+              "reads, mostly discarded)\ninto full-brick useful transfers — "
+              "the §3.2 argument, with real bytes.\n");
+  return all_match ? 0 : 1;
+}

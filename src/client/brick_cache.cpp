@@ -1,0 +1,86 @@
+#include "client/brick_cache.h"
+
+namespace dpfs::client {
+
+std::optional<Bytes> BrickCache::Get(const std::string& file,
+                                     layout::BrickId brick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find({file, brick});
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(it->first);
+  it->second.lru_pos = lru_.begin();
+  return it->second.image;
+}
+
+void BrickCache::Put(const std::string& file, layout::BrickId brick,
+                     Bytes image) {
+  if (image.size() > capacity_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{file, brick};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_bytes_ -= it->second.image.size();
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  used_bytes_ += image.size();
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(image), lru_.begin()};
+  EvictOverBudgetLocked();
+}
+
+void BrickCache::EvictOverBudgetLocked() {
+  while (used_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Key& victim = lru_.back();
+    const auto it = entries_.find(victim);
+    used_bytes_ -= it->second.image.size();
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void BrickCache::Invalidate(const std::string& file, layout::BrickId brick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find({file, brick});
+  if (it == entries_.end()) return;
+  used_bytes_ -= it->second.image.size();
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void BrickCache::InvalidateFile(const std::string& file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.lower_bound({file, 0}); it != entries_.end();) {
+    if (it->first.first != file) break;
+    used_bytes_ -= it->second.image.size();
+    lru_.erase(it->second.lru_pos);
+    it = entries_.erase(it);
+  }
+}
+
+void BrickCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  used_bytes_ = 0;
+}
+
+std::uint64_t BrickCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+std::uint64_t BrickCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+std::uint64_t BrickCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace dpfs::client

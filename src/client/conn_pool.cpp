@@ -1,0 +1,49 @@
+#include "client/conn_pool.h"
+
+namespace dpfs::client {
+
+PooledConnection::~PooledConnection() {
+  if (pool_ != nullptr && conn_ != nullptr && !poisoned_) {
+    pool_->Release(std::move(conn_));
+  }
+}
+
+Result<PooledConnection> ConnectionPool::Acquire(
+    const net::Endpoint& endpoint) {
+  const auto key = std::make_pair(endpoint.host, endpoint.port);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<net::ServerConnection> conn =
+          std::move(it->second.back());
+      it->second.pop_back();
+      return PooledConnection(this, std::move(conn));
+    }
+  }
+  DPFS_ASSIGN_OR_RETURN(net::ServerConnection conn,
+                        net::ServerConnection::Connect(endpoint));
+  return PooledConnection(
+      this, std::make_unique<net::ServerConnection>(std::move(conn)));
+}
+
+void ConnectionPool::Release(std::unique_ptr<net::ServerConnection> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key =
+      std::make_pair(conn->endpoint().host, conn->endpoint().port);
+  idle_[key].push_back(std::move(conn));
+}
+
+void ConnectionPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+std::size_t ConnectionPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  for (const auto& [key, conns] : idle_) count += conns.size();
+  return count;
+}
+
+}  // namespace dpfs::client

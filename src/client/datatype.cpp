@@ -1,0 +1,169 @@
+#include "client/datatype.h"
+
+#include <algorithm>
+
+namespace dpfs::client {
+
+namespace {
+/// Guard against pathological compositions in user code.
+constexpr std::uint64_t kMaxExtents = 1ull << 22;  // ~4M extents
+}  // namespace
+
+std::vector<ByteExtent> CoalesceExtents(std::vector<ByteExtent> extents) {
+  std::sort(extents.begin(), extents.end(),
+            [](const ByteExtent& a, const ByteExtent& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<ByteExtent> merged;
+  for (const ByteExtent& extent : extents) {
+    if (extent.length == 0) continue;
+    if (!merged.empty() &&
+        extent.offset <= merged.back().offset + merged.back().length) {
+      const std::uint64_t end =
+          std::max(merged.back().offset + merged.back().length,
+                   extent.offset + extent.length);
+      merged.back().length = end - merged.back().offset;
+    } else {
+      merged.push_back(extent);
+    }
+  }
+  return merged;
+}
+
+Datatype Datatype::FromExtents(std::vector<ByteExtent> extents,
+                               std::uint64_t logical_extent) {
+  auto payload = std::make_shared<Payload>();
+  payload->extents = CoalesceExtents(std::move(extents));
+  for (const ByteExtent& extent : payload->extents) {
+    payload->size += extent.length;
+  }
+  std::uint64_t span = 0;
+  for (const ByteExtent& extent : payload->extents) {
+    span = std::max(span, extent.offset + extent.length);
+  }
+  payload->extent = std::max(span, logical_extent);
+  return Datatype(std::move(payload));
+}
+
+Datatype Datatype::Bytes(std::uint64_t n) {
+  std::vector<ByteExtent> extents;
+  if (n > 0) extents.push_back({0, n});
+  return FromExtents(std::move(extents), n);
+}
+
+Result<Datatype> Datatype::Contiguous(std::uint64_t count,
+                                      const Datatype& base) {
+  if (count * base.num_extents() > kMaxExtents) {
+    return ResourceExhaustedError("datatype too fragmented");
+  }
+  std::vector<ByteExtent> extents;
+  extents.reserve(count * base.num_extents());
+  const std::uint64_t step = base.extent();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (const ByteExtent& extent : base.extents()) {
+      extents.push_back({i * step + extent.offset, extent.length});
+    }
+  }
+  return FromExtents(std::move(extents), count * step);
+}
+
+Result<Datatype> Datatype::Vector(std::uint64_t count,
+                                  std::uint64_t blocklength,
+                                  std::uint64_t stride, const Datatype& base) {
+  if (stride < blocklength) {
+    return InvalidArgumentError(
+        "vector stride must be >= blocklength (no overlap)");
+  }
+  if (count * blocklength * base.num_extents() > kMaxExtents) {
+    return ResourceExhaustedError("datatype too fragmented");
+  }
+  std::vector<ByteExtent> extents;
+  extents.reserve(count * blocklength * base.num_extents());
+  const std::uint64_t step = base.extent();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t block_base = i * stride * step;
+    for (std::uint64_t j = 0; j < blocklength; ++j) {
+      for (const ByteExtent& extent : base.extents()) {
+        extents.push_back({block_base + j * step + extent.offset,
+                           extent.length});
+      }
+    }
+  }
+  // Logical extent of a vector covers through the last block.
+  const std::uint64_t span =
+      count == 0 ? 0 : ((count - 1) * stride + blocklength) * step;
+  return FromExtents(std::move(extents), span);
+}
+
+Result<Datatype> Datatype::Indexed(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& blocks,
+    const Datatype& base) {
+  std::uint64_t total_blocks = 0;
+  for (const auto& [displ, blocklen] : blocks) total_blocks += blocklen;
+  if (total_blocks * base.num_extents() > kMaxExtents) {
+    return ResourceExhaustedError("datatype too fragmented");
+  }
+  std::vector<ByteExtent> extents;
+  const std::uint64_t step = base.extent();
+  std::uint64_t span = 0;
+  for (const auto& [displ, blocklen] : blocks) {
+    for (std::uint64_t j = 0; j < blocklen; ++j) {
+      for (const ByteExtent& extent : base.extents()) {
+        extents.push_back({(displ + j) * step + extent.offset, extent.length});
+      }
+    }
+    span = std::max(span, (displ + blocklen) * step);
+  }
+  return FromExtents(std::move(extents), span);
+}
+
+Result<Datatype> Datatype::Subarray(
+    const std::vector<std::uint64_t>& array_shape,
+    const std::vector<std::uint64_t>& lower,
+    const std::vector<std::uint64_t>& extent, std::uint64_t element_bytes) {
+  if (array_shape.empty() || array_shape.size() != lower.size() ||
+      array_shape.size() != extent.size()) {
+    return InvalidArgumentError("subarray: rank mismatch");
+  }
+  if (element_bytes == 0) {
+    return InvalidArgumentError("subarray: element size must be >= 1");
+  }
+  std::uint64_t rows = 1;
+  for (std::size_t d = 0; d < array_shape.size(); ++d) {
+    if (extent[d] == 0 || lower[d] + extent[d] > array_shape[d]) {
+      return InvalidArgumentError("subarray: region out of bounds in dim " +
+                                  std::to_string(d));
+    }
+    if (d + 1 < array_shape.size()) rows *= extent[d];
+  }
+  if (rows > kMaxExtents) {
+    return ResourceExhaustedError("subarray too fragmented");
+  }
+  // One extent per row run of the region, offsets in the flattened array.
+  std::vector<ByteExtent> extents;
+  extents.reserve(rows);
+  std::vector<std::uint64_t> cursor = lower;
+  const std::size_t rank = array_shape.size();
+  std::uint64_t total = element_bytes;
+  for (const std::uint64_t e : array_shape) total *= e;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    std::uint64_t offset = 0;
+    for (std::size_t d = 0; d < rank; ++d) offset = offset * array_shape[d] + cursor[d];
+    extents.push_back({offset * element_bytes,
+                       extent[rank - 1] * element_bytes});
+    // Odometer over dims [0, rank-1).
+    for (std::size_t d = rank - 1; d-- > 0;) {
+      if (++cursor[d] < lower[d] + extent[d]) break;
+      cursor[d] = lower[d];
+    }
+  }
+  return FromExtents(std::move(extents), total);
+}
+
+std::uint64_t Datatype::size() const noexcept { return payload_->size; }
+std::uint64_t Datatype::extent() const noexcept { return payload_->extent; }
+const std::vector<ByteExtent>& Datatype::extents() const noexcept {
+  return payload_->extents;
+}
+
+}  // namespace dpfs::client

@@ -1,0 +1,90 @@
+// MPI-IO-style derived datatypes (§6).
+//
+// DPFS adopts MPI-IO's derived-datatype approach to express non-contiguous
+// access: a Datatype is a reusable description of a byte layout in the file,
+// built by composing constructors (contiguous, vector, indexed), and is
+// flattened into coalesced byte extents when an access is issued.
+//
+// A Datatype is an immutable value; copying is cheap (shared payload).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpfs::client {
+
+/// One contiguous byte extent in file space.
+struct ByteExtent {
+  std::uint64_t offset = 0;  // relative to the access's base offset
+  std::uint64_t length = 0;
+
+  friend bool operator==(const ByteExtent&, const ByteExtent&) = default;
+};
+
+class Datatype {
+ public:
+  /// `n` contiguous bytes — the elementary type.
+  static Datatype Bytes(std::uint64_t n);
+
+  /// `count` copies of `base`, back to back.
+  static Result<Datatype> Contiguous(std::uint64_t count,
+                                     const Datatype& base);
+
+  /// MPI_Type_vector: `count` blocks of `blocklength` base elements, the
+  /// start of consecutive blocks `stride` base-extents apart.
+  static Result<Datatype> Vector(std::uint64_t count,
+                                 std::uint64_t blocklength,
+                                 std::uint64_t stride, const Datatype& base);
+
+  /// MPI_Type_indexed: block i has `blocks[i].second` base elements starting
+  /// at displacement `blocks[i].first` (in base extents).
+  static Result<Datatype> Indexed(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& blocks,
+      const Datatype& base);
+
+  /// MPI_Type_create_subarray: the region `lower`/`extent` of a row-major
+  /// N-d array of `array_shape` elements, each `element_bytes` wide. The
+  /// datatype's extent spans the whole array, so a base offset of 0 reads
+  /// the subarray of a file whose bytes are the flattened array.
+  static Result<Datatype> Subarray(
+      const std::vector<std::uint64_t>& array_shape,
+      const std::vector<std::uint64_t>& lower,
+      const std::vector<std::uint64_t>& extent, std::uint64_t element_bytes);
+
+  /// Total payload bytes (sum of extent lengths) — the buffer size an access
+  /// with this type moves.
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+  /// Span in file space: max(offset + length) over all extents. This is the
+  /// "extent" used as the unit of displacement by the composers.
+  [[nodiscard]] std::uint64_t extent() const noexcept;
+
+  /// The coalesced extents, offsets relative to 0. Adding `base_offset`
+  /// yields absolute file positions.
+  [[nodiscard]] const std::vector<ByteExtent>& extents() const noexcept;
+
+  [[nodiscard]] std::size_t num_extents() const noexcept {
+    return extents().size();
+  }
+
+ private:
+  struct Payload {
+    std::vector<ByteExtent> extents;
+    std::uint64_t size = 0;
+    std::uint64_t extent = 0;
+  };
+  explicit Datatype(std::shared_ptr<const Payload> payload)
+      : payload_(std::move(payload)) {}
+  static Datatype FromExtents(std::vector<ByteExtent> extents,
+                              std::uint64_t logical_extent);
+
+  std::shared_ptr<const Payload> payload_;
+};
+
+/// Sorts by offset and merges adjacent/overlapping extents.
+std::vector<ByteExtent> CoalesceExtents(std::vector<ByteExtent> extents);
+
+}  // namespace dpfs::client

@@ -1,0 +1,783 @@
+#include "client/file_system.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <chrono>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace dpfs::client {
+
+Result<std::shared_ptr<FileSystem>> FileSystem::Connect(
+    std::shared_ptr<metadb::Database> db) {
+  DPFS_ASSIGN_OR_RETURN(std::unique_ptr<MetadataManager> metadata,
+                        MetadataManager::Attach(std::move(db)));
+  return std::shared_ptr<FileSystem>(new FileSystem(std::move(metadata)));
+}
+
+// ---------------------------------------------------------------------------
+// Create / Open / Remove
+
+namespace {
+
+Result<FileMeta> BuildMeta(const std::string& path,
+                           const CreateOptions& options) {
+  FileMeta meta;
+  DPFS_ASSIGN_OR_RETURN(meta.path, NormalizePath(path));
+  meta.owner = options.owner;
+  meta.permission = options.permission;
+  meta.level = options.level;
+  meta.element_size = options.element_size;
+  meta.array_shape = options.array_shape;
+
+  switch (options.level) {
+    case layout::FileLevel::kLinear:
+      meta.brick_bytes = options.brick_bytes;
+      meta.size_bytes =
+          options.array_shape.empty()
+              ? options.total_bytes
+              : layout::NumElements(options.array_shape) * options.element_size;
+      if (meta.size_bytes == 0) {
+        return InvalidArgumentError(
+            "linear file needs a size: set total_bytes or array_shape");
+      }
+      break;
+    case layout::FileLevel::kMultidim:
+      if (options.array_shape.empty() || options.brick_shape.empty()) {
+        return InvalidArgumentError(
+            "multidim file needs array_shape and brick_shape hints");
+      }
+      meta.brick_shape = options.brick_shape;
+      meta.size_bytes =
+          layout::NumElements(options.array_shape) * options.element_size;
+      break;
+    case layout::FileLevel::kArray: {
+      if (options.array_shape.empty() || !options.pattern.has_value()) {
+        return InvalidArgumentError(
+            "array file needs array_shape and pattern hints");
+      }
+      meta.pattern = options.pattern;
+      if (!options.chunk_grid.empty()) {
+        meta.chunk_grid = options.chunk_grid;
+      } else {
+        if (options.num_chunks == 0) {
+          return InvalidArgumentError(
+              "array file needs chunk_grid or num_chunks hints");
+        }
+        meta.chunk_grid =
+            layout::ProcessGrid::Auto(options.num_chunks,
+                                      options.pattern->num_block_dims())
+                .grid;
+      }
+      meta.size_bytes =
+          layout::NumElements(options.array_shape) * options.element_size;
+      break;
+    }
+  }
+  return meta;
+}
+
+}  // namespace
+
+Result<FileHandle> FileSystem::Create(const std::string& path,
+                                      const CreateOptions& options) {
+  DPFS_ASSIGN_OR_RETURN(FileMeta meta, BuildMeta(path, options));
+  DPFS_ASSIGN_OR_RETURN(layout::BrickMap map, meta.MakeBrickMap());
+
+  DPFS_ASSIGN_OR_RETURN(std::vector<ServerInfo> servers,
+                        metadata_->ListServers());
+  if (servers.empty()) {
+    return UnavailableError("no I/O servers registered in DPFS_SERVER");
+  }
+  if (options.suggested_io_nodes > 0 &&
+      options.suggested_io_nodes < servers.size()) {
+    servers.resize(options.suggested_io_nodes);
+  }
+
+  std::vector<std::uint32_t> performance;
+  std::vector<std::uint64_t> capacity_bricks;
+  std::vector<std::string> names;
+  performance.reserve(servers.size());
+  for (const ServerInfo& server : servers) {
+    performance.push_back(server.performance);
+    names.push_back(server.name);
+    // How many full brick slots the server's advertised capacity can hold
+    // (only consulted by the capacity-aware policy).
+    capacity_bricks.push_back(map.brick_bytes() == 0
+                                  ? 0
+                                  : server.capacity_bytes / map.brick_bytes());
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      layout::BrickDistribution distribution,
+      layout::BrickDistribution::Create(options.placement, map.num_bricks(),
+                                        performance, capacity_bricks));
+
+  DPFS_RETURN_IF_ERROR(metadata_->CreateFile(meta, names, distribution));
+
+  FileHandle handle;
+  handle.record.meta = std::move(meta);
+  handle.record.servers = std::move(servers);
+  handle.record.distribution = std::move(distribution);
+  handle.map = std::move(map);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    record_cache_[handle.record.meta.path] = handle.record;
+  }
+  return handle;
+}
+
+Result<FileHandle> FileSystem::Open(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = record_cache_.find(normalized);
+    if (it != record_cache_.end()) {
+      ++cache_hits_;
+      FileHandle handle;
+      handle.record = it->second;
+      DPFS_ASSIGN_OR_RETURN(handle.map, handle.record.meta.MakeBrickMap());
+      return handle;
+    }
+    ++cache_misses_;
+  }
+  DPFS_ASSIGN_OR_RETURN(FileRecord record, metadata_->LookupFile(normalized));
+  DPFS_ASSIGN_OR_RETURN(layout::BrickMap map, record.meta.MakeBrickMap());
+  FileHandle handle;
+  handle.record = std::move(record);
+  handle.map = std::move(map);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    record_cache_[normalized] = handle.record;
+  }
+  return handle;
+}
+
+Status FileSystem::Remove(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const FileRecord record, metadata_->LookupFile(path));
+  for (const ServerInfo& server : record.servers) {
+    DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
+                          pool_.Acquire(server.endpoint));
+    const Status deleted = conn->Delete(record.meta.path);
+    // A server that never received a brick write has no subfile; fine.
+    if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
+      conn.Poison();
+      return deleted.WithContext("delete subfile on " + server.name);
+    }
+  }
+  InvalidateMetadataCache(record.meta.path);
+  if (brick_cache_ != nullptr) brick_cache_->InvalidateFile(record.meta.path);
+  return metadata_->DeleteFile(path);
+}
+
+void FileSystem::EnableBrickCache(std::uint64_t capacity_bytes) {
+  brick_cache_ = std::make_unique<BrickCache>(capacity_bytes);
+}
+
+Result<std::string> FileSystem::AdviseLevel(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const FileRecord record, metadata_->LookupFile(path));
+  DPFS_ASSIGN_OR_RETURN(const MetadataManager::AccessSummary summary,
+                        metadata_->SummarizeAccess(path));
+  const FileMeta& meta = record.meta;
+  if (summary.accesses == 0) {
+    return std::string(
+        "no access observations yet — enable SetAccessLogging(true) and run "
+        "the workload");
+  }
+  const double efficiency = summary.efficiency();
+  const double requests_per_access =
+      static_cast<double>(summary.requests) /
+      static_cast<double>(summary.accesses);
+  char stats[160];
+  std::snprintf(stats, sizeof(stats),
+                "%llu accesses, %.1f requests/access, %.1f%% wire efficiency: ",
+                static_cast<unsigned long long>(summary.accesses),
+                requests_per_access, efficiency * 100.0);
+  std::string advice(stats);
+
+  if (meta.level == layout::FileLevel::kLinear && efficiency < 0.5 &&
+      !meta.array_shape.empty()) {
+    advice +=
+        "whole-brick reads discard most of each linear brick (the Fig 5 "
+        "pathology) — recreate at level=multidim with a square tile, or use "
+        "sieve reads (IoOptions::whole_brick_reads = false)";
+  } else if (meta.level != layout::FileLevel::kArray &&
+             requests_per_access >
+                 4.0 * static_cast<double>(record.servers.size()) &&
+             efficiency > 0.9) {
+    advice +=
+        "access is efficient but chatty — enable request combination, or if "
+        "each client reads one HPF chunk, recreate at level=array";
+  } else if (efficiency > 0.9 &&
+             requests_per_access <=
+                 static_cast<double>(record.servers.size())) {
+    advice += "the current level=";
+    advice += layout::FileLevelName(meta.level);
+    advice += " fits this workload";
+  } else {
+    advice +=
+        "mixed pattern — consider a multidim tile sized to the smaller "
+        "access dimension (see bench/ablation_brick_size)";
+  }
+  return advice;
+}
+
+Status FileSystem::RemoveDirectory(const std::string& path, bool recursive) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  if (recursive) {
+    DPFS_ASSIGN_OR_RETURN(const MetadataManager::Listing listing,
+                          metadata_->ListDirectory(normalized));
+    const std::string prefix = normalized == "/" ? "" : normalized;
+    for (const std::string& file : listing.files) {
+      DPFS_RETURN_IF_ERROR(Remove(prefix + "/" + file));
+    }
+    for (const std::string& dir : listing.directories) {
+      DPFS_RETURN_IF_ERROR(RemoveDirectory(prefix + "/" + dir, true));
+    }
+  }
+  return metadata_->RemoveDirectory(normalized, /*recursive=*/false);
+}
+
+Status FileSystem::Rename(const std::string& from, const std::string& to) {
+  DPFS_ASSIGN_OR_RETURN(const std::string src, NormalizePath(from));
+  DPFS_ASSIGN_OR_RETURN(const std::string dst, NormalizePath(to));
+  DPFS_ASSIGN_OR_RETURN(const FileRecord record, metadata_->LookupFile(src));
+  // Validate the metadata preconditions before touching any subfile, so a
+  // doomed rename does not strand data under the new name.
+  DPFS_ASSIGN_OR_RETURN(const bool dst_exists, metadata_->FileExists(dst));
+  if (dst_exists) return AlreadyExistsError("file '" + dst + "' exists");
+
+  std::vector<const ServerInfo*> renamed;  // for rollback on later failure
+  Status failure;
+  for (const ServerInfo& server : record.servers) {
+    DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
+                          pool_.Acquire(server.endpoint));
+    const Status status = conn->Rename(src, dst);
+    // A server that never received a brick write has no subfile to rename.
+    if (status.ok()) {
+      renamed.push_back(&server);
+    } else if (status.code() != StatusCode::kNotFound) {
+      conn.Poison();
+      failure = status.WithContext("rename subfile on " + server.name);
+      break;
+    }
+  }
+  if (failure.ok()) {
+    failure = metadata_->RenameFile(src, dst);
+  }
+  if (!failure.ok()) {
+    // Best-effort rollback of the subfiles already renamed.
+    for (const ServerInfo* server : renamed) {
+      Result<PooledConnection> conn = pool_.Acquire(server->endpoint);
+      if (conn.ok()) {
+        PooledConnection pooled = std::move(conn).value();
+        (void)pooled->Rename(dst, src);
+      }
+    }
+    return failure;
+  }
+  InvalidateMetadataCache(src);
+  InvalidateMetadataCache(dst);
+  if (brick_cache_ != nullptr) {
+    brick_cache_->InvalidateFile(src);
+    brick_cache_->InvalidateFile(dst);
+  }
+  return Status::Ok();
+}
+
+Result<FileSystem::FsckReport> FileSystem::Fsck(bool repair) {
+  FsckReport report;
+  // Expected file set from DPFS_FILE_ATTR.
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet attr,
+      metadata_->db().Execute("SELECT filename FROM DPFS_FILE_ATTR"));
+  std::set<std::string> expected;
+  for (std::size_t row = 0; row < attr.size(); ++row) {
+    DPFS_ASSIGN_OR_RETURN(std::string name, attr.GetText(row, "filename"));
+    expected.insert(std::move(name));
+  }
+  report.files_checked = expected.size();
+
+  DPFS_ASSIGN_OR_RETURN(const std::vector<ServerInfo> servers,
+                        metadata_->ListServers());
+  for (const ServerInfo& server : servers) {
+    Result<PooledConnection> conn = pool_.Acquire(server.endpoint);
+    if (!conn.ok()) {
+      report.unreachable_servers.push_back(server.name);
+      continue;
+    }
+    PooledConnection pooled = std::move(conn).value();
+    const Result<std::vector<net::SubfileInfo>> listing = pooled->List();
+    if (!listing.ok()) {
+      pooled.Poison();
+      report.unreachable_servers.push_back(server.name);
+      continue;
+    }
+    ++report.servers_checked;
+    for (const net::SubfileInfo& info : listing.value()) {
+      if (expected.contains(info.name)) continue;
+      report.orphans.push_back({server.name, info.name, info.size});
+      if (repair) {
+        const Status deleted = pooled->Delete(info.name);
+        if (deleted.ok()) ++report.repaired;
+      }
+    }
+  }
+  return report;
+}
+
+void FileSystem::InvalidateMetadataCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  record_cache_.clear();
+}
+
+void FileSystem::InvalidateMetadataCache(const std::string& path) {
+  const Result<std::string> normalized = NormalizePath(path);
+  if (!normalized.ok()) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  record_cache_.erase(normalized.value());
+}
+
+FileSystem::CacheStats FileSystem::metadata_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return CacheStats{cache_hits_, cache_misses_};
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution
+
+ThreadPool& FileSystem::DispatchPool() {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  if (dispatch_pool_ == nullptr) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    dispatch_pool_ = std::make_unique<ThreadPool>(std::max(4u, hw / 2));
+  }
+  return *dispatch_pool_;
+}
+
+Status FileSystem::ExecutePlan(const FileHandle& handle,
+                               const layout::ClientPlan& plan,
+                               const RunsByBrick& runs, ByteSpan write_data,
+                               MutableByteSpan read_buffer,
+                               const IoOptions& options, IoReport* report) {
+  const bool is_write = plan.direction == layout::IoDirection::kWrite;
+  for (const layout::ServerRequest& request : plan.requests) {
+    if (request.server >= handle.record.servers.size()) {
+      return InternalError("plan references unknown server index");
+    }
+  }
+
+  Status status;
+  if (options.parallel_dispatch && plan.requests.size() > 1) {
+    // Dispatch threads write disjoint runs of the shared buffer, so no
+    // synchronization is needed beyond collecting the first error.
+    std::mutex status_mu;
+    ParallelFor(DispatchPool(), plan.requests.size(), [&](std::size_t i) {
+      const Status request_status =
+          ExecuteOneRequest(handle, plan.requests[i], runs, write_data,
+                            read_buffer, is_write, options);
+      if (!request_status.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu);
+        if (status.ok()) status = request_status;
+      }
+    });
+  } else {
+    for (const layout::ServerRequest& request : plan.requests) {
+      status = ExecuteOneRequest(handle, request, runs, write_data,
+                                 read_buffer, is_write, options);
+      if (!status.ok()) break;
+    }
+  }
+  if (!status.ok()) return status;
+
+  if (report != nullptr) {
+    report->requests += plan.num_requests();
+    report->transfer_bytes += plan.transfer_bytes();
+    report->useful_bytes += plan.useful_bytes();
+  }
+  if (access_logging_.load(std::memory_order_relaxed)) {
+    (void)metadata_->LogAccess(handle.record.meta.path, is_write,
+                               plan.num_requests(), plan.transfer_bytes(),
+                               plan.useful_bytes());
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::ExecuteOneRequest(const FileHandle& handle,
+                                     const layout::ServerRequest& request,
+                                     const RunsByBrick& runs,
+                                     ByteSpan write_data,
+                                     MutableByteSpan read_buffer,
+                                     bool is_write, const IoOptions& options) {
+  Status last;
+  const int attempts = 1 + std::max(0, options.max_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * attempt));
+    }
+    last = TryOneRequest(handle, request, runs, write_data, read_buffer,
+                         is_write, options);
+    if (last.ok()) return last;
+    // Only transient conditions are retried: an overloaded server (§4.2's
+    // "try again later") or a connection that could not be established.
+    if (last.code() != StatusCode::kResourceExhausted &&
+        last.code() != StatusCode::kUnavailable) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Status FileSystem::TryOneRequest(const FileHandle& handle,
+                                 const layout::ServerRequest& request,
+                                 const RunsByBrick& runs, ByteSpan write_data,
+                                 MutableByteSpan read_buffer, bool is_write,
+                                 const IoOptions& options) {
+  const FileRecord& record = handle.record;
+  const std::uint64_t slot_bytes = handle.map.brick_bytes();
+  {
+    const ServerInfo& server = record.servers[request.server];
+    DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
+                          pool_.Acquire(server.endpoint));
+
+    if (is_write) {
+      // Adjacent runs within a brick coalesce into one fragment: a fully
+      // covered brick travels as a single contiguous write even though its
+      // bytes are gathered from many places in the user's buffer.
+      std::vector<net::WriteFragment> fragments;
+      for (const layout::BrickRequest& brick : request.bricks) {
+        const std::uint64_t slot =
+            record.distribution.slot_for(brick.brick) * slot_bytes;
+        const auto it = runs.find(brick.brick);
+        if (it == runs.end()) continue;
+        for (const layout::BrickRun& run : it->second) {
+          const bool extends =
+              !fragments.empty() &&
+              fragments.back().offset + fragments.back().data.size() ==
+                  slot + run.offset_in_brick;
+          if (!extends) {
+            net::WriteFragment fragment;
+            fragment.offset = slot + run.offset_in_brick;
+            fragments.push_back(std::move(fragment));
+          }
+          fragments.back().data.insert(
+              fragments.back().data.end(),
+              write_data.begin() +
+                  static_cast<std::ptrdiff_t>(run.buffer_offset),
+              write_data.begin() +
+                  static_cast<std::ptrdiff_t>(run.buffer_offset + run.length));
+        }
+      }
+      // Ship in batches bounded by max_request_bytes (one frame each).
+      std::size_t begin = 0;
+      while (begin < fragments.size()) {
+        std::size_t end = begin;
+        std::uint64_t batch_bytes = 0;
+        std::vector<net::WriteFragment> batch;
+        while (end < fragments.size() &&
+               (end == begin || batch_bytes + fragments[end].data.size() <=
+                                    options.max_request_bytes)) {
+          batch_bytes += fragments[end].data.size();
+          batch.push_back(std::move(fragments[end]));
+          ++end;
+        }
+        const Status written =
+            conn->Write(record.meta.path, std::move(batch), options.sync);
+        if (!written.ok()) {
+          conn.Poison();
+          return written.WithContext("write to " + server.name);
+        }
+        begin = end;
+      }
+      if (brick_cache_ != nullptr) {
+        for (const layout::BrickRequest& brick : request.bricks) {
+          brick_cache_->Invalidate(record.meta.path, brick.brick);
+        }
+      }
+    } else if (options.whole_brick_reads) {
+      // Reads move whole bricks (§3.2 semantics); the useful runs are
+      // scattered out of the returned brick images. Cached bricks are
+      // served locally and skipped on the wire.
+      const auto scatter = [&](const layout::BrickRequest& brick,
+                               ByteSpan image) {
+        const auto it = runs.find(brick.brick);
+        if (it == runs.end()) return;
+        for (const layout::BrickRun& run : it->second) {
+          std::copy_n(
+              image.begin() + static_cast<std::ptrdiff_t>(run.offset_in_brick),
+              run.length,
+              read_buffer.begin() +
+                  static_cast<std::ptrdiff_t>(run.buffer_offset));
+        }
+      };
+
+      std::vector<net::ReadFragment> fragments;
+      std::vector<const layout::BrickRequest*> fetched;
+      for (const layout::BrickRequest& brick : request.bricks) {
+        if (brick_cache_ != nullptr) {
+          if (const std::optional<Bytes> image =
+                  brick_cache_->Get(record.meta.path, brick.brick)) {
+            scatter(brick, *image);
+            continue;
+          }
+        }
+        net::ReadFragment fragment;
+        fragment.offset = record.distribution.slot_for(brick.brick) * slot_bytes;
+        fragment.length = handle.map.brick_fetch_bytes(brick.brick);
+        fragments.push_back(fragment);
+        fetched.push_back(&brick);
+      }
+      std::size_t begin = 0;
+      while (begin < fragments.size()) {
+        std::size_t end = begin;
+        std::uint64_t batch_bytes = 0;
+        while (end < fragments.size() &&
+               (end == begin || batch_bytes + fragments[end].length <=
+                                    options.max_request_bytes)) {
+          batch_bytes += fragments[end].length;
+          ++end;
+        }
+        const std::vector<net::ReadFragment> batch(
+            fragments.begin() + static_cast<std::ptrdiff_t>(begin),
+            fragments.begin() + static_cast<std::ptrdiff_t>(end));
+        const Result<Bytes> data = conn->Read(record.meta.path, batch);
+        if (!data.ok()) {
+          conn.Poison();
+          return data.status().WithContext("read from " + server.name);
+        }
+        std::uint64_t image_base = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const ByteSpan image =
+              ByteSpan(data.value()).subspan(image_base, fragments[i].length);
+          scatter(*fetched[i], image);
+          if (brick_cache_ != nullptr) {
+            brick_cache_->Put(record.meta.path, fetched[i]->brick,
+                              Bytes(image.begin(), image.end()));
+          }
+          image_base += fragments[i].length;
+        }
+        begin = end;
+      }
+    } else {
+      // Sieve reads (extension): fetch only the useful runs, coalescing
+      // adjacent runs into single fragments; the reply byte stream equals
+      // the runs' bytes in order, so scattering walks a cursor.
+      std::vector<net::ReadFragment> fragments;
+      std::vector<const layout::BrickRun*> fragment_runs;
+      std::vector<std::size_t> fragment_first_run;  // index into fragment_runs
+      for (const layout::BrickRequest& brick : request.bricks) {
+        const std::uint64_t slot =
+            record.distribution.slot_for(brick.brick) * slot_bytes;
+        const auto it = runs.find(brick.brick);
+        if (it == runs.end()) continue;
+        for (const layout::BrickRun& run : it->second) {
+          const bool extends =
+              !fragments.empty() &&
+              fragments.back().offset + fragments.back().length ==
+                  slot + run.offset_in_brick;
+          if (extends) {
+            fragments.back().length += run.length;
+          } else {
+            fragments.push_back({slot + run.offset_in_brick, run.length});
+            fragment_first_run.push_back(fragment_runs.size());
+          }
+          fragment_runs.push_back(&run);
+        }
+      }
+      std::size_t begin = 0;
+      while (begin < fragments.size()) {
+        std::size_t end = begin;
+        std::uint64_t batch_bytes = 0;
+        while (end < fragments.size() &&
+               (end == begin || batch_bytes + fragments[end].length <=
+                                    options.max_request_bytes)) {
+          batch_bytes += fragments[end].length;
+          ++end;
+        }
+        const std::vector<net::ReadFragment> batch(
+            fragments.begin() + static_cast<std::ptrdiff_t>(begin),
+            fragments.begin() + static_cast<std::ptrdiff_t>(end));
+        const Result<Bytes> data = conn->Read(record.meta.path, batch);
+        if (!data.ok()) {
+          conn.Poison();
+          return data.status().WithContext("read from " + server.name);
+        }
+        // The reply equals the batch's runs' bytes in order.
+        const std::size_t run_begin = fragment_first_run[begin];
+        const std::size_t run_end = end < fragments.size()
+                                        ? fragment_first_run[end]
+                                        : fragment_runs.size();
+        std::uint64_t cursor = 0;
+        for (std::size_t r = run_begin; r < run_end; ++r) {
+          const layout::BrickRun* run = fragment_runs[r];
+          std::copy_n(
+              data.value().begin() + static_cast<std::ptrdiff_t>(cursor),
+              run->length,
+              read_buffer.begin() +
+                  static_cast<std::ptrdiff_t>(run->buffer_offset));
+          cursor += run->length;
+        }
+        begin = end;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Region access
+
+namespace {
+
+layout::PlanOptions ToPlanOptions(const IoOptions& options,
+                                  layout::IoDirection direction) {
+  layout::PlanOptions plan_options;
+  plan_options.direction = direction;
+  plan_options.combine = options.combine;
+  plan_options.rotate_start = options.rotate_start;
+  plan_options.whole_brick_reads = options.whole_brick_reads;
+  plan_options.parallel_dispatch = options.parallel_dispatch;
+  return plan_options;
+}
+
+}  // namespace
+
+Status FileSystem::WriteRegion(FileHandle& handle,
+                               const layout::Region& region, ByteSpan data,
+                               const IoOptions& options, IoReport* report) {
+  const std::uint64_t expected =
+      region.num_elements() * handle.map.element_size();
+  if (data.size() != expected) {
+    return InvalidArgumentError(
+        "buffer is " + std::to_string(data.size()) + " bytes, region needs " +
+        std::to_string(expected));
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      const layout::ClientPlan plan,
+      layout::PlanRegionAccess(handle.map, handle.record.distribution,
+                               handle.client_id, region,
+                               ToPlanOptions(options,
+                                             layout::IoDirection::kWrite)));
+  RunsByBrick runs;
+  DPFS_RETURN_IF_ERROR(handle.map.ForEachRun(
+      region,
+      [&runs](const layout::BrickRun& run) { runs[run.brick].push_back(run); }));
+  return ExecutePlan(handle, plan, runs, data, {}, options, report);
+}
+
+Status FileSystem::ReadRegion(FileHandle& handle, const layout::Region& region,
+                              MutableByteSpan out, const IoOptions& options,
+                              IoReport* report) {
+  const std::uint64_t expected =
+      region.num_elements() * handle.map.element_size();
+  if (out.size() != expected) {
+    return InvalidArgumentError(
+        "buffer is " + std::to_string(out.size()) + " bytes, region needs " +
+        std::to_string(expected));
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      const layout::ClientPlan plan,
+      layout::PlanRegionAccess(handle.map, handle.record.distribution,
+                               handle.client_id, region,
+                               ToPlanOptions(options,
+                                             layout::IoDirection::kRead)));
+  RunsByBrick runs;
+  DPFS_RETURN_IF_ERROR(handle.map.ForEachRun(
+      region,
+      [&runs](const layout::BrickRun& run) { runs[run.brick].push_back(run); }));
+  return ExecutePlan(handle, plan, runs, {}, out, options, report);
+}
+
+// ---------------------------------------------------------------------------
+// Byte access
+
+Status FileSystem::WriteBytes(FileHandle& handle, std::uint64_t offset,
+                              ByteSpan data, const IoOptions& options,
+                              IoReport* report) {
+  if (offset + data.size() > handle.map.total_bytes()) {
+    return OutOfRangeError("write past end of file (capacity " +
+                           std::to_string(handle.map.total_bytes()) + ")");
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      const layout::ClientPlan plan,
+      layout::PlanByteAccess(handle.map, handle.record.distribution,
+                             handle.client_id, offset, data.size(),
+                             ToPlanOptions(options,
+                                           layout::IoDirection::kWrite)));
+  RunsByBrick runs;
+  DPFS_RETURN_IF_ERROR(handle.map.ForEachByteRun(
+      offset, data.size(),
+      [&runs](const layout::BrickRun& run) { runs[run.brick].push_back(run); }));
+  return ExecutePlan(handle, plan, runs, data, {}, options, report);
+}
+
+Status FileSystem::ReadBytes(FileHandle& handle, std::uint64_t offset,
+                             MutableByteSpan out, const IoOptions& options,
+                             IoReport* report) {
+  if (offset + out.size() > handle.map.total_bytes()) {
+    return OutOfRangeError("read past end of file (size " +
+                           std::to_string(handle.map.total_bytes()) + ")");
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      const layout::ClientPlan plan,
+      layout::PlanByteAccess(handle.map, handle.record.distribution,
+                             handle.client_id, offset, out.size(),
+                             ToPlanOptions(options,
+                                           layout::IoDirection::kRead)));
+  RunsByBrick runs;
+  DPFS_RETURN_IF_ERROR(handle.map.ForEachByteRun(
+      offset, out.size(),
+      [&runs](const layout::BrickRun& run) { runs[run.brick].push_back(run); }));
+  return ExecutePlan(handle, plan, runs, {}, out, options, report);
+}
+
+// ---------------------------------------------------------------------------
+// Derived-datatype access
+
+Status FileSystem::WriteType(FileHandle& handle, std::uint64_t base_offset,
+                             const Datatype& type, ByteSpan data,
+                             const IoOptions& options, IoReport* report) {
+  if (data.size() != type.size()) {
+    return InvalidArgumentError("buffer size " + std::to_string(data.size()) +
+                                " != datatype payload " +
+                                std::to_string(type.size()));
+  }
+  if (base_offset + type.extent() > handle.map.total_bytes()) {
+    return OutOfRangeError("datatype write past end of file");
+  }
+  // One access per coalesced extent keeps the semantics simple; the extents
+  // are already merged, so this matches what MPI-IO data sieving would issue
+  // without read-modify-write.
+  std::uint64_t buffer_cursor = 0;
+  for (const ByteExtent& extent : type.extents()) {
+    DPFS_RETURN_IF_ERROR(WriteBytes(
+        handle, base_offset + extent.offset,
+        data.subspan(buffer_cursor, extent.length), options, report));
+    buffer_cursor += extent.length;
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::ReadType(FileHandle& handle, std::uint64_t base_offset,
+                            const Datatype& type, MutableByteSpan out,
+                            const IoOptions& options, IoReport* report) {
+  if (out.size() != type.size()) {
+    return InvalidArgumentError("buffer size " + std::to_string(out.size()) +
+                                " != datatype payload " +
+                                std::to_string(type.size()));
+  }
+  if (base_offset + type.extent() > handle.map.total_bytes()) {
+    return OutOfRangeError("datatype read past end of file");
+  }
+  std::uint64_t buffer_cursor = 0;
+  for (const ByteExtent& extent : type.extents()) {
+    DPFS_RETURN_IF_ERROR(ReadBytes(
+        handle, base_offset + extent.offset,
+        out.subspan(buffer_cursor, extent.length), options, report));
+    buffer_cursor += extent.length;
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpfs::client

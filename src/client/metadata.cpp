@@ -1,0 +1,699 @@
+#include "client/metadata.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dpfs::client {
+namespace {
+
+/// SQL string literal with '' escaping.
+std::string Quote(std::string_view text) {
+  std::string out = "'";
+  for (const char c : text) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
+
+std::string EncodeShape(const layout::Shape& shape) {
+  std::string out;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    if (d > 0) out += ',';
+    out += std::to_string(shape[d]);
+  }
+  return out;
+}
+
+Result<layout::Shape> DecodeShape(std::string_view text) {
+  layout::Shape shape;
+  if (TrimWhitespace(text).empty()) return shape;
+  for (const std::string& token : SplitString(text, ',')) {
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t v, ParseInt64(token));
+    if (v <= 0) return InvalidArgumentError("bad shape component in metadata");
+    shape.push_back(static_cast<std::uint64_t>(v));
+  }
+  return shape;
+}
+
+/// Comma-separated name list used by DPFS_DIRECTORY columns.
+std::vector<std::string> DecodeNameList(std::string_view text) {
+  std::vector<std::string> names;
+  if (TrimWhitespace(text).empty()) return names;
+  for (const std::string& token : SplitString(text, ',')) {
+    if (!token.empty()) names.push_back(token);
+  }
+  return names;
+}
+
+std::string EncodeNameList(const std::vector<std::string>& names) {
+  return JoinStrings(names, ",");
+}
+
+/// RAII transaction guard: rolls back unless Commit() succeeded.
+class Transaction {
+ public:
+  explicit Transaction(metadb::Database& db) : db_(db) {}
+  Status Begin() { return db_.Execute("BEGIN").status(); }
+  Status Commit() {
+    committed_ = true;
+    return db_.Execute("COMMIT").status();
+  }
+  ~Transaction() {
+    if (!committed_) (void)db_.Execute("ROLLBACK");
+  }
+
+ private:
+  metadb::Database& db_;
+  bool committed_ = false;
+};
+
+}  // namespace
+
+Result<layout::BrickMap> FileMeta::MakeBrickMap() const {
+  switch (level) {
+    case layout::FileLevel::kLinear:
+      if (!array_shape.empty()) {
+        return layout::BrickMap::LinearArray(array_shape, element_size,
+                                             brick_bytes);
+      }
+      return layout::BrickMap::Linear(size_bytes, brick_bytes);
+    case layout::FileLevel::kMultidim:
+      return layout::BrickMap::Multidim(array_shape, brick_shape,
+                                        element_size);
+    case layout::FileLevel::kArray: {
+      if (!pattern.has_value()) {
+        return InternalError("array-level file missing HPF pattern");
+      }
+      layout::ProcessGrid grid;
+      grid.grid = chunk_grid;
+      return layout::BrickMap::Array(array_shape, *pattern, grid,
+                                     element_size);
+    }
+  }
+  return InternalError("bad file level in metadata");
+}
+
+Result<std::unique_ptr<MetadataManager>> MetadataManager::Attach(
+    std::shared_ptr<metadb::Database> db) {
+  std::unique_ptr<MetadataManager> manager(
+      new MetadataManager(std::move(db)));
+  DPFS_RETURN_IF_ERROR(manager->EnsureTables());
+  return manager;
+}
+
+Status MetadataManager::EnsureTables() {
+  static constexpr const char* kDdl[] = {
+      "CREATE TABLE IF NOT EXISTS DPFS_SERVER ("
+      "  server_name TEXT PRIMARY KEY, host TEXT, port INT,"
+      "  capacity INT, performance INT)",
+      "CREATE TABLE IF NOT EXISTS DPFS_FILE_DISTRIBUTION ("
+      "  filename TEXT, server TEXT, server_index INT, bricklist TEXT)",
+      "CREATE TABLE IF NOT EXISTS DPFS_DIRECTORY ("
+      "  main_dir TEXT PRIMARY KEY, sub_dirs TEXT, files TEXT)",
+      "CREATE TABLE IF NOT EXISTS DPFS_FILE_ATTR ("
+      "  filename TEXT PRIMARY KEY, owner TEXT, permission INT, size INT,"
+      "  filelevel TEXT, elemsize INT, dims INT, dimsize TEXT,"
+      "  brickbytes INT, stripe TEXT, pattern TEXT, grid TEXT)",
+      // Extension: per-access observations feeding level advice.
+      "CREATE TABLE IF NOT EXISTS DPFS_ACCESS_LOG ("
+      "  filename TEXT, direction TEXT, requests INT,"
+      "  transfer INT, useful INT)",
+  };
+  for (const char* ddl : kDdl) {
+    DPFS_RETURN_IF_ERROR(db_->Execute(ddl).status());
+  }
+  // Distribution rows are keyed by filename (one row per server per file);
+  // index them so DPFS-Open's lookup is a probe, not a scan. Same for the
+  // access log's per-file summaries.
+  DPFS_RETURN_IF_ERROR(
+      db_->CreateIndex("DPFS_FILE_DISTRIBUTION", "filename"));
+  DPFS_RETURN_IF_ERROR(db_->CreateIndex("DPFS_ACCESS_LOG", "filename"));
+
+  // The root directory always exists.
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet root,
+      db_->Execute("SELECT main_dir FROM DPFS_DIRECTORY WHERE main_dir = '/'"));
+  if (root.empty()) {
+    DPFS_RETURN_IF_ERROR(
+        db_->Execute(
+               "INSERT INTO DPFS_DIRECTORY VALUES ('/', '', '')")
+            .status());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Servers
+
+Status MetadataManager::RegisterServer(const ServerInfo& server) {
+  const std::string sql =
+      "INSERT INTO DPFS_SERVER VALUES (" + Quote(server.name) + ", " +
+      Quote(server.endpoint.host) + ", " +
+      std::to_string(server.endpoint.port) + ", " +
+      std::to_string(server.capacity_bytes) + ", " +
+      std::to_string(server.performance) + ")";
+  return db_->Execute(sql).status();
+}
+
+Status MetadataManager::UnregisterServer(const std::string& name) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("DELETE FROM DPFS_SERVER WHERE server_name = " +
+                   Quote(name)));
+  if (result.affected_rows == 0) {
+    return NotFoundError("no server '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Result<ServerInfo> ServerFromRow(const metadb::ResultSet& result,
+                                 std::size_t row) {
+  ServerInfo server;
+  DPFS_ASSIGN_OR_RETURN(server.name, result.GetText(row, "server_name"));
+  DPFS_ASSIGN_OR_RETURN(server.endpoint.host, result.GetText(row, "host"));
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t port, result.GetInt(row, "port"));
+  server.endpoint.port = static_cast<std::uint16_t>(port);
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t capacity,
+                        result.GetInt(row, "capacity"));
+  server.capacity_bytes = static_cast<std::uint64_t>(capacity);
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t performance,
+                        result.GetInt(row, "performance"));
+  server.performance = static_cast<std::uint32_t>(performance);
+  return server;
+}
+
+}  // namespace
+
+Result<std::vector<ServerInfo>> MetadataManager::ListServers() {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("SELECT * FROM DPFS_SERVER ORDER BY server_name"));
+  std::vector<ServerInfo> servers;
+  servers.reserve(result.size());
+  for (std::size_t row = 0; row < result.size(); ++row) {
+    DPFS_ASSIGN_OR_RETURN(ServerInfo server, ServerFromRow(result, row));
+    servers.push_back(std::move(server));
+  }
+  return servers;
+}
+
+Result<ServerInfo> MetadataManager::LookupServer(const std::string& name) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("SELECT * FROM DPFS_SERVER WHERE server_name = " +
+                   Quote(name)));
+  if (result.empty()) return NotFoundError("no server '" + name + "'");
+  return ServerFromRow(result, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Access log (extension)
+
+Status MetadataManager::LogAccess(const std::string& path, bool is_write,
+                                  std::uint64_t requests,
+                                  std::uint64_t transfer_bytes,
+                                  std::uint64_t useful_bytes) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  return db_
+      ->Execute("INSERT INTO DPFS_ACCESS_LOG VALUES (" + Quote(normalized) +
+                ", " + (is_write ? "'write'" : "'read'") + ", " +
+                std::to_string(requests) + ", " +
+                std::to_string(transfer_bytes) + ", " +
+                std::to_string(useful_bytes) + ")")
+      .status();
+}
+
+Result<MetadataManager::AccessSummary> MetadataManager::SummarizeAccess(
+    const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet rows,
+      db_->Execute("SELECT requests, transfer, useful FROM DPFS_ACCESS_LOG "
+                   "WHERE filename = " +
+                   Quote(normalized)));
+  AccessSummary summary;
+  summary.accesses = rows.size();
+  for (std::size_t row = 0; row < rows.size(); ++row) {
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t requests,
+                          rows.GetInt(row, "requests"));
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t transfer,
+                          rows.GetInt(row, "transfer"));
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t useful,
+                          rows.GetInt(row, "useful"));
+    summary.requests += static_cast<std::uint64_t>(requests);
+    summary.transfer_bytes += static_cast<std::uint64_t>(transfer);
+    summary.useful_bytes += static_cast<std::uint64_t>(useful);
+  }
+  return summary;
+}
+
+Status MetadataManager::ClearAccessLog(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  return db_
+      ->Execute("DELETE FROM DPFS_ACCESS_LOG WHERE filename = " +
+                Quote(normalized))
+      .status();
+}
+
+// ---------------------------------------------------------------------------
+// Directories
+
+Result<bool> MetadataManager::DirectoryExists(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("SELECT main_dir FROM DPFS_DIRECTORY WHERE main_dir = " +
+                   Quote(normalized)));
+  return !result.empty();
+}
+
+Result<bool> MetadataManager::FileExists(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("SELECT filename FROM DPFS_FILE_ATTR WHERE filename = " +
+                   Quote(normalized)));
+  return !result.empty();
+}
+
+Status MetadataManager::MakeDirectory(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  if (normalized == "/") return AlreadyExistsError("'/' already exists");
+  const auto [parent, name] = SplitPath(normalized);
+
+  DPFS_ASSIGN_OR_RETURN(const bool parent_exists, DirectoryExists(parent));
+  if (!parent_exists) {
+    return NotFoundError("parent directory '" + parent + "' does not exist");
+  }
+  DPFS_ASSIGN_OR_RETURN(const bool exists, DirectoryExists(normalized));
+  if (exists) {
+    return AlreadyExistsError("directory '" + normalized + "' exists");
+  }
+  DPFS_ASSIGN_OR_RETURN(const bool file_exists, FileExists(normalized));
+  if (file_exists) {
+    return AlreadyExistsError("'" + normalized + "' exists as a file");
+  }
+
+  // §5: update the parent row's sub-dirs and insert a new row.
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet parent_row,
+      db_->Execute("SELECT sub_dirs FROM DPFS_DIRECTORY WHERE main_dir = " +
+                   Quote(parent)));
+  DPFS_ASSIGN_OR_RETURN(const std::string sub_dirs,
+                        parent_row.GetText(0, "sub_dirs"));
+  std::vector<std::string> names = DecodeNameList(sub_dirs);
+  names.push_back(name);
+
+  Transaction txn(*db_);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("UPDATE DPFS_DIRECTORY SET sub_dirs = " +
+                   Quote(EncodeNameList(names)) + " WHERE main_dir = " +
+                   Quote(parent))
+          .status());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("INSERT INTO DPFS_DIRECTORY VALUES (" + Quote(normalized) +
+                   ", '', '')")
+          .status());
+  return txn.Commit();
+}
+
+Result<MetadataManager::Listing> MetadataManager::ListDirectory(
+    const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("SELECT sub_dirs, files FROM DPFS_DIRECTORY "
+                   "WHERE main_dir = " +
+                   Quote(normalized)));
+  if (result.empty()) {
+    return NotFoundError("no such directory '" + normalized + "'");
+  }
+  Listing listing;
+  DPFS_ASSIGN_OR_RETURN(const std::string sub_dirs,
+                        result.GetText(0, "sub_dirs"));
+  DPFS_ASSIGN_OR_RETURN(const std::string files, result.GetText(0, "files"));
+  listing.directories = DecodeNameList(sub_dirs);
+  listing.files = DecodeNameList(files);
+  std::sort(listing.directories.begin(), listing.directories.end());
+  std::sort(listing.files.begin(), listing.files.end());
+  return listing;
+}
+
+Status MetadataManager::RemoveDirectory(const std::string& path,
+                                        bool recursive) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  if (normalized == "/") {
+    return InvalidArgumentError("cannot remove the root directory");
+  }
+  DPFS_ASSIGN_OR_RETURN(const Listing listing, ListDirectory(normalized));
+  if (!recursive && (!listing.directories.empty() || !listing.files.empty())) {
+    return InvalidArgumentError("directory '" + normalized +
+                                "' is not empty");
+  }
+  if (recursive) {
+    for (const std::string& file : listing.files) {
+      DPFS_RETURN_IF_ERROR(DeleteFile(normalized + "/" + file));
+    }
+    for (const std::string& dir : listing.directories) {
+      DPFS_RETURN_IF_ERROR(RemoveDirectory(normalized + "/" + dir, true));
+    }
+  }
+
+  const auto [parent, name] = SplitPath(normalized);
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet parent_row,
+      db_->Execute("SELECT sub_dirs FROM DPFS_DIRECTORY WHERE main_dir = " +
+                   Quote(parent)));
+  if (parent_row.empty()) {
+    return InternalError("parent row missing for '" + normalized + "'");
+  }
+  DPFS_ASSIGN_OR_RETURN(const std::string sub_dirs,
+                        parent_row.GetText(0, "sub_dirs"));
+  std::vector<std::string> names = DecodeNameList(sub_dirs);
+  names.erase(std::remove(names.begin(), names.end(), name), names.end());
+
+  Transaction txn(*db_);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("UPDATE DPFS_DIRECTORY SET sub_dirs = " +
+                   Quote(EncodeNameList(names)) + " WHERE main_dir = " +
+                   Quote(parent))
+          .status());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM DPFS_DIRECTORY WHERE main_dir = " +
+                   Quote(normalized))
+          .status());
+  return txn.Commit();
+}
+
+Status MetadataManager::LinkFileIntoDirectory(const std::string& parent,
+                                              const std::string& name) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet parent_row,
+      db_->Execute("SELECT files FROM DPFS_DIRECTORY WHERE main_dir = " +
+                   Quote(parent)));
+  if (parent_row.empty()) {
+    return NotFoundError("parent directory '" + parent + "' does not exist");
+  }
+  DPFS_ASSIGN_OR_RETURN(const std::string files,
+                        parent_row.GetText(0, "files"));
+  std::vector<std::string> names = DecodeNameList(files);
+  names.push_back(name);
+  return db_
+      ->Execute("UPDATE DPFS_DIRECTORY SET files = " +
+                Quote(EncodeNameList(names)) + " WHERE main_dir = " +
+                Quote(parent))
+      .status();
+}
+
+Status MetadataManager::UnlinkFileFromDirectory(const std::string& parent,
+                                                const std::string& name) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet parent_row,
+      db_->Execute("SELECT files FROM DPFS_DIRECTORY WHERE main_dir = " +
+                   Quote(parent)));
+  if (parent_row.empty()) return Status::Ok();
+  DPFS_ASSIGN_OR_RETURN(const std::string files,
+                        parent_row.GetText(0, "files"));
+  std::vector<std::string> names = DecodeNameList(files);
+  names.erase(std::remove(names.begin(), names.end(), name), names.end());
+  return db_
+      ->Execute("UPDATE DPFS_DIRECTORY SET files = " +
+                Quote(EncodeNameList(names)) + " WHERE main_dir = " +
+                Quote(parent))
+      .status();
+}
+
+// ---------------------------------------------------------------------------
+// Files
+
+Status MetadataManager::CreateFile(
+    const FileMeta& meta, const std::vector<std::string>& server_names,
+    const layout::BrickDistribution& distribution) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized,
+                        NormalizePath(meta.path));
+  const auto [parent, name] = SplitPath(normalized);
+  if (name.empty()) return InvalidArgumentError("file path must name a file");
+  DPFS_ASSIGN_OR_RETURN(const bool parent_exists, DirectoryExists(parent));
+  if (!parent_exists) {
+    return NotFoundError("parent directory '" + parent + "' does not exist");
+  }
+  DPFS_ASSIGN_OR_RETURN(const bool exists, FileExists(normalized));
+  if (exists) {
+    return AlreadyExistsError("file '" + normalized + "' exists");
+  }
+  if (server_names.size() != distribution.num_servers()) {
+    return InvalidArgumentError(
+        "server name count does not match distribution");
+  }
+
+  Transaction txn(*db_);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+
+  const std::string pattern_sql =
+      meta.pattern.has_value() ? Quote(meta.pattern->ToString()) : "NULL";
+  const std::string sql_attr =
+      "INSERT INTO DPFS_FILE_ATTR VALUES (" + Quote(normalized) + ", " +
+      Quote(meta.owner) + ", " + std::to_string(meta.permission) + ", " +
+      std::to_string(meta.size_bytes) + ", " +
+      Quote(std::string(layout::FileLevelName(meta.level))) + ", " +
+      std::to_string(meta.element_size) + ", " +
+      std::to_string(meta.array_shape.size()) + ", " +
+      Quote(EncodeShape(meta.array_shape)) + ", " +
+      std::to_string(meta.brick_bytes) + ", " +
+      Quote(EncodeShape(meta.brick_shape)) + ", " + pattern_sql + ", " +
+      Quote(EncodeShape(meta.chunk_grid)) + ")";
+  DPFS_RETURN_IF_ERROR(db_->Execute(sql_attr).status());
+
+  for (std::uint32_t server = 0; server < distribution.num_servers();
+       ++server) {
+    const std::string sql_dist =
+        "INSERT INTO DPFS_FILE_DISTRIBUTION VALUES (" + Quote(normalized) +
+        ", " + Quote(server_names[server]) + ", " + std::to_string(server) +
+        ", " +
+        Quote(layout::BrickDistribution::EncodeBrickList(
+            distribution.bricks_on(server))) +
+        ")";
+    DPFS_RETURN_IF_ERROR(db_->Execute(sql_dist).status());
+  }
+
+  DPFS_RETURN_IF_ERROR(LinkFileIntoDirectory(parent, name));
+  return txn.Commit();
+}
+
+Result<FileRecord> MetadataManager::LookupFile(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet attr,
+      db_->Execute("SELECT * FROM DPFS_FILE_ATTR WHERE filename = " +
+                   Quote(normalized)));
+  if (attr.empty()) {
+    return NotFoundError("no such file '" + normalized + "'");
+  }
+
+  FileRecord record;
+  FileMeta& meta = record.meta;
+  meta.path = normalized;
+  DPFS_ASSIGN_OR_RETURN(meta.owner, attr.GetText(0, "owner"));
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t permission,
+                        attr.GetInt(0, "permission"));
+  meta.permission = static_cast<std::uint32_t>(permission);
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t size, attr.GetInt(0, "size"));
+  meta.size_bytes = static_cast<std::uint64_t>(size);
+  DPFS_ASSIGN_OR_RETURN(const std::string level_name,
+                        attr.GetText(0, "filelevel"));
+  DPFS_ASSIGN_OR_RETURN(meta.level, layout::ParseFileLevel(level_name));
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t element_size,
+                        attr.GetInt(0, "elemsize"));
+  meta.element_size = static_cast<std::uint64_t>(element_size);
+  DPFS_ASSIGN_OR_RETURN(const std::string dimsize, attr.GetText(0, "dimsize"));
+  DPFS_ASSIGN_OR_RETURN(meta.array_shape, DecodeShape(dimsize));
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t brick_bytes,
+                        attr.GetInt(0, "brickbytes"));
+  meta.brick_bytes = static_cast<std::uint64_t>(brick_bytes);
+  DPFS_ASSIGN_OR_RETURN(const std::string stripe, attr.GetText(0, "stripe"));
+  DPFS_ASSIGN_OR_RETURN(meta.brick_shape, DecodeShape(stripe));
+  DPFS_ASSIGN_OR_RETURN(const metadb::Value pattern_value,
+                        attr.GetValue(0, "pattern"));
+  if (!pattern_value.is_null()) {
+    DPFS_ASSIGN_OR_RETURN(const layout::HpfPattern pattern,
+                          layout::HpfPattern::Parse(pattern_value.AsText()));
+    meta.pattern = pattern;
+  }
+  DPFS_ASSIGN_OR_RETURN(const std::string grid, attr.GetText(0, "grid"));
+  DPFS_ASSIGN_OR_RETURN(meta.chunk_grid, DecodeShape(grid));
+
+  // Distribution rows, ordered by server_index.
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet dist,
+      db_->Execute(
+          "SELECT server, server_index, bricklist FROM DPFS_FILE_DISTRIBUTION "
+          "WHERE filename = " +
+          Quote(normalized) + " ORDER BY server_index"));
+  if (dist.empty()) {
+    return DataLossError("file '" + normalized +
+                         "' has no distribution rows");
+  }
+  std::vector<std::vector<layout::BrickId>> bricklists(dist.size());
+  record.servers.resize(dist.size());
+  for (std::size_t row = 0; row < dist.size(); ++row) {
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t index,
+                          dist.GetInt(row, "server_index"));
+    if (index < 0 || static_cast<std::size_t>(index) >= dist.size()) {
+      return DataLossError("bad server_index in distribution");
+    }
+    DPFS_ASSIGN_OR_RETURN(const std::string server_name,
+                          dist.GetText(row, "server"));
+    DPFS_ASSIGN_OR_RETURN(record.servers[index],
+                          LookupServer(server_name));
+    DPFS_ASSIGN_OR_RETURN(const std::string bricklist,
+                          dist.GetText(row, "bricklist"));
+    DPFS_ASSIGN_OR_RETURN(
+        bricklists[index],
+        layout::BrickDistribution::DecodeBrickList(bricklist));
+  }
+  DPFS_ASSIGN_OR_RETURN(const layout::BrickMap map, meta.MakeBrickMap());
+  DPFS_ASSIGN_OR_RETURN(record.distribution,
+                        layout::BrickDistribution::FromBrickLists(
+                            map.num_bricks(), std::move(bricklists)));
+  return record;
+}
+
+Status MetadataManager::UpdateFileSize(const std::string& path,
+                                       std::uint64_t size_bytes) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  // A file's brick count is fixed at creation (the bricklists are already
+  // placed); the logical size may only move within the striped capacity.
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet attr,
+      db_->Execute(
+          "SELECT size, filelevel, brickbytes FROM DPFS_FILE_ATTR "
+          "WHERE filename = " +
+          Quote(normalized)));
+  if (attr.empty()) return NotFoundError("no such file '" + normalized + "'");
+  DPFS_ASSIGN_OR_RETURN(const std::string level, attr.GetText(0, "filelevel"));
+  if (level == "linear") {
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t old_size, attr.GetInt(0, "size"));
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t brick_bytes,
+                          attr.GetInt(0, "brickbytes"));
+    const std::uint64_t capacity =
+        layout::CeilDiv(static_cast<std::uint64_t>(old_size),
+                        static_cast<std::uint64_t>(brick_bytes)) *
+        static_cast<std::uint64_t>(brick_bytes);
+    if (size_bytes > capacity) {
+      return OutOfRangeError("new size " + std::to_string(size_bytes) +
+                             " exceeds striped capacity " +
+                             std::to_string(capacity));
+    }
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("UPDATE DPFS_FILE_ATTR SET size = " +
+                   std::to_string(size_bytes) + " WHERE filename = " +
+                   Quote(normalized)));
+  if (result.affected_rows == 0) {
+    return NotFoundError("no such file '" + normalized + "'");
+  }
+  return Status::Ok();
+}
+
+Status MetadataManager::SetPermission(const std::string& path,
+                                      std::uint32_t permission) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("UPDATE DPFS_FILE_ATTR SET permission = " +
+                   std::to_string(permission) + " WHERE filename = " +
+                   Quote(normalized)));
+  if (result.affected_rows == 0) {
+    return NotFoundError("no such file '" + normalized + "'");
+  }
+  return Status::Ok();
+}
+
+Status MetadataManager::SetOwner(const std::string& path,
+                                 const std::string& owner) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      db_->Execute("UPDATE DPFS_FILE_ATTR SET owner = " + Quote(owner) +
+                   " WHERE filename = " + Quote(normalized)));
+  if (result.affected_rows == 0) {
+    return NotFoundError("no such file '" + normalized + "'");
+  }
+  return Status::Ok();
+}
+
+Status MetadataManager::RenameFile(const std::string& from,
+                                   const std::string& to) {
+  DPFS_ASSIGN_OR_RETURN(const std::string src, NormalizePath(from));
+  DPFS_ASSIGN_OR_RETURN(const std::string dst, NormalizePath(to));
+  if (src == dst) return Status::Ok();
+  DPFS_ASSIGN_OR_RETURN(const bool src_exists, FileExists(src));
+  if (!src_exists) return NotFoundError("no such file '" + src + "'");
+  DPFS_ASSIGN_OR_RETURN(const bool dst_exists, FileExists(dst));
+  if (dst_exists) return AlreadyExistsError("file '" + dst + "' exists");
+  DPFS_ASSIGN_OR_RETURN(const bool dst_is_dir, DirectoryExists(dst));
+  if (dst_is_dir) return AlreadyExistsError("'" + dst + "' is a directory");
+  const auto [src_parent, src_name] = SplitPath(src);
+  const auto [dst_parent, dst_name] = SplitPath(dst);
+  if (dst_name.empty()) {
+    return InvalidArgumentError("rename target must name a file");
+  }
+  DPFS_ASSIGN_OR_RETURN(const bool parent_exists,
+                        DirectoryExists(dst_parent));
+  if (!parent_exists) {
+    return NotFoundError("target directory '" + dst_parent +
+                         "' does not exist");
+  }
+
+  Transaction txn(*db_);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("UPDATE DPFS_FILE_ATTR SET filename = " + Quote(dst) +
+                   " WHERE filename = " + Quote(src))
+          .status());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("UPDATE DPFS_FILE_DISTRIBUTION SET filename = " +
+                   Quote(dst) + " WHERE filename = " + Quote(src))
+          .status());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("UPDATE DPFS_ACCESS_LOG SET filename = " + Quote(dst) +
+                   " WHERE filename = " + Quote(src))
+          .status());
+  DPFS_RETURN_IF_ERROR(UnlinkFileFromDirectory(src_parent, src_name));
+  DPFS_RETURN_IF_ERROR(LinkFileIntoDirectory(dst_parent, dst_name));
+  return txn.Commit();
+}
+
+Status MetadataManager::DeleteFile(const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  DPFS_ASSIGN_OR_RETURN(const bool exists, FileExists(normalized));
+  if (!exists) return NotFoundError("no such file '" + normalized + "'");
+  const auto [parent, name] = SplitPath(normalized);
+
+  Transaction txn(*db_);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM DPFS_FILE_ATTR WHERE filename = " +
+                   Quote(normalized))
+          .status());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM DPFS_FILE_DISTRIBUTION WHERE filename = " +
+                   Quote(normalized))
+          .status());
+  DPFS_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM DPFS_ACCESS_LOG WHERE filename = " +
+                   Quote(normalized))
+          .status());
+  DPFS_RETURN_IF_ERROR(UnlinkFileFromDirectory(parent, name));
+  return txn.Commit();
+}
+
+}  // namespace dpfs::client

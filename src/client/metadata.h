@@ -1,0 +1,142 @@
+// DPFS metadata management on top of the embedded SQL database (§5).
+//
+// Exactly the paper's four tables:
+//   DPFS_SERVER            — one row per I/O server: name, endpoint,
+//                            capacity, normalized performance number.
+//   DPFS_FILE_DISTRIBUTION — one row per (file, server): the subfile name
+//                            and the bricklist text ("0,2,6,...").
+//   DPFS_DIRECTORY         — one row per directory: sub-dirs and files as
+//                            comma-separated lists.
+//   DPFS_FILE_ATTR         — one row per file: owner, permission, size,
+//                            filelevel, striping geometry, HPF pattern.
+//
+// All multi-row mutations (file creation touches three tables) run inside a
+// database transaction, which is the paper's argument for using a database
+// in the first place.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/brick_map.h"
+#include "layout/hpf.h"
+#include "layout/placement.h"
+#include "metadb/database.h"
+#include "net/connection.h"
+
+namespace dpfs::client {
+
+struct ServerInfo {
+  std::string name;       // e.g. "ccn40.mcs.anl.gov" in the paper
+  net::Endpoint endpoint;
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t performance = 1;  // 1 = fastest class (§4.1)
+};
+
+/// Everything needed to address a file's bricks.
+struct FileMeta {
+  std::string path;  // normalized DPFS path, e.g. "/home/xhshen/dpfs.test"
+  std::string owner;
+  std::uint32_t permission = 0644;
+  std::uint64_t size_bytes = 0;
+  layout::FileLevel level = layout::FileLevel::kLinear;
+  std::uint64_t element_size = 1;
+  layout::Shape array_shape;             // empty for raw linear streams
+  std::uint64_t brick_bytes = 0;         // linear level
+  layout::Shape brick_shape;             // multidim level
+  std::optional<layout::HpfPattern> pattern;  // array level
+  layout::Shape chunk_grid;              // array level process grid
+
+  /// Rebuilds the BrickMap this metadata describes.
+  [[nodiscard]] Result<layout::BrickMap> MakeBrickMap() const;
+};
+
+/// A file's metadata joined with its brick placement and server info,
+/// everything DPFS-Open() needs.
+struct FileRecord {
+  FileMeta meta;
+  std::vector<ServerInfo> servers;  // index = layout::ServerId
+  layout::BrickDistribution distribution;
+};
+
+class MetadataManager {
+ public:
+  /// Wraps an open database, creating the four tables if missing.
+  static Result<std::unique_ptr<MetadataManager>> Attach(
+      std::shared_ptr<metadb::Database> db);
+
+  // --- DPFS_SERVER -------------------------------------------------------
+  Status RegisterServer(const ServerInfo& server);
+  Status UnregisterServer(const std::string& name);
+  Result<std::vector<ServerInfo>> ListServers();
+  Result<ServerInfo> LookupServer(const std::string& name);
+
+  // --- files -------------------------------------------------------------
+  /// Creates attribute + distribution rows and links the file into its
+  /// parent directory, atomically. `server_names[i]` is the server holding
+  /// distribution bricklist i.
+  Status CreateFile(const FileMeta& meta,
+                    const std::vector<std::string>& server_names,
+                    const layout::BrickDistribution& distribution);
+  Result<FileRecord> LookupFile(const std::string& path);
+  Status UpdateFileSize(const std::string& path, std::uint64_t size_bytes);
+  Status SetPermission(const std::string& path, std::uint32_t permission);
+  Status SetOwner(const std::string& path, const std::string& owner);
+  Status DeleteFile(const std::string& path);
+  Result<bool> FileExists(const std::string& path);
+  /// Renames a file's metadata (attribute + distribution rows + directory
+  /// links) atomically. Callers must rename the subfiles on every server
+  /// too — FileSystem::Rename orchestrates both.
+  Status RenameFile(const std::string& from, const std::string& to);
+
+  // --- access log (extension) ---------------------------------------------
+  /// Appends one access observation (called by FileSystem when access
+  /// logging is on).
+  Status LogAccess(const std::string& path, bool is_write,
+                   std::uint64_t requests, std::uint64_t transfer_bytes,
+                   std::uint64_t useful_bytes);
+  struct AccessSummary {
+    std::uint64_t accesses = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t transfer_bytes = 0;
+    std::uint64_t useful_bytes = 0;
+
+    [[nodiscard]] double efficiency() const noexcept {
+      return transfer_bytes == 0 ? 1.0
+                                 : static_cast<double>(useful_bytes) /
+                                       static_cast<double>(transfer_bytes);
+    }
+  };
+  Result<AccessSummary> SummarizeAccess(const std::string& path);
+  Status ClearAccessLog(const std::string& path);
+
+  // --- directories -------------------------------------------------------
+  Status MakeDirectory(const std::string& path);
+  /// Fails on non-empty directories unless `recursive`.
+  Status RemoveDirectory(const std::string& path, bool recursive);
+  Result<bool> DirectoryExists(const std::string& path);
+  struct Listing {
+    std::vector<std::string> directories;  // names, not full paths
+    std::vector<std::string> files;
+  };
+  Result<Listing> ListDirectory(const std::string& path);
+
+  [[nodiscard]] metadb::Database& db() noexcept { return *db_; }
+
+ private:
+  explicit MetadataManager(std::shared_ptr<metadb::Database> db)
+      : db_(std::move(db)) {}
+  Status EnsureTables();
+  Status LinkFileIntoDirectory(const std::string& parent,
+                               const std::string& name);
+  Status UnlinkFileFromDirectory(const std::string& parent,
+                                 const std::string& name);
+
+  std::shared_ptr<metadb::Database> db_;
+};
+
+}  // namespace dpfs::client

@@ -1,0 +1,62 @@
+#include "common/bytes.h"
+
+namespace dpfs {
+
+void BinaryWriter::PatchU32(std::size_t offset, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    buffer_.at(offset + i) = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+Result<std::uint8_t> BinaryReader::ReadU8() {
+  return ReadLittleEndian<std::uint8_t>();
+}
+Result<std::uint16_t> BinaryReader::ReadU16() {
+  return ReadLittleEndian<std::uint16_t>();
+}
+Result<std::uint32_t> BinaryReader::ReadU32() {
+  return ReadLittleEndian<std::uint32_t>();
+}
+Result<std::uint64_t> BinaryReader::ReadU64() {
+  return ReadLittleEndian<std::uint64_t>();
+}
+Result<std::int32_t> BinaryReader::ReadI32() {
+  DPFS_ASSIGN_OR_RETURN(std::uint32_t raw, ReadU32());
+  return static_cast<std::int32_t>(raw);
+}
+Result<std::int64_t> BinaryReader::ReadI64() {
+  DPFS_ASSIGN_OR_RETURN(std::uint64_t raw, ReadU64());
+  return static_cast<std::int64_t>(raw);
+}
+Result<double> BinaryReader::ReadF64() {
+  DPFS_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+Result<bool> BinaryReader::ReadBool() {
+  DPFS_ASSIGN_OR_RETURN(std::uint8_t raw, ReadU8());
+  if (raw > 1) return ProtocolError("binary reader: bool out of range");
+  return raw == 1;
+}
+
+Result<ByteSpan> BinaryReader::ReadBytes() {
+  DPFS_ASSIGN_OR_RETURN(std::uint32_t size, ReadU32());
+  return ReadRaw(size);
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  DPFS_ASSIGN_OR_RETURN(ByteSpan bytes, ReadBytes());
+  return std::string(AsStringView(bytes));
+}
+
+Result<ByteSpan> BinaryReader::ReadRaw(std::size_t count) {
+  if (remaining() < count) {
+    return ProtocolError("binary reader: truncated input");
+  }
+  ByteSpan view = data_.subspan(pos_, count);
+  pos_ += count;
+  return view;
+}
+
+}  // namespace dpfs

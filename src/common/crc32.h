@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli) used to protect WAL records and wire frames.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dpfs {
+
+/// One-shot CRC-32C of a byte span.
+std::uint32_t Crc32c(ByteSpan data) noexcept;
+
+/// Incremental form: crc = Crc32cExtend(crc_so_far, next_chunk).
+/// Seed with 0 for a fresh computation.
+std::uint32_t Crc32cExtend(std::uint32_t crc, ByteSpan data) noexcept;
+
+}  // namespace dpfs

@@ -1,0 +1,64 @@
+#include "common/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace dpfs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) noexcept {
+  const auto pos = path.rfind('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void EmitLogLine(LogLevel level, std::string_view file, int line,
+                 std::string_view message) {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  const std::string_view base = Basename(file);
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "%s %lld.%06lld %.*s:%d] ",
+                LevelTag(level), static_cast<long long>(micros / 1000000),
+                static_cast<long long>(micros % 1000000),
+                static_cast<int>(base.size()), base.data(), line);
+  std::string out(prefix);
+  out += message;
+  out += '\n';
+  std::fwrite(out.data(), 1, out.size(), stderr);
+}
+
+}  // namespace internal
+}  // namespace dpfs

@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// DPFS servers and clients run many threads; log lines are formatted into a
+// local buffer and emitted with one write so they never interleave. The
+// global level defaults to kWarn so tests and benchmarks stay quiet; examples
+// raise it to kInfo.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dpfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets/gets the process-wide minimum level that is emitted.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) noexcept;
+void EmitLogLine(LogLevel level, std::string_view file, int line,
+                 std::string_view message);
+
+/// Accumulates one log statement; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) noexcept
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { EmitLogLine(level_, file_, line_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DPFS_LOG(level)                                            \
+  if (!::dpfs::internal::LogEnabled(::dpfs::LogLevel::level)) {    \
+  } else                                                           \
+    ::dpfs::internal::LogLine(::dpfs::LogLevel::level, __FILE__, __LINE__)
+
+#define DPFS_LOG_DEBUG DPFS_LOG(kDebug)
+#define DPFS_LOG_INFO DPFS_LOG(kInfo)
+#define DPFS_LOG_WARN DPFS_LOG(kWarn)
+#define DPFS_LOG_ERROR DPFS_LOG(kError)
+
+}  // namespace dpfs

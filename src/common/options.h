@@ -1,0 +1,39 @@
+// Tiny command-line flag parser used by examples and benchmark binaries.
+// Supports --name=value, --name value, and boolean --name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpfs {
+
+class Options {
+ public:
+  /// Parses argv; unknown flags are kept and queryable, positional arguments
+  /// are collected in order. Returns an error only on malformed input
+  /// (e.g. "--" followed by nothing).
+  static Result<Options> Parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dpfs

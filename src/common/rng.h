@@ -1,0 +1,45 @@
+// Deterministic PRNG (SplitMix64) for workload generators and tests.
+//
+// std::mt19937 output differs in distribution helpers across standard
+// libraries; benches need bit-for-bit reproducible workloads, so DPFS ships
+// its own tiny generator and distribution helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace dpfs {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t NextU64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // modulo bias for our bounds (<< 2^64) is negligible for workloads.
+    return NextU64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dpfs

@@ -1,0 +1,102 @@
+#include "common/status.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpfs {
+
+std::string_view StatusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kPermissionDenied: return "permission_denied";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kProtocolError: return "protocol_error";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  message += ": ";
+  message += message_;
+  return Status(code_, std::move(message));
+}
+
+Status InvalidArgumentError(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status NotFoundError(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+Status AlreadyExistsError(std::string message) {
+  return {StatusCode::kAlreadyExists, std::move(message)};
+}
+Status PermissionDeniedError(std::string message) {
+  return {StatusCode::kPermissionDenied, std::move(message)};
+}
+Status OutOfRangeError(std::string message) {
+  return {StatusCode::kOutOfRange, std::move(message)};
+}
+Status UnimplementedError(std::string message) {
+  return {StatusCode::kUnimplemented, std::move(message)};
+}
+Status InternalError(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+Status UnavailableError(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+Status DataLossError(std::string message) {
+  return {StatusCode::kDataLoss, std::move(message)};
+}
+Status IoError(std::string message) {
+  return {StatusCode::kIoError, std::move(message)};
+}
+Status ProtocolError(std::string message) {
+  return {StatusCode::kProtocolError, std::move(message)};
+}
+Status AbortedError(std::string message) {
+  return {StatusCode::kAborted, std::move(message)};
+}
+Status ResourceExhaustedError(std::string message) {
+  return {StatusCode::kResourceExhausted, std::move(message)};
+}
+
+Status IoErrnoError(std::string_view op, std::string_view target) {
+  const int saved_errno = errno;
+  std::string message(op);
+  message += " '";
+  message += target;
+  message += "': ";
+  message += std::strerror(saved_errno);
+  return IoError(std::move(message));
+}
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: Result::value() on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace dpfs

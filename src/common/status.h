@@ -1,0 +1,156 @@
+// Error handling primitives for DPFS.
+//
+// DPFS never throws across public API boundaries: fallible operations return
+// Status (no payload) or Result<T> (payload or error). Both carry a machine
+// code plus a human-readable message chain, so a failure deep inside the
+// metadata database or the wire protocol surfaces with full context.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dpfs {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,     // transient: server down, connection refused
+  kDataLoss,        // checksum mismatch, torn write
+  kIoError,         // local file system failure
+  kProtocolError,   // malformed frame / message
+  kAborted,         // transaction conflict
+  kResourceExhausted,
+};
+
+/// Stable lowercase name for a status code ("ok", "not_found", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value without payload.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs OK.
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string ToString() const;
+
+  /// Returns a copy of this status with `context + ": "` prefixed to the
+  /// message, preserving the code. No-op on OK statuses.
+  [[nodiscard]] Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Factory helpers mirroring the code enum.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status IoError(std::string message);
+Status ProtocolError(std::string message);
+Status AbortedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+/// Builds an IoError from the current `errno`, e.g. IoErrnoError("open", path).
+Status IoErrnoError(std::string_view op, std::string_view target);
+
+/// A value of type T or an error Status. Accessing value() on an error
+/// terminates (programming error), so callers must check ok() first or use
+/// the DPFS_ASSIGN_OR_RETURN macro.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code, std::string message)
+      : data_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+  std::variant<T, Status> data_;
+};
+
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) DieOnBadResultAccess(std::get<Status>(data_));
+}
+
+// Propagation macros (statement-expression free; portable C++20).
+#define DPFS_RETURN_IF_ERROR(expr)                     \
+  do {                                                 \
+    ::dpfs::Status dpfs_status_ = (expr);              \
+    if (!dpfs_status_.ok()) return dpfs_status_;       \
+  } while (false)
+
+#define DPFS_INTERNAL_CONCAT2(a, b) a##b
+#define DPFS_INTERNAL_CONCAT(a, b) DPFS_INTERNAL_CONCAT2(a, b)
+
+#define DPFS_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto DPFS_INTERNAL_CONCAT(dpfs_result_, __LINE__) = (expr);             \
+  if (!DPFS_INTERNAL_CONCAT(dpfs_result_, __LINE__).ok())                 \
+    return DPFS_INTERNAL_CONCAT(dpfs_result_, __LINE__).status();         \
+  lhs = std::move(DPFS_INTERNAL_CONCAT(dpfs_result_, __LINE__)).value()
+
+}  // namespace dpfs

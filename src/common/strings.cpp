@@ -1,0 +1,155 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace dpfs {
+
+std::vector<std::string> SplitString(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      return out;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view input) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() && std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    std::size_t start = i;
+    while (i < input.size() && !std::isspace(static_cast<unsigned char>(input[i]))) ++i;
+    if (i > start) out.emplace_back(input.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view input) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) --end;
+  return input.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+Result<std::int64_t> ParseInt64(std::string_view s) {
+  s = TrimWhitespace(s);
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return InvalidArgumentError("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = TrimWhitespace(s);
+  // std::from_chars<double> is not universally available; snprintf-parse.
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size() || buf.empty()) {
+    return InvalidArgumentError("not a number: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string FormatByteSize(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+Result<std::string> NormalizePath(std::string_view path) {
+  std::vector<std::string> stack;
+  for (const std::string& part : SplitString(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (stack.empty()) {
+        return InvalidArgumentError("path escapes root: '" +
+                                    std::string(path) + "'");
+      }
+      stack.pop_back();
+      continue;
+    }
+    stack.push_back(part);
+  }
+  if (stack.empty()) return std::string("/");
+  std::string out;
+  for (const std::string& part : stack) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::pair<std::string, std::string> SplitPath(
+    std::string_view normalized_path) {
+  if (normalized_path == "/" || normalized_path.empty()) return {"/", ""};
+  const std::size_t pos = normalized_path.rfind('/');
+  std::string parent(normalized_path.substr(0, pos));
+  if (parent.empty()) parent = "/";
+  return {parent, std::string(normalized_path.substr(pos + 1))};
+}
+
+}  // namespace dpfs

@@ -1,0 +1,47 @@
+// Small string helpers shared across DPFS modules (path handling in the
+// metadata directory table, shell tokenizing, SQL lexing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpfs {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Splits on whitespace runs; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+std::string_view TrimWhitespace(std::string_view input) noexcept;
+
+bool StartsWith(std::string_view s, std::string_view prefix) noexcept;
+bool EndsWith(std::string_view s, std::string_view suffix) noexcept;
+
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality (SQL keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) noexcept;
+
+/// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+Result<std::int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// "12.3 MB", "980 KB", "1.5 GB" — used by shell `df`/`ls -l` and benches.
+std::string FormatByteSize(std::uint64_t bytes);
+
+/// Normalizes a DPFS path: collapses "//", resolves "." and "..", ensures a
+/// leading "/". Returns an error if ".." escapes the root.
+Result<std::string> NormalizePath(std::string_view path);
+
+/// Splits "/a/b/c" into ("/a/b", "c"). Root has parent "/" and name "".
+std::pair<std::string, std::string> SplitPath(std::string_view normalized_path);
+
+}  // namespace dpfs

@@ -1,0 +1,52 @@
+#include "common/temp_dir.h"
+
+#include <atomic>
+#include <chrono>
+#include <system_error>
+
+namespace dpfs {
+namespace {
+
+std::atomic<std::uint64_t> g_counter{0};
+
+}  // namespace
+
+Result<TempDir> TempDir::Create(std::string_view prefix) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = fs::temp_directory_path(ec);
+  if (ec) return IoError("temp_directory_path: " + ec.message());
+  const auto nonce =
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      (g_counter.fetch_add(1, std::memory_order_relaxed) << 32);
+  const fs::path dir =
+      root / (std::string(prefix) + "." + std::to_string(nonce));
+  if (!fs::create_directories(dir, ec) || ec) {
+    return IoError("create temp dir '" + dir.string() + "': " + ec.message());
+  }
+  return TempDir(dir);
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { Remove(); }
+
+void TempDir::Remove() noexcept {
+  if (path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best effort
+  path_.clear();
+}
+
+}  // namespace dpfs

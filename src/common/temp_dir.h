@@ -1,0 +1,38 @@
+// RAII scratch directory used by tests, examples, and server subfile stores.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpfs {
+
+/// Creates a unique directory under the system temp root and removes it
+/// (recursively) on destruction. Move-only.
+class TempDir {
+ public:
+  /// `prefix` becomes part of the directory name for debuggability.
+  static Result<TempDir> Create(std::string_view prefix = "dpfs");
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// Convenience: path / name.
+  [[nodiscard]] std::filesystem::path Sub(std::string_view name) const {
+    return path_ / name;
+  }
+
+ private:
+  explicit TempDir(std::filesystem::path path) : path_(std::move(path)) {}
+  void Remove() noexcept;
+  std::filesystem::path path_;
+};
+
+}  // namespace dpfs

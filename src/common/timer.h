@@ -1,0 +1,27 @@
+// Wall-clock timing for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace dpfs {
+
+/// Steady-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void Reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double ElapsedMillis() const noexcept {
+    return ElapsedSeconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dpfs

@@ -1,0 +1,75 @@
+#include "core/cluster.h"
+
+namespace dpfs::core {
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
+    ClusterOptions options) {
+  if (options.num_servers == 0) {
+    return InvalidArgumentError("cluster needs at least one server");
+  }
+  if (!options.performance.empty() &&
+      options.performance.size() != options.num_servers) {
+    return InvalidArgumentError(
+        "performance vector must match num_servers or be empty");
+  }
+
+  std::unique_ptr<LocalCluster> cluster(new LocalCluster());
+  if (options.root_dir.empty()) {
+    DPFS_ASSIGN_OR_RETURN(TempDir temp, TempDir::Create("dpfs-cluster"));
+    cluster->root_ = temp.path();
+    cluster->owned_root_.emplace(std::move(temp));
+  } else {
+    cluster->root_ = options.root_dir;
+    std::error_code ec;
+    std::filesystem::create_directories(cluster->root_, ec);
+    if (ec) return IoError("create cluster root: " + ec.message());
+  }
+
+  if (options.durable_metadata) {
+    DPFS_ASSIGN_OR_RETURN(std::unique_ptr<metadb::Database> db,
+                          metadb::Database::Open(cluster->root_ / "metadb"));
+    cluster->db_ = std::move(db);
+  } else {
+    cluster->db_ = metadb::Database::OpenInMemory();
+  }
+  DPFS_ASSIGN_OR_RETURN(cluster->fs_,
+                        client::FileSystem::Connect(cluster->db_));
+
+  for (std::uint32_t i = 0; i < options.num_servers; ++i) {
+    server::ServerOptions server_options;
+    server_options.root_dir =
+        cluster->root_ / ("server" + std::to_string(i));
+    DPFS_ASSIGN_OR_RETURN(std::unique_ptr<server::IoServer> server,
+                          server::IoServer::Start(std::move(server_options)));
+
+    client::ServerInfo info;
+    // Zero-padded so name order == registration order (ListServers sorts by
+    // name), keeping server indices stable.
+    char name[32];
+    std::snprintf(name, sizeof(name), "ionode%03u.dpfs.local", i);
+    info.name = name;
+    info.endpoint = server->endpoint();
+    info.capacity_bytes = options.capacity_bytes;
+    info.performance =
+        options.performance.empty() ? 1u : options.performance[i];
+    // Durable metadata may hold a row from a previous run of this cluster
+    // (same name, stale port) — replace it, as dpfsd does on restart.
+    (void)cluster->fs_->metadata().UnregisterServer(info.name);
+    DPFS_RETURN_IF_ERROR(cluster->fs_->metadata().RegisterServer(info));
+
+    cluster->servers_.push_back(std::move(server));
+  }
+  return cluster;
+}
+
+LocalCluster::~LocalCluster() { Stop(); }
+
+void LocalCluster::Stop() {
+  // Drop pooled client connections first so server session threads unblock.
+  if (fs_ != nullptr) fs_->connections().Clear();
+  for (const std::unique_ptr<server::IoServer>& server : servers_) {
+    if (server != nullptr) server->Stop();
+  }
+}
+
+}  // namespace dpfs::core

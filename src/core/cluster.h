@@ -1,0 +1,73 @@
+// In-process DPFS cluster bootstrap.
+//
+// The paper runs one DPFS server per storage workstation; examples, tests,
+// and the shell need the same topology without a machine room. LocalCluster
+// starts N real IoServers (each with its own subfile root and TCP port on
+// loopback), opens a metadata database, registers the servers in
+// DPFS_SERVER, and hands back a connected FileSystem. Everything is torn
+// down in reverse order on destruction.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "client/file_system.h"
+#include "common/status.h"
+#include "common/temp_dir.h"
+#include "server/io_server.h"
+
+namespace dpfs::core {
+
+struct ClusterOptions {
+  std::uint32_t num_servers = 4;
+  /// Normalized performance number per server (§4.1); sized to num_servers
+  /// or empty for all-1 (homogeneous).
+  std::vector<std::uint32_t> performance;
+  /// Advertised capacity per server (metadata only).
+  std::uint64_t capacity_bytes = 1ull << 30;
+  /// Root for server storage and the metadata db; a TempDir is created when
+  /// empty.
+  std::filesystem::path root_dir;
+  /// Persist metadata on disk (WAL + snapshot) instead of in memory.
+  bool durable_metadata = false;
+};
+
+class LocalCluster {
+ public:
+  static Result<std::unique_ptr<LocalCluster>> Start(ClusterOptions options);
+
+  ~LocalCluster();
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  [[nodiscard]] std::shared_ptr<client::FileSystem> fs() const noexcept {
+    return fs_;
+  }
+  [[nodiscard]] std::shared_ptr<metadb::Database> db() const noexcept {
+    return db_;
+  }
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] server::IoServer& server(std::size_t index) {
+    return *servers_.at(index);
+  }
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+  /// Stops every server (idempotent; also runs at destruction).
+  void Stop();
+
+ private:
+  LocalCluster() = default;
+
+  std::optional<TempDir> owned_root_;
+  std::filesystem::path root_;
+  std::vector<std::unique_ptr<server::IoServer>> servers_;
+  std::shared_ptr<metadb::Database> db_;
+  std::shared_ptr<client::FileSystem> fs_;
+};
+
+}  // namespace dpfs::core

@@ -1,0 +1,121 @@
+#include "layout/geometry.h"
+
+#include <algorithm>
+
+namespace dpfs::layout {
+
+std::uint64_t NumElements(const Shape& shape) noexcept {
+  if (shape.empty()) return 0;
+  std::uint64_t n = 1;
+  for (const std::uint64_t extent : shape) n *= extent;
+  return n;
+}
+
+Status ValidateShape(const Shape& shape) {
+  if (shape.empty()) return InvalidArgumentError("shape must have rank >= 1");
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    if (shape[d] == 0) {
+      return InvalidArgumentError("shape dimension " + std::to_string(d) +
+                                  " must be >= 1");
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t LinearIndex(const Shape& shape, const Coords& coords) noexcept {
+  std::uint64_t index = 0;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    index = index * shape[d] + coords[d];
+  }
+  return index;
+}
+
+Coords CoordsFromLinear(const Shape& shape, std::uint64_t index) {
+  Coords coords(shape.size());
+  for (std::size_t d = shape.size(); d-- > 0;) {
+    coords[d] = index % shape[d];
+    index /= shape[d];
+  }
+  return coords;
+}
+
+std::string Region::ToString() const {
+  std::string out = "[";
+  for (std::size_t d = 0; d < lower.size(); ++d) {
+    if (d > 0) out += ", ";
+    out += std::to_string(lower[d]) + ":" +
+           std::to_string(lower[d] + extent[d]);
+  }
+  out += ")";
+  return out;
+}
+
+Status ValidateRegion(const Shape& shape, const Region& region) {
+  if (region.lower.size() != shape.size() ||
+      region.extent.size() != shape.size()) {
+    return InvalidArgumentError("region rank " +
+                                std::to_string(region.lower.size()) +
+                                " does not match array rank " +
+                                std::to_string(shape.size()));
+  }
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    if (region.extent[d] == 0) {
+      return InvalidArgumentError("region extent in dimension " +
+                                  std::to_string(d) + " must be >= 1");
+    }
+    if (region.lower[d] + region.extent[d] > shape[d]) {
+      return OutOfRangeError("region " + region.ToString() +
+                             " exceeds array bound in dimension " +
+                             std::to_string(d));
+    }
+  }
+  return Status::Ok();
+}
+
+Region Intersect(const Region& a, const Region& b) {
+  Region out;
+  const std::size_t rank = a.rank();
+  out.lower.resize(rank);
+  out.extent.resize(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    const std::uint64_t lo = std::max(a.lower[d], b.lower[d]);
+    const std::uint64_t hi =
+        std::min(a.lower[d] + a.extent[d], b.lower[d] + b.extent[d]);
+    out.lower[d] = lo;
+    out.extent[d] = hi > lo ? hi - lo : 0;
+  }
+  return out;
+}
+
+void ForEachRowRun(const Region& region,
+                   const std::function<void(const RowRun&)>& fn) {
+  if (region.empty()) return;
+  const std::size_t rank = region.rank();
+  const std::uint64_t run_length = region.extent[rank - 1];
+
+  // Iterate row-major over all leading-dimension combinations.
+  Coords cursor = region.lower;
+  while (true) {
+    fn(RowRun{cursor, run_length});
+    // Increment the odometer over dims [0, rank-1).
+    std::size_t d = rank - 1;
+    while (d-- > 0) {
+      if (++cursor[d] < region.lower[d] + region.extent[d]) break;
+      cursor[d] = region.lower[d];
+      if (d == 0) return;
+    }
+    if (rank == 1) return;
+  }
+}
+
+std::vector<RowRun> RegionRowRuns(const Region& region) {
+  std::vector<RowRun> runs;
+  const std::uint64_t count =
+      region.empty() ? 0
+                     : region.num_elements() / region.extent[region.rank() - 1];
+  runs.reserve(count);
+  ForEachRowRun(region, [&runs](const RowRun& run) { runs.push_back(run); });
+  return runs;
+}
+
+}  // namespace dpfs::layout

@@ -1,0 +1,141 @@
+#include "layout/hpf.h"
+
+#include "common/strings.h"
+
+namespace dpfs::layout {
+
+Result<HpfPattern> HpfPattern::Parse(std::string_view text) {
+  std::string_view body = TrimWhitespace(text);
+  if (body.size() >= 2 && body.front() == '(' && body.back() == ')') {
+    body = body.substr(1, body.size() - 2);
+  }
+  HpfPattern pattern;
+  for (const std::string& raw : SplitString(body, ',')) {
+    const std::string_view token = TrimWhitespace(raw);
+    if (token == "*") {
+      pattern.dims.push_back(DimDist::kStar);
+    } else if (EqualsIgnoreCase(token, "BLOCK")) {
+      pattern.dims.push_back(DimDist::kBlock);
+    } else {
+      return InvalidArgumentError("bad HPF pattern token '" +
+                                  std::string(token) + "' in '" +
+                                  std::string(text) + "'");
+    }
+  }
+  if (pattern.dims.empty()) {
+    return InvalidArgumentError("empty HPF pattern '" + std::string(text) +
+                                "'");
+  }
+  return pattern;
+}
+
+std::string HpfPattern::ToString() const {
+  std::string out = "(";
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (d > 0) out += ",";
+    out += dims[d] == DimDist::kBlock ? "BLOCK" : "*";
+  }
+  out += ")";
+  return out;
+}
+
+std::size_t HpfPattern::num_block_dims() const noexcept {
+  std::size_t n = 0;
+  for (const DimDist dist : dims) {
+    if (dist == DimDist::kBlock) ++n;
+  }
+  return n;
+}
+
+ProcessGrid ProcessGrid::Auto(std::uint64_t num_processes,
+                              std::size_t num_block_dims) {
+  ProcessGrid out;
+  out.grid.assign(std::max<std::size_t>(num_block_dims, 1), 1);
+  if (num_block_dims == 0) {
+    out.grid = {std::max<std::uint64_t>(num_processes, 1)};
+    return out;
+  }
+  // Peel off factors of the process count, assigning each to the currently
+  // smallest grid dimension so the grid stays near-square.
+  std::uint64_t remaining = std::max<std::uint64_t>(num_processes, 1);
+  for (std::uint64_t factor = 2; remaining > 1;) {
+    if (remaining % factor == 0) {
+      std::size_t smallest = 0;
+      for (std::size_t d = 1; d < out.grid.size(); ++d) {
+        if (out.grid[d] < out.grid[smallest]) smallest = d;
+      }
+      out.grid[smallest] *= factor;
+      remaining /= factor;
+    } else {
+      ++factor;
+      if (factor * factor > remaining) factor = remaining;  // prime tail
+    }
+  }
+  return out;
+}
+
+Result<Region> ChunkForProcess(const Shape& array_shape,
+                               const HpfPattern& pattern,
+                               const ProcessGrid& grid, std::uint64_t rank) {
+  DPFS_RETURN_IF_ERROR(ValidateShape(array_shape));
+  if (pattern.rank() != array_shape.size()) {
+    return InvalidArgumentError("pattern rank " +
+                                std::to_string(pattern.rank()) +
+                                " does not match array rank " +
+                                std::to_string(array_shape.size()));
+  }
+  if (grid.grid.size() != pattern.num_block_dims()) {
+    return InvalidArgumentError(
+        "process grid rank " + std::to_string(grid.grid.size()) +
+        " does not match BLOCK dimension count " +
+        std::to_string(pattern.num_block_dims()));
+  }
+  if (rank >= grid.num_processes()) {
+    return OutOfRangeError("process rank " + std::to_string(rank) +
+                           " out of range for grid of " +
+                           std::to_string(grid.num_processes()));
+  }
+
+  // Row-major position of this process within the grid.
+  const Coords grid_coords = CoordsFromLinear(grid.grid, rank);
+
+  Region chunk;
+  chunk.lower.resize(array_shape.size());
+  chunk.extent.resize(array_shape.size());
+  std::size_t block_dim = 0;
+  for (std::size_t d = 0; d < array_shape.size(); ++d) {
+    if (pattern.dims[d] == DimDist::kStar) {
+      chunk.lower[d] = 0;
+      chunk.extent[d] = array_shape[d];
+      continue;
+    }
+    const std::uint64_t parts = grid.grid[block_dim];
+    if (array_shape[d] % parts != 0) {
+      return InvalidArgumentError(
+          "dimension " + std::to_string(d) + " extent " +
+          std::to_string(array_shape[d]) + " not divisible by grid extent " +
+          std::to_string(parts));
+    }
+    const std::uint64_t block = array_shape[d] / parts;
+    chunk.lower[d] = grid_coords[block_dim] * block;
+    chunk.extent[d] = block;
+    ++block_dim;
+  }
+  return chunk;
+}
+
+Result<std::vector<Region>> AllChunks(const Shape& array_shape,
+                                      const HpfPattern& pattern,
+                                      const ProcessGrid& grid) {
+  std::vector<Region> chunks;
+  const std::uint64_t n = grid.num_processes();
+  chunks.reserve(n);
+  for (std::uint64_t rank = 0; rank < n; ++rank) {
+    DPFS_ASSIGN_OR_RETURN(Region chunk,
+                          ChunkForProcess(array_shape, pattern, grid, rank));
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+}  // namespace dpfs::layout

@@ -1,0 +1,67 @@
+// HPF-style data distribution patterns: (BLOCK, *), (*, BLOCK),
+// (BLOCK, BLOCK), generalized to N dimensions.
+//
+// The paper's array-level files store one HPF chunk per brick, and its
+// evaluation workloads assign each compute process one chunk of the global
+// array. This header computes those chunk regions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/geometry.h"
+
+namespace dpfs::layout {
+
+enum class DimDist : std::uint8_t {
+  kStar = 0,   // dimension not distributed (every process sees all of it)
+  kBlock = 1,  // dimension split into contiguous equal blocks
+};
+
+/// One distribution tag per array dimension, e.g. {kStar, kBlock} ≙ (*,BLOCK).
+struct HpfPattern {
+  std::vector<DimDist> dims;
+
+  /// Parses "(BLOCK,*)" / "(*,BLOCK)" / "(BLOCK,BLOCK)" style notation,
+  /// case-insensitive, whitespace tolerated. Used by the DPFS-FILE-ATTR
+  /// `pattern` column.
+  static Result<HpfPattern> Parse(std::string_view text);
+
+  [[nodiscard]] std::string ToString() const;
+  [[nodiscard]] std::size_t rank() const noexcept { return dims.size(); }
+  [[nodiscard]] std::size_t num_block_dims() const noexcept;
+
+  friend bool operator==(const HpfPattern&, const HpfPattern&) = default;
+};
+
+/// How processes are arranged over the BLOCK dimensions. grid[i] is the
+/// number of processes along the i-th *BLOCK* dimension (kStar dimensions
+/// are skipped). Product must equal the process count.
+struct ProcessGrid {
+  Shape grid;
+
+  /// Builds a near-square grid for `num_processes` over `num_block_dims`
+  /// dimensions (factorizes greedily, larger factors first).
+  static ProcessGrid Auto(std::uint64_t num_processes,
+                          std::size_t num_block_dims);
+
+  [[nodiscard]] std::uint64_t num_processes() const noexcept {
+    return NumElements(grid);
+  }
+};
+
+/// The chunk of `array_shape` owned by process `rank` under `pattern` with
+/// `grid`. Requires each BLOCK dimension extent to be divisible by the grid
+/// extent along it (the paper's workloads always are).
+Result<Region> ChunkForProcess(const Shape& array_shape,
+                               const HpfPattern& pattern,
+                               const ProcessGrid& grid, std::uint64_t rank);
+
+/// All chunks in process-rank order (rank = row-major index into the grid).
+Result<std::vector<Region>> AllChunks(const Shape& array_shape,
+                                      const HpfPattern& pattern,
+                                      const ProcessGrid& grid);
+
+}  // namespace dpfs::layout

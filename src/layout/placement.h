@@ -1,0 +1,96 @@
+// Brick-to-server placement: round-robin and the paper's greedy
+// heterogeneity-aware striping algorithm (Fig 8).
+//
+// A BrickDistribution is the materialized assignment for one file: which
+// server owns each brick, each server's bricklist (the subfile, in slot
+// order), and each brick's slot index within its subfile. The bricklist text
+// encoding ("0,2,6,8,...") is exactly what the DPFS-FILE-DISTRIBUTION table
+// stores in its `bricklist` column.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/brick_map.h"
+
+namespace dpfs::layout {
+
+using ServerId = std::uint32_t;
+
+enum class PlacementPolicy : std::uint8_t {
+  kRoundRobin = 0,
+  kGreedy = 1,
+  /// Greedy, but a server stops receiving bricks once its advertised
+  /// capacity (DPFS-SERVER's `capacity` column) is exhausted.
+  kCapacityAware = 2,
+};
+
+std::string_view PlacementPolicyName(PlacementPolicy policy) noexcept;
+Result<PlacementPolicy> ParsePlacementPolicy(std::string_view name);
+
+class BrickDistribution {
+ public:
+  /// Brick i → server i mod num_servers (Fig 3).
+  static Result<BrickDistribution> RoundRobin(std::uint64_t num_bricks,
+                                              std::uint32_t num_servers);
+
+  /// The greedy algorithm of Fig 8. `performance[k]` is server k's
+  /// normalized per-brick access cost: 1 for the fastest class, larger
+  /// integers for slower ones. Brick i goes to the server k minimizing
+  /// A[k] + P[k]; ties go to the lowest k; then A[k] += P[k]. Fast servers
+  /// therefore receive proportionally more bricks (~P_slow/P_fast times).
+  static Result<BrickDistribution> Greedy(
+      std::uint64_t num_bricks, const std::vector<std::uint32_t>& performance);
+
+  /// The greedy algorithm under per-server brick budgets: server k takes at
+  /// most `capacity_bricks[k]` bricks; within budget the Fig 8 rule applies.
+  /// Fails with kResourceExhausted when the budgets cannot hold the file.
+  static Result<BrickDistribution> CapacityAware(
+      std::uint64_t num_bricks, const std::vector<std::uint32_t>& performance,
+      const std::vector<std::uint64_t>& capacity_bricks);
+
+  /// Chooses by policy; round-robin ignores `performance`, and only
+  /// kCapacityAware reads `capacity_bricks` (pass empty otherwise).
+  static Result<BrickDistribution> Create(
+      PlacementPolicy policy, std::uint64_t num_bricks,
+      const std::vector<std::uint32_t>& performance,
+      const std::vector<std::uint64_t>& capacity_bricks = {});
+
+  /// Rebuilds a distribution from per-server bricklists (metadata load).
+  static Result<BrickDistribution> FromBrickLists(
+      std::uint64_t num_bricks,
+      std::vector<std::vector<BrickId>> server_bricks);
+
+  [[nodiscard]] std::uint32_t num_servers() const noexcept {
+    return static_cast<std::uint32_t>(server_bricks_.size());
+  }
+  [[nodiscard]] std::uint64_t num_bricks() const noexcept {
+    return brick_to_server_.size();
+  }
+  [[nodiscard]] ServerId server_for(BrickId brick) const {
+    return brick_to_server_.at(brick);
+  }
+  /// Slot index of `brick` within its server's subfile; the brick's bytes
+  /// live at [slot * brick_bytes, slot * brick_bytes + brick_bytes).
+  [[nodiscard]] std::uint64_t slot_for(BrickId brick) const {
+    return brick_slot_.at(brick);
+  }
+  [[nodiscard]] const std::vector<BrickId>& bricks_on(ServerId server) const {
+    return server_bricks_.at(server);
+  }
+
+  /// "0,2,6,8" encoding used by the DPFS-FILE-DISTRIBUTION table.
+  static std::string EncodeBrickList(const std::vector<BrickId>& bricks);
+  static Result<std::vector<BrickId>> DecodeBrickList(std::string_view text);
+
+ private:
+  Status Finalize(std::uint64_t num_bricks);
+
+  std::vector<ServerId> brick_to_server_;
+  std::vector<std::uint64_t> brick_slot_;
+  std::vector<std::vector<BrickId>> server_bricks_;
+};
+
+}  // namespace dpfs::layout

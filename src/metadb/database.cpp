@@ -1,0 +1,824 @@
+#include "metadb/database.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "metadb/sql_parser.h"
+
+namespace dpfs::metadb {
+
+// ---------------------------------------------------------------------------
+// ResultSet
+
+namespace {
+
+Result<std::size_t> FindColumn(const std::vector<std::string>& columns,
+                               std::string_view name) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i], name)) return i;
+  }
+  return NotFoundError("result set has no column '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+Result<Value> ResultSet::GetValue(std::size_t row,
+                                  std::string_view column) const {
+  if (row >= rows.size()) {
+    return OutOfRangeError("row index " + std::to_string(row) +
+                           " out of range");
+  }
+  DPFS_ASSIGN_OR_RETURN(const std::size_t col, FindColumn(columns, column));
+  return rows[row].at(col);
+}
+
+Result<std::int64_t> ResultSet::GetInt(std::size_t row,
+                                       std::string_view column) const {
+  DPFS_ASSIGN_OR_RETURN(const Value v, GetValue(row, column));
+  if (v.type() != ValueType::kInt) {
+    return InvalidArgumentError("column '" + std::string(column) +
+                                "' is not int");
+  }
+  return v.AsInt();
+}
+
+Result<double> ResultSet::GetDouble(std::size_t row,
+                                    std::string_view column) const {
+  DPFS_ASSIGN_OR_RETURN(const Value v, GetValue(row, column));
+  return v.ToDouble();
+}
+
+Result<std::string> ResultSet::GetText(std::size_t row,
+                                       std::string_view column) const {
+  DPFS_ASSIGN_OR_RETURN(const Value v, GetValue(row, column));
+  if (v.type() != ValueType::kText) {
+    return InvalidArgumentError("column '" + std::string(column) +
+                                "' is not text");
+  }
+  return v.AsText();
+}
+
+std::string ResultSet::ToString() const {
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string text = row[c].type() == ValueType::kText
+                             ? row[c].AsText()
+                             : row[c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], text.size());
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      out += line[c];
+      if (c < widths.size()) {
+        out.append(widths[c] > line[c].size() ? widths[c] - line[c].size() : 0,
+                   ' ');
+      }
+      out += (c + 1 == line.size()) ? "\n" : "  ";
+    }
+  };
+  append_row(columns);
+  for (const auto& line : cells) append_row(line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Undo log
+
+struct Database::UndoOp {
+  enum class Kind : std::uint8_t {
+    kEraseInserted,    // undo insert
+    kRestoreRow,       // undo update/delete
+    kDropCreated,      // undo create table
+    kRestoreTable,     // undo drop table
+  };
+  Kind kind;
+  std::string table;
+  RowId row_id = 0;
+  Row row;                         // kRestoreRow (the old image)
+  bool was_delete = false;         // kRestoreRow: re-insert vs overwrite
+  std::unique_ptr<Table> dropped;  // kRestoreTable
+};
+
+// ---------------------------------------------------------------------------
+// Open / recovery
+
+namespace {
+
+/// Acquires an exclusive flock on <dir>/lock, polling until `wait` elapses.
+Result<int> AcquireDirLock(const std::filesystem::path& dir,
+                           std::chrono::milliseconds wait) {
+  const std::string lock_path = (dir / "lock").string();
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) return IoErrnoError("open db lock", lock_path);
+  const auto deadline = std::chrono::steady_clock::now() + wait;
+  while (true) {
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) return fd;
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      ::close(fd);
+      return IoErrnoError("lock db", lock_path);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::close(fd);
+      return UnavailableError("database '" + dir.string() +
+                              "' is locked by another process");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::filesystem::path& dir, std::chrono::milliseconds lock_wait) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return IoError("create db dir '" + dir.string() + "': " + ec.message());
+
+  std::unique_ptr<Database> db(new Database());
+  DPFS_ASSIGN_OR_RETURN(db->lock_fd_, AcquireDirLock(dir, lock_wait));
+  db->dir_ = dir;
+  const std::filesystem::path snapshot = dir / "snapshot.db";
+  if (std::filesystem::exists(snapshot)) {
+    DPFS_RETURN_IF_ERROR(db->LoadSnapshot(snapshot));
+  }
+  std::uint64_t max_txn_id = db->next_txn_id_ - 1;
+  DPFS_ASSIGN_OR_RETURN(
+      WriteAheadLog wal,
+      WriteAheadLog::Open(
+          dir / "wal.log",
+          [&db](const WalRecord& record) { return db->ApplyWalRecord(record); },
+          &max_txn_id));
+  db->wal_.emplace(std::move(wal));
+  db->next_txn_id_ = max_txn_id + 1;
+  return db;
+}
+
+std::unique_ptr<Database> Database::OpenInMemory() {
+  return std::unique_ptr<Database>(new Database());
+}
+
+Database::~Database() {
+  // Close the WAL before releasing the cross-process lock so the next
+  // opener never sees a file we are still appending to.
+  wal_.reset();
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
+}
+
+Status Database::ApplyWalRecord(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecordKind::kCreateTable: {
+      const std::string key = ToLower(record.table);
+      if (tables_.contains(key)) {
+        return AlreadyExistsError("replay: table exists: " + record.table);
+      }
+      tables_[key] = std::make_unique<Table>(record.table, record.schema);
+      return Status::Ok();
+    }
+    case WalRecordKind::kDropTable:
+      if (tables_.erase(ToLower(record.table)) == 0) {
+        return NotFoundError("replay: no table " + record.table);
+      }
+      return Status::Ok();
+    case WalRecordKind::kInsert: {
+      DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(record.table));
+      return table->InsertWithId(record.row_id, record.row);
+    }
+    case WalRecordKind::kUpdate: {
+      DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(record.table));
+      return table->UpdateRow(record.row_id, record.row);
+    }
+    case WalRecordKind::kDelete: {
+      DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(record.table));
+      return table->Erase(record.row_id);
+    }
+    default:
+      return InternalError("replay: unexpected record kind");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format: "DPFSMDB1" magic, then a CRC-protected body.
+
+namespace {
+constexpr char kSnapshotMagic[8] = {'D', 'P', 'F', 'S', 'M', 'D', 'B', '1'};
+}  // namespace
+
+Status Database::WriteSnapshot(const std::filesystem::path& file) const {
+  BinaryWriter body;
+  body.WriteU64(next_txn_id_);
+  body.WriteU32(static_cast<std::uint32_t>(tables_.size()));
+  for (const auto& [key, table] : tables_) {
+    body.WriteString(table->name());
+    table->schema().Serialize(body);
+    body.WriteU64(table->next_row_id());
+    body.WriteU64(table->rows().size());
+    for (const auto& [row_id, row] : table->rows()) {
+      body.WriteU64(row_id);
+      body.WriteU32(static_cast<std::uint32_t>(row.size()));
+      for (const Value& v : row) v.Serialize(body);
+    }
+  }
+  const Bytes& payload = body.buffer();
+
+  const std::filesystem::path tmp = file.string() + ".tmp";
+  std::FILE* out = std::fopen(tmp.string().c_str(), "wb");
+  if (out == nullptr) return IoErrnoError("open snapshot", tmp.string());
+  bool write_ok = std::fwrite(kSnapshotMagic, 1, 8, out) == 8;
+  BinaryWriter header;
+  header.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  header.WriteU32(Crc32c(payload));
+  write_ok = write_ok &&
+             std::fwrite(header.buffer().data(), 1, header.size(), out) ==
+                 header.size();
+  write_ok =
+      write_ok && std::fwrite(payload.data(), 1, payload.size(), out) ==
+                      payload.size();
+  write_ok = write_ok && std::fflush(out) == 0;
+  std::fclose(out);
+  if (!write_ok) return IoErrnoError("write snapshot", tmp.string());
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, file, ec);
+  if (ec) return IoError("rename snapshot: " + ec.message());
+  return Status::Ok();
+}
+
+Status Database::LoadSnapshot(const std::filesystem::path& file) {
+  std::FILE* in = std::fopen(file.string().c_str(), "rb");
+  if (in == nullptr) return IoErrnoError("open snapshot", file.string());
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{in};
+
+  char magic[8];
+  if (std::fread(magic, 1, 8, in) != 8 ||
+      std::memcmp(magic, kSnapshotMagic, 8) != 0) {
+    return DataLossError("snapshot: bad magic in " + file.string());
+  }
+  std::uint8_t header[8];
+  if (std::fread(header, 1, 8, in) != 8) {
+    return DataLossError("snapshot: truncated header");
+  }
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&len, header, 4);
+  std::memcpy(&crc, header + 4, 4);
+  Bytes payload(len);
+  if (len > 0 && std::fread(payload.data(), 1, len, in) != len) {
+    return DataLossError("snapshot: truncated body");
+  }
+  if (Crc32c(payload) != crc) {
+    return DataLossError("snapshot: checksum mismatch");
+  }
+
+  BinaryReader reader(payload);
+  DPFS_ASSIGN_OR_RETURN(next_txn_id_, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(const std::uint32_t table_count, reader.ReadU32());
+  for (std::uint32_t t = 0; t < table_count; ++t) {
+    DPFS_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    DPFS_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(reader));
+    DPFS_ASSIGN_OR_RETURN(const std::uint64_t next_row_id, reader.ReadU64());
+    DPFS_ASSIGN_OR_RETURN(const std::uint64_t row_count, reader.ReadU64());
+    auto table = std::make_unique<Table>(name, std::move(schema));
+    for (std::uint64_t r = 0; r < row_count; ++r) {
+      DPFS_ASSIGN_OR_RETURN(const std::uint64_t row_id, reader.ReadU64());
+      DPFS_ASSIGN_OR_RETURN(const std::uint32_t value_count, reader.ReadU32());
+      Row row;
+      row.reserve(value_count);
+      for (std::uint32_t v = 0; v < value_count; ++v) {
+        DPFS_ASSIGN_OR_RETURN(Value value, Value::Deserialize(reader));
+        row.push_back(std::move(value));
+      }
+      DPFS_RETURN_IF_ERROR(table->InsertWithId(row_id, std::move(row)));
+    }
+    table->set_next_row_id(next_row_id);
+    tables_[ToLower(name)] = std::move(table);
+  }
+  return Status::Ok();
+}
+
+Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_txn_) {
+    return AbortedError("cannot checkpoint inside a transaction");
+  }
+  if (!wal_.has_value()) return Status::Ok();  // in-memory
+  DPFS_RETURN_IF_ERROR(WriteSnapshot(dir_ / "snapshot.db"));
+  return wal_->Reset();
+}
+
+void Database::SetAutoCheckpoint(std::uint64_t wal_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_checkpoint_wal_bytes_ = wal_bytes;
+}
+
+void Database::SetSyncCommits(bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_.has_value()) wal_->SetSyncCommits(sync);
+}
+
+Status Database::CreateIndex(std::string_view table, std::string_view column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPFS_ASSIGN_OR_RETURN(Table * found, FindTable(table));
+  return found->CreateIndex(column);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+Result<ResultSet> Database::Execute(std::string_view sql) {
+  DPFS_ASSIGN_OR_RETURN(const Statement statement, ParseStatement(sql));
+  return ExecuteStatement(statement);
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& statement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<ResultSet> result = ExecuteLocked(statement);
+  // Auto-checkpoint outside transactions once the WAL outgrows the bound.
+  if (result.ok() && !in_txn_ && wal_.has_value() &&
+      auto_checkpoint_wal_bytes_ > 0 &&
+      wal_->size_bytes() > auto_checkpoint_wal_bytes_) {
+    const Status snapshotted = WriteSnapshot(dir_ / "snapshot.db");
+    if (snapshotted.ok()) {
+      (void)wal_->Reset();  // failure leaves the WAL intact, which is safe
+    }
+  }
+  return result;
+}
+
+Result<Table*> Database::FindTable(std::string_view name) {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return NotFoundError("no such table '" + std::string(name) + "'");
+  }
+  return it->second.get();
+}
+
+void Database::RecordRedo(WalRecord record) {
+  record.txn_id = next_txn_id_;
+  redo_.push_back(std::move(record));
+}
+
+void Database::RecordUndo(UndoOp op) { undo_.push_back(std::move(op)); }
+
+Status Database::BeginLocked() {
+  if (in_txn_) return AbortedError("nested BEGIN");
+  in_txn_ = true;
+  implicit_txn_ = false;
+  redo_.clear();
+  undo_.clear();
+  return Status::Ok();
+}
+
+Status Database::CommitLocked() {
+  if (!in_txn_) return AbortedError("COMMIT outside transaction");
+  if (wal_.has_value() && !redo_.empty()) {
+    const Status appended = wal_->AppendTransaction(next_txn_id_, redo_);
+    if (!appended.ok()) {
+      // Durability failed: roll the in-memory state back so memory and disk
+      // stay consistent, then surface the error.
+      (void)RollbackLocked();
+      return appended;
+    }
+  }
+  ++next_txn_id_;
+  in_txn_ = false;
+  redo_.clear();
+  undo_.clear();
+  return Status::Ok();
+}
+
+Status Database::RollbackLocked() {
+  if (!in_txn_) return AbortedError("ROLLBACK outside transaction");
+  // Undo in reverse order.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    UndoOp& op = *it;
+    switch (op.kind) {
+      case UndoOp::Kind::kEraseInserted: {
+        const Result<Table*> table = FindTable(op.table);
+        if (table.ok()) (void)table.value()->Erase(op.row_id);
+        break;
+      }
+      case UndoOp::Kind::kRestoreRow: {
+        const Result<Table*> table = FindTable(op.table);
+        if (table.ok()) {
+          if (op.was_delete) {
+            (void)table.value()->InsertWithId(op.row_id, std::move(op.row));
+          } else {
+            (void)table.value()->UpdateRow(op.row_id, std::move(op.row));
+          }
+        }
+        break;
+      }
+      case UndoOp::Kind::kDropCreated:
+        tables_.erase(ToLower(op.table));
+        break;
+      case UndoOp::Kind::kRestoreTable:
+        tables_[ToLower(op.table)] = std::move(op.dropped);
+        break;
+    }
+  }
+  in_txn_ = false;
+  redo_.clear();
+  undo_.clear();
+  return Status::Ok();
+}
+
+Result<ResultSet> Database::ExecuteLocked(const Statement& statement) {
+  // Transaction control statements.
+  if (std::holds_alternative<BeginStmt>(statement)) {
+    DPFS_RETURN_IF_ERROR(BeginLocked());
+    return ResultSet{};
+  }
+  if (std::holds_alternative<CommitStmt>(statement)) {
+    DPFS_RETURN_IF_ERROR(CommitLocked());
+    return ResultSet{};
+  }
+  if (std::holds_alternative<RollbackStmt>(statement)) {
+    DPFS_RETURN_IF_ERROR(RollbackLocked());
+    return ResultSet{};
+  }
+
+  const bool auto_commit = !in_txn_;
+  if (auto_commit) {
+    DPFS_RETURN_IF_ERROR(BeginLocked());
+    implicit_txn_ = true;
+  }
+
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    if (const auto* stmt = std::get_if<CreateTableStmt>(&statement)) {
+      return ExecuteCreateTable(*stmt);
+    }
+    if (const auto* stmt = std::get_if<DropTableStmt>(&statement)) {
+      return ExecuteDropTable(*stmt);
+    }
+    if (const auto* stmt = std::get_if<InsertStmt>(&statement)) {
+      return ExecuteInsert(*stmt);
+    }
+    if (const auto* stmt = std::get_if<SelectStmt>(&statement)) {
+      return ExecuteSelect(*stmt);
+    }
+    if (const auto* stmt = std::get_if<UpdateStmt>(&statement)) {
+      return ExecuteUpdate(*stmt);
+    }
+    if (const auto* stmt = std::get_if<DeleteStmt>(&statement)) {
+      return ExecuteDelete(*stmt);
+    }
+    return InternalError("unhandled statement kind");
+  }();
+
+  if (auto_commit) {
+    if (result.ok()) {
+      DPFS_RETURN_IF_ERROR(CommitLocked());
+    } else {
+      (void)RollbackLocked();
+    }
+  } else if (!result.ok()) {
+    // Statement-level atomicity inside explicit transactions is provided by
+    // executing each statement against a consistent state: a failed statement
+    // has already rolled back its partial effects (see ExecuteInsert/Update).
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  const std::string key = ToLower(stmt.table);
+  if (tables_.contains(key)) {
+    if (stmt.if_not_exists) return ResultSet{};
+    return AlreadyExistsError("table '" + stmt.table + "' already exists");
+  }
+  DPFS_ASSIGN_OR_RETURN(Schema schema, Schema::Create(stmt.columns));
+  tables_[key] = std::make_unique<Table>(stmt.table, schema);
+  WalRecord redo;
+  redo.kind = WalRecordKind::kCreateTable;
+  redo.table = stmt.table;
+  redo.schema = std::move(schema);
+  RecordRedo(std::move(redo));
+  UndoOp undo;
+  undo.kind = UndoOp::Kind::kDropCreated;
+  undo.table = stmt.table;
+  RecordUndo(std::move(undo));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecuteDropTable(const DropTableStmt& stmt) {
+  const std::string key = ToLower(stmt.table);
+  const auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (stmt.if_exists) return ResultSet{};
+    return NotFoundError("no such table '" + stmt.table + "'");
+  }
+  UndoOp undo;
+  undo.kind = UndoOp::Kind::kRestoreTable;
+  undo.table = stmt.table;
+  undo.dropped = std::move(it->second);
+  tables_.erase(it);
+  RecordUndo(std::move(undo));
+  WalRecord redo;
+  redo.kind = WalRecordKind::kDropTable;
+  redo.table = stmt.table;
+  RecordRedo(std::move(redo));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
+  DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Map the statement's column list (or schema order) to indices.
+  std::vector<std::size_t> indices;
+  if (stmt.columns.empty()) {
+    indices.resize(schema.num_columns());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  } else {
+    for (const std::string& name : stmt.columns) {
+      DPFS_ASSIGN_OR_RETURN(const std::size_t index,
+                            schema.ColumnIndex(name));
+      indices.push_back(index);
+    }
+  }
+
+  std::vector<RowId> inserted;  // for partial rollback on failure
+  for (const std::vector<Value>& values : stmt.rows) {
+    if (values.size() != indices.size()) {
+      for (const RowId id : inserted) (void)table->Erase(id);
+      return InvalidArgumentError(
+          "INSERT arity mismatch: " + std::to_string(values.size()) +
+          " values for " + std::to_string(indices.size()) + " columns");
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (std::size_t i = 0; i < indices.size(); ++i) row[indices[i]] = values[i];
+    const Result<RowId> id = table->Insert(std::move(row));
+    if (!id.ok()) {
+      for (const RowId prev : inserted) (void)table->Erase(prev);
+      return id.status();
+    }
+    inserted.push_back(id.value());
+  }
+  for (const RowId id : inserted) {
+    DPFS_ASSIGN_OR_RETURN(Row stored, table->Get(id));
+    WalRecord redo;
+    redo.kind = WalRecordKind::kInsert;
+    redo.table = table->name();
+    redo.row_id = id;
+    redo.row = std::move(stored);
+    RecordRedo(std::move(redo));
+    UndoOp undo;
+    undo.kind = UndoOp::Kind::kEraseInserted;
+    undo.table = table->name();
+    undo.row_id = id;
+    RecordUndo(std::move(undo));
+  }
+  ResultSet result;
+  result.affected_rows = inserted.size();
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) {
+  DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(stmt.table));
+  const Schema& schema = table->schema();
+  DPFS_ASSIGN_OR_RETURN(auto matches, table->Scan(stmt.where.get()));
+
+  if (stmt.count_only) {
+    ResultSet result;
+    result.columns = {"count"};
+    result.rows.push_back({Value(static_cast<std::int64_t>(matches.size()))});
+    result.affected_rows = 1;
+    return result;
+  }
+
+  // Projection indices.
+  std::vector<std::size_t> projection;
+  ResultSet result;
+  if (stmt.columns.empty()) {
+    projection.resize(schema.num_columns());
+    for (std::size_t i = 0; i < projection.size(); ++i) {
+      projection[i] = i;
+      result.columns.push_back(schema.columns()[i].name);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      DPFS_ASSIGN_OR_RETURN(const std::size_t index, schema.ColumnIndex(name));
+      projection.push_back(index);
+      result.columns.push_back(schema.columns()[index].name);
+    }
+  }
+
+  if (stmt.order_by.has_value()) {
+    DPFS_ASSIGN_OR_RETURN(const std::size_t sort_col,
+                          schema.ColumnIndex(stmt.order_by->column));
+    const bool descending = stmt.order_by->descending;
+    std::stable_sort(matches.begin(), matches.end(),
+                     [sort_col, descending](const auto& a, const auto& b) {
+                       const Result<int> cmp =
+                           a.second[sort_col].Compare(b.second[sort_col]);
+                       const int c = cmp.ok() ? cmp.value() : 0;
+                       return descending ? c > 0 : c < 0;
+                     });
+  }
+
+  const std::size_t limit =
+      stmt.limit.value_or(std::numeric_limits<std::size_t>::max());
+  for (const auto& [id, row] : matches) {
+    if (result.rows.size() >= limit) break;
+    Row projected;
+    projected.reserve(projection.size());
+    for (const std::size_t index : projection) projected.push_back(row[index]);
+    result.rows.push_back(std::move(projected));
+  }
+  result.affected_rows = result.rows.size();
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
+  DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  std::vector<std::pair<std::size_t, Value>> assignments;
+  for (const auto& [name, value] : stmt.assignments) {
+    DPFS_ASSIGN_OR_RETURN(const std::size_t index, schema.ColumnIndex(name));
+    assignments.emplace_back(index, value);
+  }
+
+  DPFS_ASSIGN_OR_RETURN(const auto matches, table->Scan(stmt.where.get()));
+  // Two-phase: build all new rows first so a type error mutates nothing.
+  std::vector<std::pair<RowId, Row>> updates;
+  for (const auto& [id, row] : matches) {
+    Row new_row = row;
+    for (const auto& [index, value] : assignments) {
+      DPFS_ASSIGN_OR_RETURN(new_row[index],
+                            CoerceValue(value, schema.columns()[index].type));
+    }
+    DPFS_RETURN_IF_ERROR(schema.ValidateRow(new_row));
+    updates.emplace_back(id, std::move(new_row));
+  }
+  for (auto& [id, new_row] : updates) {
+    DPFS_ASSIGN_OR_RETURN(Row old_row, table->Get(id));
+    DPFS_RETURN_IF_ERROR(table->UpdateRow(id, new_row));
+    WalRecord redo;
+    redo.kind = WalRecordKind::kUpdate;
+    redo.table = table->name();
+    redo.row_id = id;
+    redo.row = new_row;
+    RecordRedo(std::move(redo));
+    UndoOp undo;
+    undo.kind = UndoOp::Kind::kRestoreRow;
+    undo.table = table->name();
+    undo.row_id = id;
+    undo.row = std::move(old_row);
+    undo.was_delete = false;
+    RecordUndo(std::move(undo));
+  }
+  ResultSet result;
+  result.affected_rows = updates.size();
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
+  DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(stmt.table));
+  DPFS_ASSIGN_OR_RETURN(const auto matches, table->Scan(stmt.where.get()));
+  for (const auto& [id, row] : matches) {
+    DPFS_RETURN_IF_ERROR(table->Erase(id));
+    WalRecord redo;
+    redo.kind = WalRecordKind::kDelete;
+    redo.table = table->name();
+    redo.row_id = id;
+    RecordRedo(std::move(redo));
+    UndoOp undo;
+    undo.kind = UndoOp::Kind::kRestoreRow;
+    undo.table = table->name();
+    undo.row_id = id;
+    undo.row = row;
+    undo.was_delete = true;
+    RecordUndo(std::move(undo));
+  }
+  ResultSet result;
+  result.affected_rows = matches.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+namespace {
+
+std::string SqlLiteral(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(value.AsInt());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.AsDouble());
+      // Ensure the literal parses back as a double, not an int.
+      std::string text(buf);
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos &&
+          text.find("inf") == std::string::npos &&
+          text.find("nan") == std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
+    case ValueType::kText: {
+      std::string out = "'";
+      for (const char c : value.AsText()) {
+        out += c;
+        if (c == '\'') out += '\'';
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string_view SqlTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kText: return "TEXT";
+    default: return "TEXT";
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Database::DumpSql() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> statements;
+  for (const auto& [key, table] : tables_) {
+    std::string ddl = "CREATE TABLE " + table->name() + " (";
+    const Schema& schema = table->schema();
+    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+      const ColumnDef& col = schema.columns()[c];
+      if (c > 0) ddl += ", ";
+      ddl += col.name;
+      ddl += ' ';
+      ddl += SqlTypeName(col.type);
+      if (col.primary_key) ddl += " PRIMARY KEY";
+    }
+    ddl += ")";
+    statements.push_back(std::move(ddl));
+
+    for (const auto& [row_id, row] : table->rows()) {
+      std::string insert = "INSERT INTO " + table->name() + " VALUES (";
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) insert += ", ";
+        insert += SqlLiteral(row[c]);
+      }
+      insert += ")";
+      statements.push_back(std::move(insert));
+    }
+  }
+  return statements;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+bool Database::HasTable(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.contains(ToLower(name));
+}
+
+bool Database::in_transaction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_txn_;
+}
+
+std::uint64_t Database::wal_size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.has_value() ? wal_->size_bytes() : 0;
+}
+
+}  // namespace dpfs::metadb

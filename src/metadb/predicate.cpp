@@ -1,0 +1,284 @@
+#include "metadb/predicate.h"
+
+#include <utility>
+
+namespace dpfs::metadb {
+namespace {
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kLiteral; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema&,
+                                       const Row&) const override {
+    return value_;
+  }
+  [[nodiscard]] std::string ToString() const override {
+    return value_.ToString();
+  }
+  [[nodiscard]] const Value& value() const noexcept { return value_; }
+
+ private:
+  Value value_;
+};
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kColumn; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema& schema,
+                                       const Row& row) const override {
+    DPFS_ASSIGN_OR_RETURN(const std::size_t index, schema.ColumnIndex(name_));
+    return row.at(index);
+  }
+  [[nodiscard]] std::string ToString() const override { return name_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kCompare; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema& schema,
+                                       const Row& row) const override {
+    DPFS_ASSIGN_OR_RETURN(const Value lhs, lhs_->Evaluate(schema, row));
+    DPFS_ASSIGN_OR_RETURN(const Value rhs, rhs_->Evaluate(schema, row));
+    // SQL semantics: comparison with NULL yields NULL (treated false by
+    // EvaluateFilter).
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    DPFS_ASSIGN_OR_RETURN(const int cmp, lhs.Compare(rhs));
+    bool truth = false;
+    switch (op_) {
+      case CompareOp::kEq: truth = cmp == 0; break;
+      case CompareOp::kNe: truth = cmp != 0; break;
+      case CompareOp::kLt: truth = cmp < 0; break;
+      case CompareOp::kLe: truth = cmp <= 0; break;
+      case CompareOp::kGt: truth = cmp > 0; break;
+      case CompareOp::kGe: truth = cmp >= 0; break;
+    }
+    return Value(static_cast<std::int64_t>(truth));
+  }
+  [[nodiscard]] std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + std::string(CompareOpName(op_)) +
+           " " + rhs_->ToString() + ")";
+  }
+  [[nodiscard]] CompareOp op() const noexcept { return op_; }
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const noexcept { return *rhs_; }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class BinaryBoolExpr final : public Expr {
+ public:
+  BinaryBoolExpr(Kind kind, ExprPtr lhs, ExprPtr rhs)
+      : kind_(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] Kind kind() const noexcept override { return kind_; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema& schema,
+                                       const Row& row) const override {
+    DPFS_ASSIGN_OR_RETURN(const bool lhs, EvaluateFilter(*lhs_, schema, row));
+    if (kind_ == Kind::kAnd && !lhs) return Value(std::int64_t{0});
+    if (kind_ == Kind::kOr && lhs) return Value(std::int64_t{1});
+    DPFS_ASSIGN_OR_RETURN(const bool rhs, EvaluateFilter(*rhs_, schema, row));
+    return Value(static_cast<std::int64_t>(rhs));
+  }
+  [[nodiscard]] std::string ToString() const override {
+    const char* name = kind_ == Kind::kAnd ? " AND " : " OR ";
+    return "(" + lhs_->ToString() + name + rhs_->ToString() + ")";
+  }
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const noexcept { return *rhs_; }
+
+ private:
+  Kind kind_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kNot; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema& schema,
+                                       const Row& row) const override {
+    DPFS_ASSIGN_OR_RETURN(const bool v, EvaluateFilter(*operand_, schema, row));
+    return Value(static_cast<std::int64_t>(!v));
+  }
+  [[nodiscard]] std::string ToString() const override {
+    return "(NOT " + operand_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kIsNull; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema& schema,
+                                       const Row& row) const override {
+    DPFS_ASSIGN_OR_RETURN(const Value v, operand_->Evaluate(schema, row));
+    const bool truth = negated_ ? !v.is_null() : v.is_null();
+    return Value(static_cast<std::int64_t>(truth));
+  }
+  [[nodiscard]] std::string ToString() const override {
+    return "(" + operand_->ToString() +
+           (negated_ ? " IS NOT NULL)" : " IS NULL)");
+  }
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(ExprPtr operand, std::string pattern, bool negated)
+      : operand_(std::move(operand)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kLike; }
+  [[nodiscard]] Result<Value> Evaluate(const Schema& schema,
+                                       const Row& row) const override {
+    DPFS_ASSIGN_OR_RETURN(const Value v, operand_->Evaluate(schema, row));
+    if (v.is_null()) return Value::Null();
+    if (v.type() != ValueType::kText) {
+      return InvalidArgumentError("LIKE requires a text operand");
+    }
+    const bool truth = LikeMatch(v.AsText(), pattern_) != negated_;
+    return Value(static_cast<std::int64_t>(truth));
+  }
+  [[nodiscard]] std::string ToString() const override {
+    return "(" + operand_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+           pattern_ + "')";
+  }
+
+ private:
+  ExprPtr operand_;
+  std::string pattern_;
+  bool negated_;
+};
+
+}  // namespace
+
+bool LikeMatch(std::string_view text, std::string_view pattern) noexcept {
+  // Iterative wildcard match with backtracking over the last '%'.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string_view CompareOpName(CompareOp op) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value value) {
+  return std::make_shared<LiteralExpr>(std::move(value));
+}
+ExprPtr MakeColumn(std::string name) {
+  return std::make_shared<ColumnExpr>(std::move(name));
+}
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryBoolExpr>(Expr::Kind::kAnd, std::move(lhs),
+                                          std::move(rhs));
+}
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryBoolExpr>(Expr::Kind::kOr, std::move(lhs),
+                                          std::move(rhs));
+}
+ExprPtr MakeNot(ExprPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  return std::make_shared<IsNullExpr>(std::move(operand), negated);
+}
+ExprPtr MakeLike(ExprPtr operand, std::string pattern, bool negated) {
+  return std::make_shared<LikeExpr>(std::move(operand), std::move(pattern),
+                                    negated);
+}
+
+Result<bool> EvaluateFilter(const Expr& expr, const Schema& schema,
+                            const Row& row) {
+  DPFS_ASSIGN_OR_RETURN(const Value v, expr.Evaluate(schema, row));
+  if (v.is_null()) return false;
+  switch (v.type()) {
+    case ValueType::kInt: return v.AsInt() != 0;
+    case ValueType::kDouble: return v.AsDouble() != 0.0;
+    default:
+      return InvalidArgumentError("WHERE clause did not evaluate to boolean");
+  }
+}
+
+std::optional<Value> ExtractEqualityConstraint(const Expr& expr,
+                                               const Schema& schema,
+                                               std::size_t column_index) {
+  if (expr.kind() == Expr::Kind::kAnd) {
+    const auto& and_expr = static_cast<const BinaryBoolExpr&>(expr);
+    if (auto lhs =
+            ExtractEqualityConstraint(and_expr.lhs(), schema, column_index)) {
+      return lhs;
+    }
+    return ExtractEqualityConstraint(and_expr.rhs(), schema, column_index);
+  }
+  if (expr.kind() != Expr::Kind::kCompare) return std::nullopt;
+  const auto& cmp = static_cast<const CompareExpr&>(expr);
+  if (cmp.op() != CompareOp::kEq) return std::nullopt;
+
+  const Expr* column_side = nullptr;
+  const Expr* literal_side = nullptr;
+  if (cmp.lhs().kind() == Expr::Kind::kColumn &&
+      cmp.rhs().kind() == Expr::Kind::kLiteral) {
+    column_side = &cmp.lhs();
+    literal_side = &cmp.rhs();
+  } else if (cmp.rhs().kind() == Expr::Kind::kColumn &&
+             cmp.lhs().kind() == Expr::Kind::kLiteral) {
+    column_side = &cmp.rhs();
+    literal_side = &cmp.lhs();
+  } else {
+    return std::nullopt;
+  }
+  const auto& column = static_cast<const ColumnExpr&>(*column_side);
+  const Result<std::size_t> index = schema.ColumnIndex(column.name());
+  if (!index.ok() || index.value() != column_index) return std::nullopt;
+  return static_cast<const LiteralExpr&>(*literal_side).value();
+}
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,73 @@
+// WHERE-clause expression trees.
+//
+// Expressions are built by the SQL parser (or programmatically by tests) and
+// evaluated against a (Schema, Row) pair. Supported: column references,
+// literals, =, !=, <, <=, >, >=, AND, OR, NOT, IS NULL / IS NOT NULL.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "metadb/schema.h"
+#include "metadb/value.h"
+
+namespace dpfs::metadb {
+
+enum class CompareOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op) noexcept;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Construct through the factory functions below.
+class Expr {
+ public:
+  enum class Kind : std::uint8_t {
+    kLiteral,
+    kColumn,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kIsNull,
+    kLike,
+  };
+
+  virtual ~Expr() = default;
+  [[nodiscard]] virtual Kind kind() const noexcept = 0;
+
+  /// Evaluates to a Value. Boolean results are int 0/1.
+  [[nodiscard]] virtual Result<Value> Evaluate(const Schema& schema,
+                                               const Row& row) const = 0;
+
+  /// Pretty form for error messages and EXPLAIN-style debugging.
+  [[nodiscard]] virtual std::string ToString() const = 0;
+};
+
+ExprPtr MakeLiteral(Value value);
+ExprPtr MakeColumn(std::string name);
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+/// SQL LIKE: '%' matches any run (including empty), '_' any single char.
+ExprPtr MakeLike(ExprPtr operand, std::string pattern, bool negated);
+
+/// The LIKE matcher itself (exposed for tests).
+bool LikeMatch(std::string_view text, std::string_view pattern) noexcept;
+
+/// Evaluates `expr` as a boolean filter; NULL results count as false.
+Result<bool> EvaluateFilter(const Expr& expr, const Schema& schema,
+                            const Row& row);
+
+/// If `expr` constrains `column_index` to a single equality value
+/// (possibly under AND), returns that value — used for primary-key fast
+/// paths. Returns nullopt when no such constraint exists.
+std::optional<Value> ExtractEqualityConstraint(const Expr& expr,
+                                               const Schema& schema,
+                                               std::size_t column_index);
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,95 @@
+#include "metadb/schema.h"
+
+#include "common/strings.h"
+
+namespace dpfs::metadb {
+
+Result<Schema> Schema::Create(std::vector<ColumnDef> columns) {
+  if (columns.empty()) {
+    return InvalidArgumentError("schema must have at least one column");
+  }
+  Schema schema;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const ColumnDef& col = columns[i];
+    if (col.name.empty()) {
+      return InvalidArgumentError("column name must be non-empty");
+    }
+    if (col.type == ValueType::kNull) {
+      return InvalidArgumentError("column '" + col.name +
+                                  "' cannot have type null");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(columns[j].name, col.name)) {
+        return InvalidArgumentError("duplicate column name '" + col.name + "'");
+      }
+    }
+    if (col.primary_key) {
+      if (schema.primary_key_index_.has_value()) {
+        return InvalidArgumentError("multiple primary key columns");
+      }
+      schema.primary_key_index_ = i;
+    }
+  }
+  schema.columns_ = std::move(columns);
+  return schema;
+}
+
+Result<std::size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return NotFoundError("no such column '" + std::string(name) + "'");
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return InvalidArgumentError(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const Result<Value> coerced = CoerceValue(row[i], columns_[i].type);
+    if (!coerced.ok()) {
+      return coerced.status().WithContext("column '" + columns_[i].name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+void Schema::Serialize(BinaryWriter& writer) const {
+  writer.WriteU32(static_cast<std::uint32_t>(columns_.size()));
+  for (const ColumnDef& col : columns_) {
+    writer.WriteString(col.name);
+    writer.WriteU8(static_cast<std::uint8_t>(col.type));
+    writer.WriteBool(col.primary_key);
+  }
+}
+
+Result<Schema> Schema::Deserialize(BinaryReader& reader) {
+  DPFS_ASSIGN_OR_RETURN(const std::uint32_t count, reader.ReadU32());
+  std::vector<ColumnDef> columns;
+  columns.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ColumnDef col;
+    DPFS_ASSIGN_OR_RETURN(col.name, reader.ReadString());
+    DPFS_ASSIGN_OR_RETURN(const std::uint8_t type_tag, reader.ReadU8());
+    col.type = static_cast<ValueType>(type_tag);
+    DPFS_ASSIGN_OR_RETURN(col.primary_key, reader.ReadBool());
+    columns.push_back(std::move(col));
+  }
+  return Schema::Create(std::move(columns));
+}
+
+Result<Value> CoerceValue(const Value& value, ValueType type) {
+  if (value.is_null()) return value;
+  if (value.type() == type) return value;
+  if (type == ValueType::kDouble && value.type() == ValueType::kInt) {
+    return Value(static_cast<double>(value.AsInt()));
+  }
+  return InvalidArgumentError("type mismatch: cannot store " +
+                              std::string(ValueTypeName(value.type())) +
+                              " into " + std::string(ValueTypeName(type)) +
+                              " column");
+}
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,63 @@
+// Table schemas: typed, named columns with optional PRIMARY KEY.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "metadb/value.h"
+
+namespace dpfs::metadb {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kText;
+  bool primary_key = false;  // at most one column per table
+
+  friend bool operator==(const ColumnDef&, const ColumnDef&) = default;
+};
+
+using Row = std::vector<Value>;
+
+class Schema {
+ public:
+  Schema() = default;
+  /// Validates: non-empty, unique case-insensitive names, ≤1 primary key,
+  /// no kNull column types.
+  static Result<Schema> Create(std::vector<ColumnDef> columns);
+
+  [[nodiscard]] const std::vector<ColumnDef>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return columns_.size();
+  }
+
+  /// Case-insensitive lookup; kNotFound if absent.
+  [[nodiscard]] Result<std::size_t> ColumnIndex(std::string_view name) const;
+
+  /// Index of the PRIMARY KEY column, if declared.
+  [[nodiscard]] std::optional<std::size_t> primary_key_index() const noexcept {
+    return primary_key_index_;
+  }
+
+  /// Checks arity and per-column type compatibility (NULL always allowed,
+  /// int accepted into double columns).
+  [[nodiscard]] Status ValidateRow(const Row& row) const;
+
+  void Serialize(BinaryWriter& writer) const;
+  static Result<Schema> Deserialize(BinaryReader& reader);
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::optional<std::size_t> primary_key_index_;
+};
+
+/// Coerces `value` for storage into a column of `type`: int → double when the
+/// column is double; everything else must match exactly or be NULL.
+Result<Value> CoerceValue(const Value& value, ValueType type);
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,147 @@
+#include "metadb/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dpfs::metadb {
+
+bool Token::IsSymbol(std::string_view s) const noexcept {
+  return kind == TokenKind::kSymbol && text == s;
+}
+
+bool Token::IsKeyword(std::string_view keyword) const noexcept {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+namespace {
+
+bool IsIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+  // '-' and '.' appear inside DPFS identifiers like DPFS-SERVER and host
+  // names; the lexer only treats '-' as part of an identifier when it follows
+  // an identifier character (handled by the scan loop below).
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+
+  const auto make_error = [&](const std::string& what, std::size_t at) {
+    return InvalidArgumentError("sql lexer: " + what + " at offset " +
+                                std::to_string(at));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentBody(sql[i])) ++i;
+      // Trim a trailing '-' or '.' that is really punctuation.
+      while (i > start && (sql[i - 1] == '-' || sql[i - 1] == '.')) --i;
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          if (is_float) return make_error("malformed number", start);
+          is_float = true;
+        }
+        ++i;
+      }
+      const std::string_view text = sql.substr(start, i - start);
+      if (is_float) {
+        DPFS_ASSIGN_OR_RETURN(token.float_value, ParseDouble(text));
+        token.kind = TokenKind::kFloat;
+      } else {
+        DPFS_ASSIGN_OR_RETURN(token.int_value, ParseInt64(text));
+        token.kind = TokenKind::kInteger;
+      }
+      token.text = std::string(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body += sql[i++];
+      }
+      if (!closed) return make_error("unterminated string literal", token.offset);
+      token.kind = TokenKind::kString;
+      token.text = std::move(body);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Multi-char operators first.
+    const std::string_view rest = sql.substr(i);
+    for (const std::string_view op : {"!=", "<>", "<=", ">="}) {
+      if (StartsWith(rest, op)) {
+        token.kind = TokenKind::kSymbol;
+        token.text = (op == "<>") ? "!=" : std::string(op);
+        tokens.push_back(std::move(token));
+        i += op.size();
+        goto next_char;
+      }
+    }
+    if (std::string_view("(),;*=<>").find(c) != std::string_view::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return make_error(std::string("unexpected character '") + c + "'", i);
+  next_char:;
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dpfs::metadb

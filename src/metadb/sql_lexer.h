@@ -1,0 +1,36 @@
+// Tokenizer for the DPFS SQL subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpfs::metadb {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,   // table / column names and keywords (case-insensitive)
+  kInteger,      // 42, -17
+  kFloat,        // 3.5, -0.25
+  kString,       // 'text' with '' escaping
+  kSymbol,       // ( ) , ; * = != <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/symbol text, or decoded string body
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::size_t offset = 0;  // byte offset in the input, for error messages
+
+  [[nodiscard]] bool IsSymbol(std::string_view s) const noexcept;
+  /// Case-insensitive keyword match against an identifier token.
+  [[nodiscard]] bool IsKeyword(std::string_view keyword) const noexcept;
+};
+
+/// Tokenizes the full input; the last token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace dpfs::metadb

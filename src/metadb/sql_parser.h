@@ -1,0 +1,14 @@
+// Recursive-descent parser for the DPFS SQL subset (see sql_ast.h).
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "metadb/sql_ast.h"
+
+namespace dpfs::metadb {
+
+/// Parses exactly one statement (an optional trailing ';' is allowed).
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace dpfs::metadb

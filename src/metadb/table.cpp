@@ -1,0 +1,202 @@
+#include "metadb/table.h"
+
+#include <algorithm>
+
+namespace dpfs::metadb {
+
+std::string Table::EncodeKey(const Value& value) {
+  BinaryWriter writer;
+  value.Serialize(writer);
+  const Bytes& raw = writer.buffer();
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+Status Table::CheckPrimaryKey(const Row& row,
+                              std::optional<RowId> ignore_id) const {
+  const auto pk = schema_.primary_key_index();
+  if (!pk.has_value()) return Status::Ok();
+  const Value& key = row[*pk];
+  if (key.is_null()) {
+    return InvalidArgumentError("table '" + name_ +
+                                "': primary key cannot be NULL");
+  }
+  const auto it = pk_index_.find(EncodeKey(key));
+  if (it != pk_index_.end() && (!ignore_id || it->second != *ignore_id)) {
+    return AlreadyExistsError("table '" + name_ + "': duplicate primary key " +
+                              key.ToString());
+  }
+  return Status::Ok();
+}
+
+void Table::IndexInsert(const Row& row, RowId id) {
+  const auto pk = schema_.primary_key_index();
+  if (pk.has_value()) pk_index_[EncodeKey(row[*pk])] = id;
+  for (auto& [column, index] : secondary_indexes_) {
+    std::vector<RowId>& ids = index[EncodeKey(row[column])];
+    ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+  }
+}
+
+void Table::IndexErase(const Row& row, RowId id) {
+  const auto pk = schema_.primary_key_index();
+  if (pk.has_value()) pk_index_.erase(EncodeKey(row[*pk]));
+  for (auto& [column, index] : secondary_indexes_) {
+    const auto it = index.find(EncodeKey(row[column]));
+    if (it == index.end()) continue;
+    std::vector<RowId>& ids = it->second;
+    const auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+    if (pos != ids.end() && *pos == id) ids.erase(pos);
+    if (ids.empty()) index.erase(it);
+  }
+}
+
+Status Table::CreateIndex(std::string_view column) {
+  DPFS_ASSIGN_OR_RETURN(const std::size_t column_index,
+                        schema_.ColumnIndex(column));
+  if (secondary_indexes_.contains(column_index)) return Status::Ok();
+  std::map<std::string, std::vector<RowId>>& index =
+      secondary_indexes_[column_index];
+  for (const auto& [id, row] : rows_) {
+    index[EncodeKey(row[column_index])].push_back(id);  // rows_ is id-sorted
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(std::size_t column_index) const noexcept {
+  return secondary_indexes_.contains(column_index);
+}
+
+Result<std::vector<RowId>> Table::LookupByIndex(std::size_t column_index,
+                                                const Value& key) const {
+  const auto index_it = secondary_indexes_.find(column_index);
+  if (index_it == secondary_indexes_.end()) {
+    return NotFoundError("table '" + name_ + "': no index on column " +
+                         std::to_string(column_index));
+  }
+  const auto it = index_it->second.find(EncodeKey(key));
+  if (it == index_it->second.end()) return std::vector<RowId>{};
+  return it->second;
+}
+
+Result<RowId> Table::Insert(Row row) {
+  DPFS_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    DPFS_ASSIGN_OR_RETURN(row[i],
+                          CoerceValue(row[i], schema_.columns()[i].type));
+  }
+  DPFS_RETURN_IF_ERROR(CheckPrimaryKey(row, std::nullopt));
+  const RowId id = next_row_id_++;
+  IndexInsert(row, id);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+Status Table::InsertWithId(RowId id, Row row) {
+  if (rows_.contains(id)) {
+    return AlreadyExistsError("table '" + name_ + "': row id " +
+                              std::to_string(id) + " already exists");
+  }
+  DPFS_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  DPFS_RETURN_IF_ERROR(CheckPrimaryKey(row, std::nullopt));
+  IndexInsert(row, id);
+  rows_.emplace(id, std::move(row));
+  if (id >= next_row_id_) next_row_id_ = id + 1;
+  return Status::Ok();
+}
+
+Status Table::UpdateRow(RowId id, Row new_row) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return NotFoundError("table '" + name_ + "': no row " + std::to_string(id));
+  }
+  DPFS_RETURN_IF_ERROR(schema_.ValidateRow(new_row));
+  for (std::size_t i = 0; i < new_row.size(); ++i) {
+    DPFS_ASSIGN_OR_RETURN(new_row[i],
+                          CoerceValue(new_row[i], schema_.columns()[i].type));
+  }
+  DPFS_RETURN_IF_ERROR(CheckPrimaryKey(new_row, id));
+  IndexErase(it->second, id);
+  IndexInsert(new_row, id);
+  it->second = std::move(new_row);
+  return Status::Ok();
+}
+
+Status Table::Erase(RowId id) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return NotFoundError("table '" + name_ + "': no row " + std::to_string(id));
+  }
+  IndexErase(it->second, id);
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+Result<Row> Table::Get(RowId id) const {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return NotFoundError("table '" + name_ + "': no row " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<RowId> Table::LookupByPrimaryKey(const Value& key) const {
+  if (!schema_.primary_key_index().has_value()) {
+    return NotFoundError("table '" + name_ + "': no primary key declared");
+  }
+  const auto it = pk_index_.find(EncodeKey(key));
+  if (it == pk_index_.end()) {
+    return NotFoundError("table '" + name_ + "': no row with key " +
+                         key.ToString());
+  }
+  return it->second;
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Table::Scan(
+    const Expr* filter) const {
+  std::vector<std::pair<RowId, Row>> out;
+  // Primary-key fast path: an equality constraint on the PK column reduces
+  // the scan to one index probe.
+  if (filter != nullptr) {
+    const auto pk = schema_.primary_key_index();
+    if (pk.has_value()) {
+      if (const auto key = ExtractEqualityConstraint(*filter, schema_, *pk)) {
+        const Result<RowId> id = LookupByPrimaryKey(*key);
+        if (!id.ok()) return out;  // no match
+        DPFS_ASSIGN_OR_RETURN(Row row, Get(id.value()));
+        DPFS_ASSIGN_OR_RETURN(const bool keep,
+                              EvaluateFilter(*filter, schema_, row));
+        if (keep) out.emplace_back(id.value(), std::move(row));
+        return out;
+      }
+    }
+  }
+  // Secondary-index fast path: an equality constraint on an indexed column
+  // narrows the scan to that key's row list (residual filter still applies).
+  if (filter != nullptr) {
+    for (const auto& [column, index] : secondary_indexes_) {
+      const auto key = ExtractEqualityConstraint(*filter, schema_, column);
+      if (!key.has_value()) continue;
+      DPFS_ASSIGN_OR_RETURN(const std::vector<RowId> ids,
+                            LookupByIndex(column, *key));
+      for (const RowId id : ids) {
+        DPFS_ASSIGN_OR_RETURN(Row row, Get(id));
+        DPFS_ASSIGN_OR_RETURN(const bool keep,
+                              EvaluateFilter(*filter, schema_, row));
+        if (keep) out.emplace_back(id, std::move(row));
+      }
+      return out;
+    }
+  }
+
+  for (const auto& [id, row] : rows_) {
+    if (filter != nullptr) {
+      DPFS_ASSIGN_OR_RETURN(const bool keep,
+                            EvaluateFilter(*filter, schema_, row));
+      if (!keep) continue;
+    }
+    out.emplace_back(id, row);
+  }
+  return out;
+}
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,96 @@
+#include "metadb/value.h"
+
+#include <cstdio>
+
+namespace dpfs::metadb {
+
+std::string_view ValueTypeName(ValueType type) noexcept {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kText: return "text";
+  }
+  return "unknown";
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt: return static_cast<double>(AsInt());
+    case ValueType::kDouble: return AsDouble();
+    default:
+      return InvalidArgumentError("cannot coerce " +
+                                  std::string(ValueTypeName(type())) +
+                                  " to double");
+  }
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (type() == ValueType::kText || other.type() == ValueType::kText) {
+    if (type() != ValueType::kText || other.type() != ValueType::kText) {
+      return InvalidArgumentError("cannot compare text with " +
+                                  std::string(ValueTypeName(type())) + "/" +
+                                  std::string(ValueTypeName(other.type())));
+    }
+    const int cmp = AsText().compare(other.AsText());
+    return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+    const std::int64_t a = AsInt();
+    const std::int64_t b = other.AsInt();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  DPFS_ASSIGN_OR_RETURN(const double a, ToDouble());
+  DPFS_ASSIGN_OR_RETURN(const double b, other.ToDouble());
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kText: return "'" + AsText() + "'";
+  }
+  return "?";
+}
+
+void Value::Serialize(BinaryWriter& writer) const {
+  writer.WriteU8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull: break;
+    case ValueType::kInt: writer.WriteI64(AsInt()); break;
+    case ValueType::kDouble: writer.WriteF64(AsDouble()); break;
+    case ValueType::kText: writer.WriteString(AsText()); break;
+  }
+}
+
+Result<Value> Value::Deserialize(BinaryReader& reader) {
+  DPFS_ASSIGN_OR_RETURN(const std::uint8_t tag, reader.ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull: return Value::Null();
+    case ValueType::kInt: {
+      DPFS_ASSIGN_OR_RETURN(const std::int64_t v, reader.ReadI64());
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      DPFS_ASSIGN_OR_RETURN(const double v, reader.ReadF64());
+      return Value(v);
+    }
+    case ValueType::kText: {
+      DPFS_ASSIGN_OR_RETURN(std::string v, reader.ReadString());
+      return Value(std::move(v));
+    }
+  }
+  return ProtocolError("value: bad type tag " + std::to_string(tag));
+}
+
+}  // namespace dpfs::metadb

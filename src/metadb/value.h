@@ -1,0 +1,72 @@
+// Typed cell values for the DPFS metadata database.
+//
+// The four DPFS tables use integers (sizes, performance numbers), doubles
+// (reserved), and text (names, brick lists, HPF patterns). NULL is supported
+// because DPFS-FILE-ATTR columns like `pattern` only apply to array-level
+// files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dpfs::metadb {
+
+enum class ValueType : std::uint8_t { kNull = 0, kInt = 1, kDouble = 2, kText = 3 };
+
+std::string_view ValueTypeName(ValueType type) noexcept;
+
+/// A dynamically typed cell. Comparison between numeric types promotes to
+/// double; comparing text with numbers is an error (kInvalidArgument).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}  // NULL
+  Value(std::int64_t v) : data_(v) {}   // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}         // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  [[nodiscard]] ValueType type() const noexcept {
+    return static_cast<ValueType>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept {
+    return type() == ValueType::kNull;
+  }
+
+  /// Typed accessors; calling the wrong one on a populated value aborts
+  /// (programming error). Use type() to dispatch.
+  [[nodiscard]] std::int64_t AsInt() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] double AsDouble() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& AsText() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric coercion: int or double → double. Error on text/NULL.
+  [[nodiscard]] Result<double> ToDouble() const;
+
+  /// Three-way compare. NULL compares equal to NULL and less than everything
+  /// else (SQL-lite semantics sufficient for metadata predicates; DPFS
+  /// predicates never rely on NULL ordering).
+  [[nodiscard]] Result<int> Compare(const Value& other) const;
+
+  /// Display form: NULL, 42, 3.5, 'text'.
+  [[nodiscard]] std::string ToString() const;
+
+  void Serialize(BinaryWriter& writer) const;
+  static Result<Value> Deserialize(BinaryReader& reader);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    const auto cmp = a.Compare(b);
+    return cmp.ok() && cmp.value() == 0;
+  }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+}  // namespace dpfs::metadb

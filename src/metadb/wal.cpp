@@ -1,0 +1,248 @@
+#include "metadb/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/log.h"
+
+namespace dpfs::metadb {
+
+Bytes WalRecord::Encode() const {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(kind));
+  writer.WriteU64(txn_id);
+  switch (kind) {
+    case WalRecordKind::kBegin:
+    case WalRecordKind::kCommit:
+      break;
+    case WalRecordKind::kCreateTable:
+      writer.WriteString(table);
+      schema.Serialize(writer);
+      break;
+    case WalRecordKind::kDropTable:
+      writer.WriteString(table);
+      break;
+    case WalRecordKind::kInsert:
+    case WalRecordKind::kUpdate:
+      writer.WriteString(table);
+      writer.WriteU64(row_id);
+      writer.WriteU32(static_cast<std::uint32_t>(row.size()));
+      for (const Value& v : row) v.Serialize(writer);
+      break;
+    case WalRecordKind::kDelete:
+      writer.WriteString(table);
+      writer.WriteU64(row_id);
+      break;
+  }
+  return std::move(writer).TakeBuffer();
+}
+
+Result<WalRecord> WalRecord::Decode(ByteSpan payload) {
+  BinaryReader reader(payload);
+  WalRecord record;
+  DPFS_ASSIGN_OR_RETURN(const std::uint8_t kind_tag, reader.ReadU8());
+  record.kind = static_cast<WalRecordKind>(kind_tag);
+  DPFS_ASSIGN_OR_RETURN(record.txn_id, reader.ReadU64());
+  switch (record.kind) {
+    case WalRecordKind::kBegin:
+    case WalRecordKind::kCommit:
+      break;
+    case WalRecordKind::kCreateTable: {
+      DPFS_ASSIGN_OR_RETURN(record.table, reader.ReadString());
+      DPFS_ASSIGN_OR_RETURN(record.schema, Schema::Deserialize(reader));
+      break;
+    }
+    case WalRecordKind::kDropTable: {
+      DPFS_ASSIGN_OR_RETURN(record.table, reader.ReadString());
+      break;
+    }
+    case WalRecordKind::kInsert:
+    case WalRecordKind::kUpdate: {
+      DPFS_ASSIGN_OR_RETURN(record.table, reader.ReadString());
+      DPFS_ASSIGN_OR_RETURN(record.row_id, reader.ReadU64());
+      DPFS_ASSIGN_OR_RETURN(const std::uint32_t count, reader.ReadU32());
+      record.row.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        DPFS_ASSIGN_OR_RETURN(Value v, Value::Deserialize(reader));
+        record.row.push_back(std::move(v));
+      }
+      break;
+    }
+    case WalRecordKind::kDelete: {
+      DPFS_ASSIGN_OR_RETURN(record.table, reader.ReadString());
+      DPFS_ASSIGN_OR_RETURN(record.row_id, reader.ReadU64());
+      break;
+    }
+    default:
+      return ProtocolError("wal: bad record kind " + std::to_string(kind_tag));
+  }
+  if (!reader.AtEnd()) return ProtocolError("wal: record has trailing bytes");
+  return record;
+}
+
+namespace {
+
+/// Reads the whole file; returns decoded records of the committed prefix.
+Result<std::vector<WalRecord>> ReadCommittedRecords(
+    const std::filesystem::path& path, std::uint64_t* valid_size) {
+  *valid_size = 0;
+  std::vector<WalRecord> committed;
+  std::FILE* file = std::fopen(path.string().c_str(), "rb");
+  if (file == nullptr) return committed;  // no log yet
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  std::vector<WalRecord> pending;   // ops of the in-flight txn
+  bool in_txn = false;
+  std::uint64_t offset = 0;
+
+  while (true) {
+    std::uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) break;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, header, 4);
+    std::memcpy(&crc, header + 4, 4);
+    if (len > (64u << 20)) break;  // corrupt length; treat as torn tail
+    Bytes payload(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, file) != len) break;
+    if (Crc32c(payload) != crc) break;  // torn/corrupt tail
+    const Result<WalRecord> decoded = WalRecord::Decode(payload);
+    if (!decoded.ok()) break;
+    const WalRecord& record = decoded.value();
+
+    switch (record.kind) {
+      case WalRecordKind::kBegin:
+        pending.clear();
+        in_txn = true;
+        break;
+      case WalRecordKind::kCommit:
+        if (in_txn) {
+          for (WalRecord& op : pending) committed.push_back(std::move(op));
+          pending.clear();
+          in_txn = false;
+          // Everything up to and including this record is durable.
+          offset += 8 + len;
+          *valid_size = offset;
+          continue;
+        }
+        break;
+      default:
+        if (in_txn) pending.push_back(record);
+        break;
+    }
+    offset += 8 + len;
+  }
+  return committed;
+}
+
+}  // namespace
+
+Result<WriteAheadLog> WriteAheadLog::Open(
+    const std::filesystem::path& path,
+    const std::function<Status(const WalRecord&)>& apply,
+    std::uint64_t* max_txn_id) {
+  std::uint64_t valid_size = 0;
+  DPFS_ASSIGN_OR_RETURN(const std::vector<WalRecord> committed,
+                        ReadCommittedRecords(path, &valid_size));
+  for (const WalRecord& record : committed) {
+    DPFS_RETURN_IF_ERROR(
+        apply(record).WithContext("wal replay of table '" + record.table + "'"));
+    if (max_txn_id != nullptr && record.txn_id > *max_txn_id) {
+      *max_txn_id = record.txn_id;
+    }
+  }
+  // Truncate any torn tail so new appends start at a clean boundary.
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::resize_file(path, valid_size, ec);
+    if (ec) return IoError("wal truncate: " + ec.message());
+  }
+  std::FILE* file = std::fopen(path.string().c_str(), "ab");
+  if (file == nullptr) return IoErrnoError("open wal", path.string());
+  return WriteAheadLog(file, path, valid_size);
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      size_(other.size_),
+      sync_commits_(other.sync_commits_) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    size_ = other.size_;
+    sync_commits_ = other.sync_commits_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+void WriteAheadLog::Close() noexcept {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteAheadLog::AppendTransaction(std::uint64_t txn_id,
+                                        const std::vector<WalRecord>& ops) {
+  if (file_ == nullptr) return InternalError("wal: closed");
+  BinaryWriter frame;
+  const auto append_record = [&frame](const WalRecord& record) {
+    const Bytes payload = record.Encode();
+    frame.WriteU32(static_cast<std::uint32_t>(payload.size()));
+    frame.WriteU32(Crc32c(payload));
+    frame.WriteRaw(payload);
+  };
+  WalRecord begin;
+  begin.kind = WalRecordKind::kBegin;
+  begin.txn_id = txn_id;
+  append_record(begin);
+  for (const WalRecord& op : ops) {
+    WalRecord stamped = op;  // ops carry the owning transaction's id
+    stamped.txn_id = txn_id;
+    append_record(stamped);
+  }
+  WalRecord commit;
+  commit.kind = WalRecordKind::kCommit;
+  commit.txn_id = txn_id;
+  append_record(commit);
+
+  const Bytes& data = frame.buffer();
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return IoErrnoError("wal append", path_.string());
+  }
+  if (std::fflush(file_) != 0) {
+    return IoErrnoError("wal flush", path_.string());
+  }
+  if (sync_commits_ && ::fdatasync(fileno(file_)) != 0) {
+    return IoErrnoError("wal fdatasync", path_.string());
+  }
+  size_ += data.size();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Reset() {
+  Close();
+  std::error_code ec;
+  std::filesystem::resize_file(path_, 0, ec);
+  if (ec) return IoError("wal reset: " + ec.message());
+  file_ = std::fopen(path_.string().c_str(), "ab");
+  if (file_ == nullptr) return IoErrnoError("reopen wal", path_.string());
+  size_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,93 @@
+// Write-ahead log for the metadata database.
+//
+// Record stream layout (all little-endian):
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+// payload = [u8 kind][u64 txn_id][kind-specific body]
+//
+// Mutations are buffered per transaction and appended as
+// BEGIN, op..., COMMIT at commit time, followed by one fsync, so a torn tail
+// (crash mid-append) never exposes a half-applied transaction: replay applies
+// only transactions whose COMMIT record survived intact.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "metadb/schema.h"
+#include "metadb/table.h"
+
+namespace dpfs::metadb {
+
+enum class WalRecordKind : std::uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kCreateTable = 3,
+  kDropTable = 4,
+  kInsert = 5,
+  kUpdate = 6,
+  kDelete = 7,
+};
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kBegin;
+  std::uint64_t txn_id = 0;
+  std::string table;   // create/drop/insert/update/delete
+  Schema schema;       // create
+  RowId row_id = 0;    // insert/update/delete
+  Row row;             // insert/update
+
+  [[nodiscard]] Bytes Encode() const;
+  static Result<WalRecord> Decode(ByteSpan payload);
+};
+
+/// Append-only WAL file. One writer at a time (the Database serializes).
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) and replays existing committed transactions
+  /// through `apply`, which is invoked once per operation record (never for
+  /// kBegin/kCommit) in commit order. A torn tail is silently discarded.
+  /// Returns the WAL positioned for appending, plus the highest txn id seen.
+  static Result<WriteAheadLog> Open(
+      const std::filesystem::path& path,
+      const std::function<Status(const WalRecord&)>& apply,
+      std::uint64_t* max_txn_id);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// Appends a full transaction (BEGIN + ops + COMMIT) and flushes to disk.
+  Status AppendTransaction(std::uint64_t txn_id,
+                           const std::vector<WalRecord>& ops);
+
+  /// With sync commits, every AppendTransaction ends with fdatasync, making
+  /// commits power-failure durable (default: flush to the page cache only —
+  /// process-crash durable, much faster).
+  void SetSyncCommits(bool sync) noexcept { sync_commits_ = sync; }
+  [[nodiscard]] bool sync_commits() const noexcept { return sync_commits_; }
+
+  /// Truncates the log after a successful snapshot.
+  Status Reset();
+
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept { return size_; }
+
+ private:
+  explicit WriteAheadLog(std::FILE* file, std::filesystem::path path,
+                         std::uint64_t size)
+      : file_(file), path_(std::move(path)), size_(size) {}
+  void Close() noexcept;
+
+  std::FILE* file_ = nullptr;
+  std::filesystem::path path_;
+  std::uint64_t size_ = 0;
+  bool sync_commits_ = false;
+};
+
+}  // namespace dpfs::metadb

@@ -1,0 +1,112 @@
+#include "net/connection.h"
+
+namespace dpfs::net {
+
+Result<ServerConnection> ServerConnection::Connect(const Endpoint& endpoint) {
+  DPFS_ASSIGN_OR_RETURN(TcpSocket socket,
+                        TcpSocket::Connect(endpoint.host, endpoint.port));
+  return ServerConnection(std::move(socket), endpoint);
+}
+
+Result<Bytes> ServerConnection::Call(MessageType type, ByteSpan body) {
+  const Bytes request = EncodeRequest(type, body);
+  DPFS_RETURN_IF_ERROR(
+      SendFrame(socket_, request)
+          .WithContext("send " + std::string(MessageTypeName(type)) + " to " +
+                       endpoint_.ToString()));
+  Bytes reply_frame;
+  DPFS_RETURN_IF_ERROR(
+      RecvFrame(socket_, reply_frame)
+          .WithContext("recv " + std::string(MessageTypeName(type)) +
+                       " reply from " + endpoint_.ToString()));
+  DPFS_ASSIGN_OR_RETURN(const DecodedReply reply, DecodeReply(reply_frame));
+  if (!reply.status.ok()) return reply.status;
+  return Bytes(reply.body.begin(), reply.body.end());
+}
+
+Result<Bytes> ServerConnection::Read(
+    const std::string& subfile, const std::vector<ReadFragment>& fragments) {
+  ReadRequest request;
+  request.subfile = subfile;
+  request.fragments = fragments;
+  BinaryWriter body;
+  request.Encode(body);
+  return Call(MessageType::kRead, body.buffer());
+}
+
+Status ServerConnection::Write(const std::string& subfile,
+                               std::vector<WriteFragment> fragments,
+                               bool sync) {
+  WriteRequest request;
+  request.subfile = subfile;
+  request.sync = sync;
+  request.fragments = std::move(fragments);
+  BinaryWriter body;
+  request.Encode(body);
+  return Call(MessageType::kWrite, body.buffer()).status();
+}
+
+Result<StatReply> ServerConnection::Stat(const std::string& subfile) {
+  BinaryWriter body;
+  body.WriteString(subfile);
+  DPFS_ASSIGN_OR_RETURN(const Bytes reply, Call(MessageType::kStat,
+                                                body.buffer()));
+  BinaryReader reader(reply);
+  StatReply stat;
+  DPFS_ASSIGN_OR_RETURN(stat.exists, reader.ReadBool());
+  DPFS_ASSIGN_OR_RETURN(stat.size, reader.ReadU64());
+  return stat;
+}
+
+Result<StatsReply> ServerConnection::Stats() {
+  DPFS_ASSIGN_OR_RETURN(const Bytes reply, Call(MessageType::kStats, {}));
+  BinaryReader reader(reply);
+  return StatsReply::Decode(reader);
+}
+
+Status ServerConnection::Delete(const std::string& subfile) {
+  BinaryWriter body;
+  body.WriteString(subfile);
+  return Call(MessageType::kDelete, body.buffer()).status();
+}
+
+Status ServerConnection::Truncate(const std::string& subfile,
+                                  std::uint64_t size) {
+  BinaryWriter body;
+  body.WriteString(subfile);
+  body.WriteU64(size);
+  return Call(MessageType::kTruncate, body.buffer()).status();
+}
+
+Status ServerConnection::Rename(const std::string& from,
+                                const std::string& to) {
+  BinaryWriter body;
+  body.WriteString(from);
+  body.WriteString(to);
+  return Call(MessageType::kRename, body.buffer()).status();
+}
+
+Result<std::vector<SubfileInfo>> ServerConnection::List() {
+  DPFS_ASSIGN_OR_RETURN(const Bytes reply, Call(MessageType::kList, {}));
+  BinaryReader reader(reply);
+  DPFS_ASSIGN_OR_RETURN(const std::uint32_t count, reader.ReadU32());
+  std::vector<SubfileInfo> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SubfileInfo info;
+    DPFS_ASSIGN_OR_RETURN(info.name, reader.ReadString());
+    DPFS_ASSIGN_OR_RETURN(info.size, reader.ReadU64());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status ServerConnection::Ping() {
+  return Call(MessageType::kPing, {}).status();
+}
+
+Status ServerConnection::Shutdown() {
+  return Call(MessageType::kShutdown, {}).status();
+}
+
+}  // namespace dpfs::net

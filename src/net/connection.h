@@ -1,0 +1,73 @@
+// Client-side connection to one DPFS I/O server, with typed RPC wrappers
+// around the wire protocol. One connection per client thread; instances are
+// not thread-safe (DPFS clients open a connection per server, per thread).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/messages.h"
+#include "net/socket.h"
+
+namespace dpfs::net {
+
+/// Where a DPFS server listens.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+class ServerConnection {
+ public:
+  static Result<ServerConnection> Connect(const Endpoint& endpoint);
+
+  ServerConnection(ServerConnection&&) noexcept = default;
+  ServerConnection& operator=(ServerConnection&&) noexcept = default;
+
+  /// Reads the fragments of `subfile`; returns their bytes concatenated in
+  /// request order. Fragments past EOF read as zeroes (unwritten brick
+  /// slots are holes in the sparse subfile).
+  Result<Bytes> Read(const std::string& subfile,
+                     const std::vector<ReadFragment>& fragments);
+
+  /// Writes all fragments; `sync` forces fsync before the reply.
+  Status Write(const std::string& subfile,
+               std::vector<WriteFragment> fragments, bool sync = false);
+
+  Result<StatReply> Stat(const std::string& subfile);
+  /// Server-wide counters (ops telemetry; shell `df`).
+  Result<StatsReply> Stats();
+  Status Delete(const std::string& subfile);
+  Status Truncate(const std::string& subfile, std::uint64_t size);
+  Status Rename(const std::string& from, const std::string& to);
+  /// Every subfile the server stores (fsck's ground truth).
+  Result<std::vector<SubfileInfo>> List();
+  Status Ping();
+  /// Asks the server process to stop accepting and drain (used by tests and
+  /// the in-process cluster bootstrap).
+  Status Shutdown();
+
+  [[nodiscard]] const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+ private:
+  ServerConnection(TcpSocket socket, Endpoint endpoint)
+      : socket_(std::move(socket)), endpoint_(std::move(endpoint)) {}
+
+  /// Sends one request frame and receives the reply; returns the reply body
+  /// after unwrapping the status envelope.
+  Result<Bytes> Call(MessageType type, ByteSpan body);
+
+  TcpSocket socket_;
+  Endpoint endpoint_;
+};
+
+}  // namespace dpfs::net

@@ -1,0 +1,139 @@
+#include "net/messages.h"
+
+namespace dpfs::net {
+
+std::string_view MessageTypeName(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kPing: return "ping";
+    case MessageType::kRead: return "read";
+    case MessageType::kWrite: return "write";
+    case MessageType::kStat: return "stat";
+    case MessageType::kDelete: return "delete";
+    case MessageType::kTruncate: return "truncate";
+    case MessageType::kShutdown: return "shutdown";
+    case MessageType::kStats: return "stats";
+    case MessageType::kRename: return "rename";
+    case MessageType::kList: return "list";
+  }
+  return "unknown";
+}
+
+void StatsReply::Encode(BinaryWriter& writer) const {
+  writer.WriteU64(requests);
+  writer.WriteU64(bytes_read);
+  writer.WriteU64(bytes_written);
+  writer.WriteU64(sessions_accepted);
+  writer.WriteU64(errors);
+  writer.WriteU64(fd_cache_hits);
+  writer.WriteU64(fd_cache_misses);
+  writer.WriteU64(stored_bytes);
+}
+
+Result<StatsReply> StatsReply::Decode(BinaryReader& reader) {
+  StatsReply stats;
+  DPFS_ASSIGN_OR_RETURN(stats.requests, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.bytes_read, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.bytes_written, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.sessions_accepted, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.errors, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.fd_cache_hits, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.fd_cache_misses, reader.ReadU64());
+  DPFS_ASSIGN_OR_RETURN(stats.stored_bytes, reader.ReadU64());
+  return stats;
+}
+
+std::uint64_t ReadRequest::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const ReadFragment& fragment : fragments) total += fragment.length;
+  return total;
+}
+
+void ReadRequest::Encode(BinaryWriter& writer) const {
+  writer.WriteString(subfile);
+  writer.WriteU32(static_cast<std::uint32_t>(fragments.size()));
+  for (const ReadFragment& fragment : fragments) {
+    writer.WriteU64(fragment.offset);
+    writer.WriteU64(fragment.length);
+  }
+}
+
+Result<ReadRequest> ReadRequest::Decode(BinaryReader& reader) {
+  ReadRequest request;
+  DPFS_ASSIGN_OR_RETURN(request.subfile, reader.ReadString());
+  DPFS_ASSIGN_OR_RETURN(const std::uint32_t count, reader.ReadU32());
+  request.fragments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ReadFragment fragment;
+    DPFS_ASSIGN_OR_RETURN(fragment.offset, reader.ReadU64());
+    DPFS_ASSIGN_OR_RETURN(fragment.length, reader.ReadU64());
+    request.fragments.push_back(fragment);
+  }
+  return request;
+}
+
+std::uint64_t WriteRequest::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const WriteFragment& fragment : fragments) total += fragment.data.size();
+  return total;
+}
+
+void WriteRequest::Encode(BinaryWriter& writer) const {
+  writer.WriteString(subfile);
+  writer.WriteBool(sync);
+  writer.WriteU32(static_cast<std::uint32_t>(fragments.size()));
+  for (const WriteFragment& fragment : fragments) {
+    writer.WriteU64(fragment.offset);
+    writer.WriteBytes(fragment.data);
+  }
+}
+
+Result<WriteRequest> WriteRequest::Decode(BinaryReader& reader) {
+  WriteRequest request;
+  DPFS_ASSIGN_OR_RETURN(request.subfile, reader.ReadString());
+  DPFS_ASSIGN_OR_RETURN(request.sync, reader.ReadBool());
+  DPFS_ASSIGN_OR_RETURN(const std::uint32_t count, reader.ReadU32());
+  request.fragments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WriteFragment fragment;
+    DPFS_ASSIGN_OR_RETURN(fragment.offset, reader.ReadU64());
+    DPFS_ASSIGN_OR_RETURN(const ByteSpan data, reader.ReadBytes());
+    fragment.data.assign(data.begin(), data.end());
+    request.fragments.push_back(std::move(fragment));
+  }
+  return request;
+}
+
+Bytes EncodeRequest(MessageType type, ByteSpan body) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(type));
+  writer.WriteRaw(body);
+  return std::move(writer).TakeBuffer();
+}
+
+Bytes EncodeReply(const Status& status, ByteSpan body) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(status.code()));
+  writer.WriteString(status.message());
+  writer.WriteRaw(body);
+  return std::move(writer).TakeBuffer();
+}
+
+Result<DecodedRequest> DecodeRequest(ByteSpan payload) {
+  BinaryReader reader(payload);
+  DPFS_ASSIGN_OR_RETURN(const std::uint8_t type, reader.ReadU8());
+  if (type < 1 || type > 10) {
+    return ProtocolError("bad message type " + std::to_string(type));
+  }
+  return DecodedRequest{static_cast<MessageType>(type),
+                        payload.subspan(reader.position())};
+}
+
+Result<DecodedReply> DecodeReply(ByteSpan payload) {
+  BinaryReader reader(payload);
+  DPFS_ASSIGN_OR_RETURN(const std::uint8_t code, reader.ReadU8());
+  DPFS_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+  return DecodedReply{Status(static_cast<StatusCode>(code), std::move(message)),
+                      payload.subspan(reader.position())};
+}
+
+}  // namespace dpfs::net

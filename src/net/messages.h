@@ -1,0 +1,117 @@
+// The DPFS client↔server wire protocol.
+//
+// Every message travels as one frame (frame.h). A request payload is
+// [u8 MessageType][type-specific body]; a reply payload is
+// [u8 StatusCode][string message][type-specific body].
+//
+// The server operates on *subfiles* — ordinary files in its local file
+// system (§2: "the server ... uses the local file system API to actually
+// perform I/O"). Brick placement and offsets are entirely client-side
+// knowledge derived from metadata; the server just reads and writes
+// (offset, length) fragments of named subfiles. A combined request (§4.2)
+// is simply a fragment list with more than one entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dpfs::net {
+
+enum class MessageType : std::uint8_t {
+  kPing = 1,
+  kRead = 2,
+  kWrite = 3,
+  kStat = 4,
+  kDelete = 5,
+  kTruncate = 6,
+  kShutdown = 7,
+  kStats = 8,   // server-wide statistics (ops telemetry)
+  kRename = 9,  // rename a subfile (body: old name string, new name string)
+  kList = 10,   // list all subfiles (fsck support)
+};
+
+/// One entry of a kList reply.
+struct SubfileInfo {
+  std::string name;  // normalized ("/home/x/file")
+  std::uint64_t size = 0;
+
+  friend bool operator==(const SubfileInfo&, const SubfileInfo&) = default;
+};
+
+std::string_view MessageTypeName(MessageType type) noexcept;
+
+/// One contiguous piece of a subfile.
+struct ReadFragment {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  friend bool operator==(const ReadFragment&, const ReadFragment&) = default;
+};
+
+struct ReadRequest {
+  std::string subfile;
+  std::vector<ReadFragment> fragments;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  void Encode(BinaryWriter& writer) const;
+  static Result<ReadRequest> Decode(BinaryReader& reader);
+};
+
+struct WriteFragment {
+  std::uint64_t offset = 0;
+  Bytes data;
+
+  friend bool operator==(const WriteFragment&, const WriteFragment&) = default;
+};
+
+struct WriteRequest {
+  std::string subfile;
+  bool sync = false;  // fsync after writing
+  std::vector<WriteFragment> fragments;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  void Encode(BinaryWriter& writer) const;
+  static Result<WriteRequest> Decode(BinaryReader& reader);
+};
+
+struct StatReply {
+  bool exists = false;
+  std::uint64_t size = 0;
+};
+
+/// Server-wide counters returned by kStats.
+struct StatsReply {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t fd_cache_hits = 0;
+  std::uint64_t fd_cache_misses = 0;
+  std::uint64_t stored_bytes = 0;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<StatsReply> Decode(BinaryReader& reader);
+};
+
+/// Envelope helpers.
+Bytes EncodeRequest(MessageType type, ByteSpan body);
+Bytes EncodeReply(const Status& status, ByteSpan body);
+
+struct DecodedRequest {
+  MessageType type;
+  ByteSpan body;  // view into the frame buffer
+};
+Result<DecodedRequest> DecodeRequest(ByteSpan payload);
+
+struct DecodedReply {
+  Status status;
+  ByteSpan body;  // view into the frame buffer
+};
+Result<DecodedReply> DecodeReply(ByteSpan payload);
+
+}  // namespace dpfs::net

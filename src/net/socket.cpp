@@ -1,0 +1,161 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dpfs::net {
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpSocket::~TcpSocket() { Close(); }
+
+void TcpSocket::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host,
+                                     std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoErrnoError("socket", host);
+  TcpSocket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return UnavailableError("connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(errno));
+  }
+  DPFS_RETURN_IF_ERROR(sock.SetNoDelay());
+  return sock;
+}
+
+Status TcpSocket::SetNoDelay() {
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return IoErrnoError("setsockopt TCP_NODELAY", std::to_string(fd_));
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::SendAll(ByteSpan data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::RecvExact(MutableByteSpan data) {
+  std::size_t received = 0;
+  while (received < data.size()) {
+    const ssize_t n =
+        ::recv(fd_, data.data() + received, data.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (received == 0) {
+        return UnavailableError("peer closed connection");
+      }
+      return ProtocolError("peer closed connection mid-message");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoErrnoError("socket", "listener");
+  TcpListener listener;
+  listener.fd_ = fd;
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return IoErrnoError("bind", "127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) {
+    return IoErrnoError("listen", std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return IoErrnoError("getsockname", std::to_string(fd));
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR) return Accept();
+    return UnavailableError(std::string("accept: ") + std::strerror(errno));
+  }
+  TcpSocket sock(fd);
+  DPFS_RETURN_IF_ERROR(sock.SetNoDelay());
+  return sock;
+}
+
+}  // namespace dpfs::net

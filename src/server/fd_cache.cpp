@@ -1,0 +1,91 @@
+#include "server/fd_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+
+namespace dpfs::server {
+
+SharedFd::~SharedFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<SharedFdPtr> FdCache::Acquire(const std::string& path, bool create) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(path);
+    if (it != entries_.end()) {
+      ++hits_;
+      TouchLocked(it->second, path);
+      return it->second.fd;
+    }
+    ++misses_;
+  }
+
+  // Open outside the lock; opening is the slow part.
+  if (create) {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    if (ec) {
+      return IoError("create subfile dirs for '" + path + "': " +
+                     ec.message());
+    }
+  }
+  const int flags = O_RDWR | (create ? O_CREAT : 0);
+  const int raw = ::open(path.c_str(), flags, 0644);
+  if (raw < 0) {
+    if (errno == ENOENT && !create) {
+      return NotFoundError("subfile '" + path + "' does not exist");
+    }
+    return IoErrnoError("open subfile", path);
+  }
+  SharedFdPtr fd = std::make_shared<SharedFd>(raw);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Another thread may have raced us; keep the existing entry and let our
+  // descriptor close when `fd` goes out of scope.
+  const auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    TouchLocked(it->second, path);
+    return it->second.fd;
+  }
+  lru_.push_front(path);
+  entries_[path] = Entry{fd, lru_.begin()};
+  while (entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+  }
+  return fd;
+}
+
+void FdCache::TouchLocked(Entry& entry, const std::string& path) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(path);
+  entry.lru_pos = lru_.begin();
+}
+
+void FdCache::Invalidate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+}
+
+void FdCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t FdCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace dpfs::server

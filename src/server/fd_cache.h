@@ -1,0 +1,68 @@
+// LRU cache of open subfile descriptors.
+//
+// Every brick request used to pay an open()/close() pair; the cache keeps
+// descriptors hot across requests and sessions. Descriptors are handed out
+// as shared_ptr so eviction never closes a file mid-pread: the kernel fd is
+// closed when the last in-flight operation drops its reference.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpfs::server {
+
+/// Owns one kernel fd; closes on destruction.
+class SharedFd {
+ public:
+  explicit SharedFd(int fd) noexcept : fd_(fd) {}
+  ~SharedFd();
+  SharedFd(const SharedFd&) = delete;
+  SharedFd& operator=(const SharedFd&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+using SharedFdPtr = std::shared_ptr<SharedFd>;
+
+class FdCache {
+ public:
+  /// `capacity` open descriptors are kept; least-recently-used beyond that
+  /// are closed (once unreferenced).
+  explicit FdCache(std::size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Returns an fd for `path` opened read/write. With `create`, missing
+  /// files (and parent directories) are created; without it, a missing file
+  /// returns kNotFound so readers can synthesize zeroes.
+  Result<SharedFdPtr> Acquire(const std::string& path, bool create);
+
+  /// Drops the cache entry (delete/truncate paths call this).
+  void Invalidate(const std::string& path);
+
+  void Clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    SharedFdPtr fd;
+    std::list<std::string>::iterator lru_pos;
+  };
+  void TouchLocked(Entry& entry, const std::string& path);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dpfs::server

@@ -1,0 +1,236 @@
+#include "server/io_server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "net/frame.h"
+#include "net/messages.h"
+
+namespace dpfs::server {
+
+Result<std::unique_ptr<IoServer>> IoServer::Start(ServerOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.root_dir, ec);
+  if (ec) {
+    return IoError("create server root '" + options.root_dir.string() +
+                   "': " + ec.message());
+  }
+  DPFS_ASSIGN_OR_RETURN(net::TcpListener listener,
+                        net::TcpListener::Bind(options.port));
+  std::unique_ptr<IoServer> server(
+      new IoServer(std::move(options), std::move(listener)));
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+IoServer::IoServer(ServerOptions options, net::TcpListener listener)
+    : options_(std::move(options)),
+      store_(options_.root_dir),
+      listener_(std::move(listener)),
+      endpoint_{"127.0.0.1", listener_.port()} {}
+
+IoServer::~IoServer() { Stop(); }
+
+void IoServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Already stopping; still join if the first caller was another thread.
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const int fd : session_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // unblocks RecvExact in session threads
+    }
+  }
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& session : sessions) {
+    if (session.joinable()) session.join();
+  }
+}
+
+void IoServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<net::TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      DPFS_LOG_WARN << "accept failed: " << accepted.status().ToString();
+      return;
+    }
+    stats_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_fds_.push_back(accepted.value().fd());
+    sessions_.emplace_back(
+        [this, socket = std::move(accepted).value()]() mutable {
+          Session(std::move(socket));
+        });
+  }
+}
+
+void IoServer::Session(net::TcpSocket socket) {
+  const std::size_t concurrent =
+      active_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  struct SessionGuard {
+    std::atomic<std::size_t>& counter;
+    ~SessionGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } guard{active_sessions_};
+
+  Bytes frame;
+  if (options_.max_sessions > 0 && concurrent > options_.max_sessions) {
+    // §4.2's overloaded server: answer one request with "busy" so the
+    // client backs off and retries, then drop the session.
+    stats_.sessions_rejected_busy.fetch_add(1, std::memory_order_relaxed);
+    if (net::RecvFrame(socket, frame).ok()) {
+      (void)net::SendFrame(
+          socket, net::EncodeReply(
+                      ResourceExhaustedError("server busy, retry later"), {}));
+    }
+    return;
+  }
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const Status received = net::RecvFrame(socket, frame);
+    if (!received.ok()) {
+      // kUnavailable at a frame boundary is a normal client disconnect.
+      if (received.code() != StatusCode::kUnavailable) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        DPFS_LOG_DEBUG << "session recv: " << received.ToString();
+      }
+      return;
+    }
+    const Bytes reply = HandleRequest(frame);
+    const Status sent = net::SendFrame(socket, reply);
+    if (!sent.ok()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+Bytes IoServer::HandleRequest(ByteSpan frame) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  const Result<net::DecodedRequest> decoded = net::DecodeRequest(frame);
+  if (!decoded.ok()) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return net::EncodeReply(decoded.status(), {});
+  }
+  BinaryReader reader(decoded.value().body);
+
+  switch (decoded.value().type) {
+    case net::MessageType::kPing:
+      return net::EncodeReply(Status::Ok(), {});
+
+    case net::MessageType::kRead: {
+      const Result<net::ReadRequest> request =
+          net::ReadRequest::Decode(reader);
+      if (!request.ok()) return net::EncodeReply(request.status(), {});
+      Result<Bytes> data =
+          store_.ReadFragments(request.value().subfile,
+                               request.value().fragments);
+      if (!data.ok()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return net::EncodeReply(data.status(), {});
+      }
+      stats_.bytes_read.fetch_add(data.value().size(),
+                                  std::memory_order_relaxed);
+      return net::EncodeReply(Status::Ok(), data.value());
+    }
+
+    case net::MessageType::kWrite: {
+      const Result<net::WriteRequest> request =
+          net::WriteRequest::Decode(reader);
+      if (!request.ok()) return net::EncodeReply(request.status(), {});
+      const std::uint64_t payload = request.value().total_bytes();
+      const Status written = store_.WriteFragments(request.value().subfile,
+                                                   request.value().fragments,
+                                                   request.value().sync);
+      if (!written.ok()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return net::EncodeReply(written, {});
+      }
+      stats_.bytes_written.fetch_add(payload, std::memory_order_relaxed);
+      return net::EncodeReply(Status::Ok(), {});
+    }
+
+    case net::MessageType::kStat: {
+      const Result<std::string> subfile = reader.ReadString();
+      if (!subfile.ok()) return net::EncodeReply(subfile.status(), {});
+      const Result<net::StatReply> stat = store_.Stat(subfile.value());
+      if (!stat.ok()) return net::EncodeReply(stat.status(), {});
+      BinaryWriter body;
+      body.WriteBool(stat.value().exists);
+      body.WriteU64(stat.value().size);
+      return net::EncodeReply(Status::Ok(), body.buffer());
+    }
+
+    case net::MessageType::kDelete: {
+      const Result<std::string> subfile = reader.ReadString();
+      if (!subfile.ok()) return net::EncodeReply(subfile.status(), {});
+      return net::EncodeReply(store_.Delete(subfile.value()), {});
+    }
+
+    case net::MessageType::kTruncate: {
+      const Result<std::string> subfile = reader.ReadString();
+      if (!subfile.ok()) return net::EncodeReply(subfile.status(), {});
+      const Result<std::uint64_t> size = reader.ReadU64();
+      if (!size.ok()) return net::EncodeReply(size.status(), {});
+      return net::EncodeReply(
+          store_.Truncate(subfile.value(), size.value()), {});
+    }
+
+    case net::MessageType::kList: {
+      const Result<std::vector<net::SubfileInfo>> listing =
+          store_.ListSubfiles();
+      if (!listing.ok()) return net::EncodeReply(listing.status(), {});
+      BinaryWriter body;
+      body.WriteU32(static_cast<std::uint32_t>(listing.value().size()));
+      for (const net::SubfileInfo& info : listing.value()) {
+        body.WriteString(info.name);
+        body.WriteU64(info.size);
+      }
+      return net::EncodeReply(Status::Ok(), body.buffer());
+    }
+
+    case net::MessageType::kRename: {
+      const Result<std::string> from = reader.ReadString();
+      if (!from.ok()) return net::EncodeReply(from.status(), {});
+      const Result<std::string> to = reader.ReadString();
+      if (!to.ok()) return net::EncodeReply(to.status(), {});
+      return net::EncodeReply(store_.Rename(from.value(), to.value()), {});
+    }
+
+    case net::MessageType::kShutdown:
+      stopping_.store(true, std::memory_order_relaxed);
+      listener_.Close();
+      return net::EncodeReply(Status::Ok(), {});
+
+    case net::MessageType::kStats: {
+      net::StatsReply stats;
+      stats.requests = stats_.requests.load(std::memory_order_relaxed);
+      stats.bytes_read = stats_.bytes_read.load(std::memory_order_relaxed);
+      stats.bytes_written =
+          stats_.bytes_written.load(std::memory_order_relaxed);
+      stats.sessions_accepted =
+          stats_.sessions_accepted.load(std::memory_order_relaxed);
+      stats.errors = stats_.errors.load(std::memory_order_relaxed);
+      stats.fd_cache_hits = store_.fd_cache().hits();
+      stats.fd_cache_misses = store_.fd_cache().misses();
+      const Result<std::uint64_t> stored = store_.TotalBytesStored();
+      stats.stored_bytes = stored.ok() ? stored.value() : 0;
+      BinaryWriter body;
+      stats.Encode(body);
+      return net::EncodeReply(Status::Ok(), body.buffer());
+    }
+  }
+  return net::EncodeReply(ProtocolError("unhandled message type"), {});
+}
+
+}  // namespace dpfs::server

@@ -1,0 +1,82 @@
+// The DPFS I/O server (§2): accepts client connections over TCP and services
+// brick read/write requests against its local subfile store.
+//
+// Concurrency model follows the paper: the server handles concurrent client
+// requests "by spawning multiple processes or threads to handle them" — here
+// one session thread per accepted connection, all sharing the SubfileStore
+// (kernel pread/pwrite make fragment I/O thread-safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/connection.h"
+#include "net/socket.h"
+#include "server/subfile_store.h"
+
+namespace dpfs::server {
+
+struct ServerOptions {
+  std::filesystem::path root_dir;  // subfile storage root
+  std::uint16_t port = 0;          // 0 = ephemeral
+  /// Concurrent session cap; sessions beyond it get a "server busy" error
+  /// reply and are dropped, and the client "has to try again later" (§4.2).
+  /// 0 = unlimited.
+  std::size_t max_sessions = 0;
+};
+
+/// Monotonic counters exposed for tests and the shell's `df`.
+struct ServerStats {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> bytes_read{0};     // payload bytes served
+  std::atomic<std::uint64_t> bytes_written{0};  // payload bytes stored
+  std::atomic<std::uint64_t> sessions_accepted{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> sessions_rejected_busy{0};
+};
+
+class IoServer {
+ public:
+  /// Binds, starts the accept loop, and returns a running server.
+  static Result<std::unique_ptr<IoServer>> Start(ServerOptions options);
+
+  ~IoServer();
+  IoServer(const IoServer&) = delete;
+  IoServer& operator=(const IoServer&) = delete;
+
+  [[nodiscard]] net::Endpoint endpoint() const noexcept { return endpoint_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] SubfileStore& store() noexcept { return store_; }
+
+  /// Stops accepting, unblocks in-flight sessions, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  IoServer(ServerOptions options, net::TcpListener listener);
+
+  void AcceptLoop();
+  void Session(net::TcpSocket socket);
+  /// Dispatches one decoded request; returns the reply payload.
+  Bytes HandleRequest(ByteSpan frame);
+
+  ServerOptions options_;
+  SubfileStore store_;
+  net::TcpListener listener_;
+  net::Endpoint endpoint_;
+  ServerStats stats_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> active_sessions_{0};
+  std::thread accept_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::thread> sessions_;
+  std::vector<int> session_fds_;  // for unblocking on Stop
+};
+
+}  // namespace dpfs::server

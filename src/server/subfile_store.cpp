@@ -1,0 +1,180 @@
+#include "server/subfile_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace dpfs::server {
+
+Result<std::filesystem::path> SubfileStore::ResolvePath(
+    const std::string& subfile) const {
+  DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(subfile));
+  if (normalized == "/") {
+    return InvalidArgumentError("subfile name resolves to the store root");
+  }
+  // normalized starts with '/'; strip it and join under root.
+  return root_ / normalized.substr(1);
+}
+
+Result<Bytes> SubfileStore::ReadFragments(
+    const std::string& subfile,
+    const std::vector<net::ReadFragment>& fragments) {
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path path,
+                        ResolvePath(subfile));
+  std::uint64_t total = 0;
+  for (const net::ReadFragment& fragment : fragments) total += fragment.length;
+  Bytes out(total, 0);
+
+  const Result<SharedFdPtr> fd = fd_cache_.Acquire(path.string(), false);
+  if (!fd.ok()) {
+    if (fd.status().code() == StatusCode::kNotFound) {
+      // A never-written subfile is all holes; zeroes are correct.
+      return out;
+    }
+    return fd.status();
+  }
+
+  std::uint64_t cursor = 0;
+  for (const net::ReadFragment& fragment : fragments) {
+    std::uint64_t read_so_far = 0;
+    while (read_so_far < fragment.length) {
+      const ssize_t n = ::pread(
+          fd.value()->get(), out.data() + cursor + read_so_far,
+          fragment.length - read_so_far,
+          static_cast<off_t>(fragment.offset + read_so_far));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoErrnoError("pread subfile", path.string());
+      }
+      if (n == 0) break;  // EOF: the rest stays zero (sparse hole semantics)
+      read_so_far += static_cast<std::uint64_t>(n);
+    }
+    cursor += fragment.length;
+  }
+  return out;
+}
+
+Status SubfileStore::WriteFragments(
+    const std::string& subfile,
+    const std::vector<net::WriteFragment>& fragments, bool sync) {
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path path,
+                        ResolvePath(subfile));
+  DPFS_ASSIGN_OR_RETURN(const SharedFdPtr fd,
+                        fd_cache_.Acquire(path.string(), true));
+
+  for (const net::WriteFragment& fragment : fragments) {
+    std::uint64_t written = 0;
+    while (written < fragment.data.size()) {
+      const ssize_t n = ::pwrite(
+          fd->get(), fragment.data.data() + written,
+          fragment.data.size() - written,
+          static_cast<off_t>(fragment.offset + written));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoErrnoError("pwrite subfile", path.string());
+      }
+      written += static_cast<std::uint64_t>(n);
+    }
+  }
+  if (sync && ::fsync(fd->get()) != 0) {
+    return IoErrnoError("fsync subfile", path.string());
+  }
+  return Status::Ok();
+}
+
+Result<net::StatReply> SubfileStore::Stat(const std::string& subfile) {
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path path,
+                        ResolvePath(subfile));
+  net::StatReply reply;
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    reply.exists = false;
+    return reply;  // missing file is not an error for stat
+  }
+  reply.exists = true;
+  reply.size = size;
+  return reply;
+}
+
+Status SubfileStore::Delete(const std::string& subfile) {
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path path,
+                        ResolvePath(subfile));
+  fd_cache_.Invalidate(path.string());
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(path, ec);
+  if (ec) return IoError("delete subfile: " + ec.message());
+  if (!removed) {
+    return NotFoundError("subfile '" + subfile + "' does not exist");
+  }
+  return Status::Ok();
+}
+
+Status SubfileStore::Truncate(const std::string& subfile, std::uint64_t size) {
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path path,
+                        ResolvePath(subfile));
+  DPFS_ASSIGN_OR_RETURN(const SharedFdPtr fd,
+                        fd_cache_.Acquire(path.string(), true));
+  if (::ftruncate(fd->get(), static_cast<off_t>(size)) != 0) {
+    return IoErrnoError("ftruncate subfile", path.string());
+  }
+  return Status::Ok();
+}
+
+Status SubfileStore::Rename(const std::string& from, const std::string& to) {
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path src, ResolvePath(from));
+  DPFS_ASSIGN_OR_RETURN(const std::filesystem::path dst, ResolvePath(to));
+  std::error_code ec;
+  if (!std::filesystem::exists(src, ec)) {
+    return NotFoundError("subfile '" + from + "' does not exist");
+  }
+  std::filesystem::create_directories(dst.parent_path(), ec);
+  if (ec) return IoError("create rename dirs: " + ec.message());
+  fd_cache_.Invalidate(src.string());
+  fd_cache_.Invalidate(dst.string());
+  std::filesystem::rename(src, dst, ec);
+  if (ec) return IoError("rename subfile: " + ec.message());
+  return Status::Ok();
+}
+
+Result<std::uint64_t> SubfileStore::TotalBytesStored() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  if (!std::filesystem::exists(root_, ec)) return total;
+  for (auto it = std::filesystem::recursive_directory_iterator(root_, ec);
+       it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file(ec)) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+Result<std::vector<net::SubfileInfo>> SubfileStore::ListSubfiles() const {
+  std::vector<net::SubfileInfo> out;
+  std::error_code ec;
+  if (!std::filesystem::exists(root_, ec)) return out;
+  for (auto it = std::filesystem::recursive_directory_iterator(root_, ec);
+       it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file(ec)) continue;
+    net::SubfileInfo info;
+    const std::filesystem::path relative =
+        std::filesystem::relative(it->path(), root_, ec);
+    if (ec) continue;
+    info.name = "/" + relative.generic_string();
+    info.size = it->file_size(ec);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const net::SubfileInfo& a, const net::SubfileInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace dpfs::server

@@ -1,0 +1,65 @@
+// Subfile storage on the server's local file system.
+//
+// DPFS is deliberately layered on the storage node's local file system (§2
+// footnote: "DPFS is built on top of the local file system ... and can take
+// advantage of I/O optimizations such as caching and prefetching"). A
+// subfile named "/home/user/data.dpfs" maps to <root>/home/user/data.dpfs;
+// brick slots are addressed by (offset, length) fragments. Unwritten slots
+// are holes: reads past EOF return zeroes, matching sparse local files.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/messages.h"
+#include "server/fd_cache.h"
+
+namespace dpfs::server {
+
+class SubfileStore {
+ public:
+  explicit SubfileStore(std::filesystem::path root) : root_(std::move(root)) {}
+
+  /// Reads every fragment, concatenated in order. Bytes past EOF are zero.
+  Result<Bytes> ReadFragments(const std::string& subfile,
+                              const std::vector<net::ReadFragment>& fragments);
+
+  /// Writes every fragment at its offset, creating the subfile (and parent
+  /// directories) as needed. `sync` fsyncs before returning.
+  Status WriteFragments(const std::string& subfile,
+                        const std::vector<net::WriteFragment>& fragments,
+                        bool sync);
+
+  Result<net::StatReply> Stat(const std::string& subfile);
+  Status Delete(const std::string& subfile);
+  Status Truncate(const std::string& subfile, std::uint64_t size);
+  /// Atomic local rename (creates the destination's parents). kNotFound if
+  /// the source subfile does not exist.
+  Status Rename(const std::string& from, const std::string& to);
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+  /// Total bytes stored under the root (shell `df`).
+  Result<std::uint64_t> TotalBytesStored() const;
+
+  /// All subfiles under the root with their sizes, names normalized to
+  /// DPFS form ("/dir/file"), sorted — fsck's ground truth.
+  Result<std::vector<net::SubfileInfo>> ListSubfiles() const;
+
+  [[nodiscard]] const FdCache& fd_cache() const noexcept { return fd_cache_; }
+
+ private:
+  /// Maps a subfile name to a local path, rejecting escapes from the root.
+  Result<std::filesystem::path> ResolvePath(const std::string& subfile) const;
+
+  std::filesystem::path root_;
+  FdCache fd_cache_;
+};
+
+}  // namespace dpfs::server

@@ -1,0 +1,68 @@
+// Discrete-event replay of an IoPlan against storage-class models.
+//
+// This is the substitution for the paper's physical testbed (see DESIGN.md):
+// the *real* DPFS planner produces the request stream (which bricks, which
+// servers, combined or not, in what order), and this engine computes when
+// each request would complete on 2001-era heterogeneous storage.
+//
+// Model per server:
+//   * one DISK resource — FIFO; a request occupies it for
+//     disk_overhead + bytes/disk_bw + (fragments-1)*fragment_overhead;
+//   * one LINK resource — FIFO; a message occupies it for bytes/link_bw.
+// Per-message one-way latency is added outside the resources (pipelined).
+// A READ request flows  client → [latency] → DISK → LINK → [latency] → client.
+// A WRITE request flows client → [latency] → LINK → DISK → client (ack is
+// latency only).
+// Each client is synchronous: it issues its next request only after the
+// previous one completes — the paper's client behaviour, which is what makes
+// request count so important (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/plan.h"
+#include "simnet/storage_class.h"
+
+namespace dpfs::simnet {
+
+struct ReplayOptions {
+  /// Client-side per-request CPU cost (marshalling, metadata math).
+  double client_overhead_s = 0.05e-3;
+  /// Shared compute-side uplink shared by ALL clients (the SP2 partition's
+  /// connection to the outside in the paper's testbed). 0 disables the
+  /// resource (infinite uplink).
+  double client_uplink_bytes_per_s = 0;
+};
+
+struct ReplayResult {
+  double makespan_s = 0;                  // slowest client's finish time
+  std::vector<double> client_finish_s;    // per client
+  std::size_t total_requests = 0;
+  std::uint64_t transfer_bytes = 0;       // bytes that crossed links
+  std::uint64_t useful_bytes = 0;         // bytes the application asked for
+
+  /// The paper's reported metric: application bytes over makespan.
+  [[nodiscard]] double aggregate_bandwidth_MBps() const noexcept {
+    return makespan_s <= 0
+               ? 0
+               : static_cast<double>(useful_bytes) / (1024.0 * 1024.0) /
+                     makespan_s;
+  }
+  /// Wire efficiency: useful / transferred.
+  [[nodiscard]] double efficiency() const noexcept {
+    return transfer_bytes == 0
+               ? 1.0
+               : static_cast<double>(useful_bytes) /
+                     static_cast<double>(transfer_bytes);
+  }
+};
+
+/// Replays `plan` against `servers` (one model per layout::ServerId).
+/// All clients start at t = 0.
+Result<ReplayResult> Replay(const layout::IoPlan& plan,
+                            const std::vector<StorageClassModel>& servers,
+                            const ReplayOptions& options = {});
+
+}  // namespace dpfs::simnet

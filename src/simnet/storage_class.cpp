@@ -1,0 +1,90 @@
+#include "simnet/storage_class.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dpfs::simnet {
+
+double StorageClassModel::SoloBrickTime(std::uint64_t bytes) const noexcept {
+  const double b = static_cast<double>(bytes);
+  // request latency + disk service + reply transfer.
+  return link_latency_s + disk_overhead_s + b / disk_bytes_per_s +
+         link_latency_s + b / link_bytes_per_s;
+}
+
+StorageClassModel Class1() noexcept {
+  StorageClassModel model;
+  model.name = "class1";
+  model.link_bytes_per_s = 11.0 * 1024 * 1024;  // Fast Ethernet, local
+  model.link_latency_s = 0.3e-3;
+  model.disk_bytes_per_s = 10.0 * 1024 * 1024;  // 2001 commodity IDE disk
+  // Per-request cost: thread spawn + subfile open + seek (§2's
+  // thread-per-request server on 2001 hardware).
+  model.disk_overhead_s = 4.5e-3;
+  model.fragment_overhead_s = 0.3e-3;
+  return model;
+}
+
+StorageClassModel Class2() noexcept {
+  StorageClassModel model;
+  model.name = "class2";
+  model.link_bytes_per_s = 1.0 * 1024 * 1024;  // shared 10 Mbit Ethernet
+  model.link_latency_s = 3.0e-3;               // + metropolitan hop
+  model.disk_bytes_per_s = 8.0 * 1024 * 1024;
+  model.disk_overhead_s = 6.0e-3;
+  model.fragment_overhead_s = 0.4e-3;
+  return model;
+}
+
+StorageClassModel Class3() noexcept {
+  StorageClassModel model;
+  model.name = "class3";
+  model.link_bytes_per_s = 2.0 * 1024 * 1024;  // 155 Mbit ATM via metro WAN
+  model.link_latency_s = 2.5e-3;
+  model.disk_bytes_per_s = 9.0 * 1024 * 1024;
+  model.disk_overhead_s = 5.5e-3;
+  model.fragment_overhead_s = 0.35e-3;
+  return model;
+}
+
+StorageClassModel RemoteWan() noexcept {
+  StorageClassModel model;
+  model.name = "remote-wan";
+  model.link_bytes_per_s = 0.6 * 1024 * 1024;
+  model.link_latency_s = 35e-3;  // cross-country HPSS-style access
+  model.disk_bytes_per_s = 25.0 * 1024 * 1024;
+  model.disk_overhead_s = 8e-3;  // tape-frontend / hierarchical store
+  model.fragment_overhead_s = 0.5e-3;
+  return model;
+}
+
+Result<StorageClassModel> StorageClassByName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "class1")) return Class1();
+  if (EqualsIgnoreCase(name, "class2")) return Class2();
+  if (EqualsIgnoreCase(name, "class3")) return Class3();
+  if (EqualsIgnoreCase(name, "remote-wan") || EqualsIgnoreCase(name, "wan")) {
+    return RemoteWan();
+  }
+  return InvalidArgumentError("unknown storage class '" + std::string(name) +
+                              "'");
+}
+
+std::vector<std::uint32_t> NormalizedPerformance(
+    const std::vector<StorageClassModel>& servers, std::uint64_t brick_bytes) {
+  std::vector<std::uint32_t> performance(servers.size(), 1);
+  if (servers.empty()) return performance;
+  double fastest = servers[0].SoloBrickTime(brick_bytes);
+  for (const StorageClassModel& server : servers) {
+    fastest = std::min(fastest, server.SoloBrickTime(brick_bytes));
+  }
+  for (std::size_t k = 0; k < servers.size(); ++k) {
+    const double ratio = servers[k].SoloBrickTime(brick_bytes) / fastest;
+    performance[k] =
+        static_cast<std::uint32_t>(std::max(1.0, std::round(ratio)));
+  }
+  return performance;
+}
+
+}  // namespace dpfs::simnet

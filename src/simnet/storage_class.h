@@ -1,0 +1,62 @@
+// Calibrated models of the paper's three storage classes (§8).
+//
+// The paper's testbed:
+//   class 1 — Linux workstations at Argonne, reached from the SP2 over a
+//             local Fast Ethernet + ATM;
+//   class 2 — 8 HP workstations at Northwestern on a shared 10 Mbit
+//             Ethernet, reached over a metropolitan network;
+//   class 3 — 8 SUN workstations at Northwestern on a 155 Mbit ATM LAN,
+//             reached over the same metropolitan network.
+//
+// We model each server as a request-latency + two serial resources: the
+// disk (per-request overhead + streaming bandwidth) and the network link
+// (per-message latency + streaming bandwidth). The constants below are
+// order-of-magnitude 2001 hardware, chosen so that accessing one 64 KB
+// brick from class 1 is ~3x faster than from class 3 — the ratio the paper
+// states when motivating the greedy striping algorithm (§8.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpfs::simnet {
+
+struct StorageClassModel {
+  std::string name;
+  double link_bytes_per_s = 1e7;   // streaming network bandwidth
+  double link_latency_s = 1e-3;    // one-way per-message latency
+  double disk_bytes_per_s = 1e7;   // local file system streaming rate
+  double disk_overhead_s = 1e-3;   // per-request seek + open + FS overhead
+  double fragment_overhead_s = 0;  // extra per additional fragment in a
+                                   // combined request (near-sequential)
+  /// Server streaming granularity: the disk and the link overlap once this
+  /// many bytes of a request have cleared the first resource (the server
+  /// reads/sends in buffer-sized chunks rather than store-and-forwarding
+  /// whole requests).
+  double stream_chunk_bytes = 128.0 * 1024;
+
+  /// Time for one client to fetch one brick of `bytes` when the server is
+  /// otherwise idle — the paper's "access time for one brick" used to derive
+  /// normalized performance numbers.
+  [[nodiscard]] double SoloBrickTime(std::uint64_t bytes) const noexcept;
+};
+
+/// The three calibrated classes plus a WAN-remote model (HPSS-style
+/// motivation baseline, not used in any reproduced figure).
+StorageClassModel Class1() noexcept;
+StorageClassModel Class2() noexcept;
+StorageClassModel Class3() noexcept;
+StorageClassModel RemoteWan() noexcept;
+
+Result<StorageClassModel> StorageClassByName(std::string_view name);
+
+/// Normalized performance numbers for the greedy algorithm (§4.1): the
+/// fastest server gets 1, others get round(solo_time / fastest_solo_time)
+/// (an integer >= 1, as the paper prescribes).
+std::vector<std::uint32_t> NormalizedPerformance(
+    const std::vector<StorageClassModel>& servers, std::uint64_t brick_bytes);
+
+}  // namespace dpfs::simnet

@@ -1,0 +1,304 @@
+#include "client/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::client {
+namespace {
+
+class MetadataTest : public ::testing::Test {
+ protected:
+  MetadataTest() {
+    std::shared_ptr<metadb::Database> db = metadb::Database::OpenInMemory();
+    manager_ = MetadataManager::Attach(db).value();
+  }
+
+  ServerInfo MakeServer(const std::string& name, std::uint32_t performance) {
+    ServerInfo server;
+    server.name = name;
+    server.endpoint = {"127.0.0.1", 9000};
+    server.capacity_bytes = 500'000'000;
+    server.performance = performance;
+    return server;
+  }
+
+  /// A 2-brick linear file on the given servers.
+  FileMeta MakeLinearMeta(const std::string& path) {
+    FileMeta meta;
+    meta.path = path;
+    meta.owner = "xhshen";
+    meta.permission = 0744;
+    meta.level = layout::FileLevel::kLinear;
+    meta.size_bytes = 128;
+    meta.brick_bytes = 64;
+    return meta;
+  }
+
+  std::unique_ptr<MetadataManager> manager_;
+};
+
+TEST_F(MetadataTest, TablesCreatedOnAttach) {
+  EXPECT_TRUE(manager_->db().HasTable("DPFS_SERVER"));
+  EXPECT_TRUE(manager_->db().HasTable("DPFS_FILE_DISTRIBUTION"));
+  EXPECT_TRUE(manager_->db().HasTable("DPFS_DIRECTORY"));
+  EXPECT_TRUE(manager_->db().HasTable("DPFS_FILE_ATTR"));
+}
+
+TEST_F(MetadataTest, AttachIsIdempotent) {
+  // Re-attach to the same database must not fail on existing tables.
+  std::shared_ptr<metadb::Database> db = metadb::Database::OpenInMemory();
+  auto first = MetadataManager::Attach(db);
+  ASSERT_TRUE(first.ok());
+  auto second = MetadataManager::Attach(db);
+  EXPECT_TRUE(second.ok());
+}
+
+TEST_F(MetadataTest, RegisterListLookupServers) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("beta.dpfs", 3)).ok());
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("alpha.dpfs", 1)).ok());
+  const std::vector<ServerInfo> servers = manager_->ListServers().value();
+  ASSERT_EQ(servers.size(), 2u);
+  EXPECT_EQ(servers[0].name, "alpha.dpfs");  // sorted by name
+  EXPECT_EQ(servers[1].performance, 3u);
+  const ServerInfo looked_up = manager_->LookupServer("beta.dpfs").value();
+  EXPECT_EQ(looked_up.capacity_bytes, 500'000'000u);
+  EXPECT_FALSE(manager_->LookupServer("gamma.dpfs").ok());
+}
+
+TEST_F(MetadataTest, DuplicateServerRejected) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("a", 1)).ok());
+  EXPECT_FALSE(manager_->RegisterServer(MakeServer("a", 2)).ok());
+}
+
+TEST_F(MetadataTest, UnregisterServer) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("a", 1)).ok());
+  EXPECT_TRUE(manager_->UnregisterServer("a").ok());
+  EXPECT_FALSE(manager_->UnregisterServer("a").ok());
+}
+
+TEST_F(MetadataTest, DirectoryTree) {
+  EXPECT_TRUE(manager_->DirectoryExists("/").value());
+  ASSERT_TRUE(manager_->MakeDirectory("/home").ok());
+  ASSERT_TRUE(manager_->MakeDirectory("/home/xhshen").ok());
+  EXPECT_TRUE(manager_->DirectoryExists("/home/xhshen").value());
+
+  const auto root = manager_->ListDirectory("/").value();
+  ASSERT_EQ(root.directories.size(), 1u);
+  EXPECT_EQ(root.directories[0], "home");
+
+  // Parent must exist.
+  EXPECT_FALSE(manager_->MakeDirectory("/no/parent").ok());
+  // Duplicates rejected.
+  EXPECT_FALSE(manager_->MakeDirectory("/home").ok());
+}
+
+TEST_F(MetadataTest, RemoveDirectory) {
+  ASSERT_TRUE(manager_->MakeDirectory("/a").ok());
+  ASSERT_TRUE(manager_->MakeDirectory("/a/b").ok());
+  // Non-empty without recursive fails.
+  EXPECT_FALSE(manager_->RemoveDirectory("/a", false).ok());
+  EXPECT_TRUE(manager_->RemoveDirectory("/a/b", false).ok());
+  EXPECT_TRUE(manager_->RemoveDirectory("/a", false).ok());
+  EXPECT_FALSE(manager_->DirectoryExists("/a").value());
+  // Root cannot be removed.
+  EXPECT_FALSE(manager_->RemoveDirectory("/", true).ok());
+}
+
+TEST_F(MetadataTest, CreateAndLookupFile) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s1", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 2).value();
+  ASSERT_TRUE(
+      manager_->CreateFile(MakeLinearMeta("/data.bin"), {"s0", "s1"}, dist)
+          .ok());
+
+  const FileRecord record = manager_->LookupFile("/data.bin").value();
+  EXPECT_EQ(record.meta.owner, "xhshen");
+  EXPECT_EQ(record.meta.level, layout::FileLevel::kLinear);
+  EXPECT_EQ(record.meta.size_bytes, 128u);
+  EXPECT_EQ(record.meta.brick_bytes, 64u);
+  ASSERT_EQ(record.servers.size(), 2u);
+  EXPECT_EQ(record.servers[0].name, "s0");
+  EXPECT_EQ(record.distribution.server_for(0), 0u);
+  EXPECT_EQ(record.distribution.server_for(1), 1u);
+
+  // The file is linked into its parent directory.
+  const auto listing = manager_->ListDirectory("/").value();
+  ASSERT_EQ(listing.files.size(), 1u);
+  EXPECT_EQ(listing.files[0], "data.bin");
+}
+
+TEST_F(MetadataTest, CreateFileInMissingDirectoryFails) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  EXPECT_FALSE(
+      manager_->CreateFile(MakeLinearMeta("/no/dir/f"), {"s0"}, dist).ok());
+  // The failed transaction must leave no attribute row behind.
+  EXPECT_FALSE(manager_->FileExists("/no/dir/f").value());
+}
+
+TEST_F(MetadataTest, DuplicateFileRejected) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  ASSERT_TRUE(manager_->CreateFile(MakeLinearMeta("/f"), {"s0"}, dist).ok());
+  EXPECT_FALSE(manager_->CreateFile(MakeLinearMeta("/f"), {"s0"}, dist).ok());
+}
+
+TEST_F(MetadataTest, MultidimFileRoundTrip) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  FileMeta meta;
+  meta.path = "/array.dpfs";
+  meta.owner = "me";
+  meta.level = layout::FileLevel::kMultidim;
+  meta.element_size = 8;
+  meta.array_shape = {256, 256};
+  meta.brick_shape = {64, 64};
+  meta.size_bytes = 256 * 256 * 8;
+  const auto map = meta.MakeBrickMap().value();
+  EXPECT_EQ(map.num_bricks(), 16u);
+  const auto dist = layout::BrickDistribution::RoundRobin(16, 1).value();
+  ASSERT_TRUE(manager_->CreateFile(meta, {"s0"}, dist).ok());
+
+  const FileRecord record = manager_->LookupFile("/array.dpfs").value();
+  EXPECT_EQ(record.meta.level, layout::FileLevel::kMultidim);
+  EXPECT_EQ(record.meta.array_shape, (layout::Shape{256, 256}));
+  EXPECT_EQ(record.meta.brick_shape, (layout::Shape{64, 64}));
+  EXPECT_EQ(record.meta.element_size, 8u);
+  EXPECT_EQ(record.meta.MakeBrickMap().value().num_bricks(), 16u);
+}
+
+TEST_F(MetadataTest, ArrayFileRoundTripWithPattern) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  FileMeta meta;
+  meta.path = "/chunked.dpfs";
+  meta.owner = "me";
+  meta.level = layout::FileLevel::kArray;
+  meta.element_size = 1;
+  meta.array_shape = {64, 64};
+  meta.pattern = layout::HpfPattern::Parse("(BLOCK,BLOCK)").value();
+  meta.chunk_grid = {2, 2};
+  meta.size_bytes = 64 * 64;
+  const auto dist = layout::BrickDistribution::RoundRobin(4, 1).value();
+  ASSERT_TRUE(manager_->CreateFile(meta, {"s0"}, dist).ok());
+
+  const FileRecord record = manager_->LookupFile("/chunked.dpfs").value();
+  ASSERT_TRUE(record.meta.pattern.has_value());
+  EXPECT_EQ(record.meta.pattern->ToString(), "(BLOCK,BLOCK)");
+  EXPECT_EQ(record.meta.chunk_grid, (layout::Shape{2, 2}));
+}
+
+TEST_F(MetadataTest, GreedyDistributionBricklistSurvivesRoundTrip) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("fast", 1)).ok());
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("slow", 3)).ok());
+  FileMeta meta = MakeLinearMeta("/g");
+  meta.size_bytes = 32 * 64;
+  const auto dist = layout::BrickDistribution::Greedy(32, {1, 3}).value();
+  ASSERT_TRUE(manager_->CreateFile(meta, {"fast", "slow"}, dist).ok());
+  const FileRecord record = manager_->LookupFile("/g").value();
+  for (layout::BrickId brick = 0; brick < 32; ++brick) {
+    EXPECT_EQ(record.distribution.server_for(brick), dist.server_for(brick));
+    EXPECT_EQ(record.distribution.slot_for(brick), dist.slot_for(brick));
+  }
+}
+
+TEST_F(MetadataTest, UpdateFileSize) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  ASSERT_TRUE(manager_->CreateFile(MakeLinearMeta("/f"), {"s0"}, dist).ok());
+  ASSERT_TRUE(manager_->UpdateFileSize("/f", 100).ok());
+  EXPECT_EQ(manager_->LookupFile("/f").value().meta.size_bytes, 100u);
+  // Growing past the striped capacity (2 bricks x 64 bytes) is rejected —
+  // bricklists are fixed at creation.
+  EXPECT_EQ(manager_->UpdateFileSize("/f", 999).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(manager_->UpdateFileSize("/nope", 1).ok());
+}
+
+TEST_F(MetadataTest, DeleteFileCleansAllTables) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  ASSERT_TRUE(manager_->CreateFile(MakeLinearMeta("/f"), {"s0"}, dist).ok());
+  ASSERT_TRUE(manager_->DeleteFile("/f").ok());
+  EXPECT_FALSE(manager_->FileExists("/f").value());
+  EXPECT_FALSE(manager_->LookupFile("/f").ok());
+  EXPECT_TRUE(manager_->ListDirectory("/").value().files.empty());
+  // Distribution rows are gone too.
+  const auto rows = manager_->db()
+                        .Execute("SELECT * FROM DPFS_FILE_DISTRIBUTION")
+                        .value();
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(MetadataTest, RecursiveRemoveDirectoryDeletesFiles) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  ASSERT_TRUE(manager_->MakeDirectory("/proj").ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  ASSERT_TRUE(
+      manager_->CreateFile(MakeLinearMeta("/proj/f1"), {"s0"}, dist).ok());
+  ASSERT_TRUE(manager_->MakeDirectory("/proj/sub").ok());
+  ASSERT_TRUE(
+      manager_->CreateFile(MakeLinearMeta("/proj/sub/f2"), {"s0"}, dist).ok());
+  ASSERT_TRUE(manager_->RemoveDirectory("/proj", true).ok());
+  EXPECT_FALSE(manager_->DirectoryExists("/proj").value());
+  EXPECT_FALSE(manager_->FileExists("/proj/f1").value());
+  EXPECT_FALSE(manager_->FileExists("/proj/sub/f2").value());
+}
+
+TEST_F(MetadataTest, AccessLogFollowsRenameAndDelete) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  ASSERT_TRUE(manager_->CreateFile(MakeLinearMeta("/f"), {"s0"}, dist).ok());
+  ASSERT_TRUE(manager_->LogAccess("/f", false, 4, 1000, 500).ok());
+  ASSERT_TRUE(manager_->LogAccess("/f", true, 2, 500, 500).ok());
+  EXPECT_EQ(manager_->SummarizeAccess("/f").value().accesses, 2u);
+
+  // Rename moves the observations to the new name.
+  ASSERT_TRUE(manager_->RenameFile("/f", "/g").ok());
+  EXPECT_EQ(manager_->SummarizeAccess("/f").value().accesses, 0u);
+  const auto summary = manager_->SummarizeAccess("/g").value();
+  EXPECT_EQ(summary.accesses, 2u);
+  EXPECT_EQ(summary.transfer_bytes, 1500u);
+  EXPECT_EQ(summary.useful_bytes, 1000u);
+
+  // Delete drops them.
+  ASSERT_TRUE(manager_->DeleteFile("/g").ok());
+  EXPECT_EQ(manager_->SummarizeAccess("/g").value().accesses, 0u);
+}
+
+TEST_F(MetadataTest, MetadataRenameUpdatesAllTables) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  ASSERT_TRUE(manager_->MakeDirectory("/dst").ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  ASSERT_TRUE(
+      manager_->CreateFile(MakeLinearMeta("/orig"), {"s0"}, dist).ok());
+  ASSERT_TRUE(manager_->RenameFile("/orig", "/dst/moved").ok());
+  EXPECT_FALSE(manager_->FileExists("/orig").value());
+  const client::FileRecord record =
+      manager_->LookupFile("/dst/moved").value();
+  EXPECT_EQ(record.meta.path, "/dst/moved");
+  EXPECT_EQ(record.distribution.num_bricks(), 2u);
+  EXPECT_TRUE(manager_->ListDirectory("/").value().files.empty());
+  EXPECT_EQ(manager_->ListDirectory("/dst").value().files.size(), 1u);
+  // Preconditions enforced.
+  EXPECT_FALSE(manager_->RenameFile("/missing", "/x").ok());
+  EXPECT_FALSE(manager_->RenameFile("/dst/moved", "/dst").ok());  // dir
+}
+
+TEST_F(MetadataTest, PathsAreNormalized) {
+  ASSERT_TRUE(manager_->MakeDirectory("/home").ok());
+  EXPECT_TRUE(manager_->DirectoryExists("//home/").value());
+  EXPECT_TRUE(manager_->DirectoryExists("/home/./").value());
+  EXPECT_TRUE(manager_->DirectoryExists("/x/../home").value());
+}
+
+TEST_F(MetadataTest, FileNamesWithQuotesAreSafe) {
+  ASSERT_TRUE(manager_->RegisterServer(MakeServer("s0", 1)).ok());
+  const auto dist = layout::BrickDistribution::RoundRobin(2, 1).value();
+  FileMeta meta = MakeLinearMeta("/it's a file");
+  ASSERT_TRUE(manager_->CreateFile(meta, {"s0"}, dist).ok());
+  EXPECT_TRUE(manager_->FileExists("/it's a file").value());
+  const FileRecord record = manager_->LookupFile("/it's a file").value();
+  EXPECT_EQ(record.meta.path, "/it's a file");
+}
+
+}  // namespace
+}  // namespace dpfs::client

@@ -1,0 +1,127 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs {
+namespace {
+
+TEST(BinaryWriterTest, WritesLittleEndian) {
+  BinaryWriter writer;
+  writer.WriteU32(0x01020304);
+  const Bytes& buffer = writer.buffer();
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer[0], 0x04);
+  EXPECT_EQ(buffer[1], 0x03);
+  EXPECT_EQ(buffer[2], 0x02);
+  EXPECT_EQ(buffer[3], 0x01);
+}
+
+TEST(BinaryRoundTripTest, AllScalarTypes) {
+  BinaryWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU16(0xBEEF);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI32(-12345);
+  writer.WriteI64(-9876543210);
+  writer.WriteF64(3.14159);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.ReadI32().value(), -12345);
+  EXPECT_EQ(reader.ReadI64().value(), -9876543210);
+  EXPECT_DOUBLE_EQ(reader.ReadF64().value(), 3.14159);
+  EXPECT_TRUE(reader.ReadBool().value());
+  EXPECT_FALSE(reader.ReadBool().value());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryRoundTripTest, Strings) {
+  BinaryWriter writer;
+  writer.WriteString("hello dpfs");
+  writer.WriteString("");
+  writer.WriteString(std::string("\0binary\xff", 8));
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString().value(), "hello dpfs");
+  EXPECT_EQ(reader.ReadString().value(), "");
+  EXPECT_EQ(reader.ReadString().value(), std::string("\0binary\xff", 8));
+}
+
+TEST(BinaryReaderTest, TruncatedInputIsProtocolError) {
+  BinaryWriter writer;
+  writer.WriteU16(7);
+  BinaryReader reader(writer.buffer());
+  const Result<std::uint32_t> v = reader.ReadU32();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(BinaryReaderTest, TruncatedStringIsProtocolError) {
+  BinaryWriter writer;
+  writer.WriteU32(100);  // claims 100 bytes but provides none
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(reader.ReadBytes().ok());
+}
+
+TEST(BinaryReaderTest, BoolOutOfRangeRejected) {
+  Bytes raw = {2};
+  BinaryReader reader(raw);
+  EXPECT_FALSE(reader.ReadBool().ok());
+}
+
+TEST(BinaryReaderTest, RemainingAndPosition) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.remaining(), 8u);
+  ASSERT_TRUE(reader.ReadU32().ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+  EXPECT_EQ(reader.position(), 4u);
+}
+
+TEST(BinaryReaderTest, ReadRawReturnsView) {
+  BinaryWriter writer;
+  writer.WriteRaw(AsBytes("abcdef"));
+  BinaryReader reader(writer.buffer());
+  const ByteSpan view = reader.ReadRaw(3).value();
+  EXPECT_EQ(AsStringView(view), "abc");
+  EXPECT_EQ(AsStringView(reader.ReadRaw(3).value()), "def");
+  EXPECT_FALSE(reader.ReadRaw(1).ok());
+}
+
+TEST(BinaryWriterTest, PatchU32) {
+  BinaryWriter writer;
+  writer.WriteU32(0);  // placeholder
+  writer.WriteString("payload");
+  writer.PatchU32(0, 0xCAFEBABE);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU32().value(), 0xCAFEBABEu);
+}
+
+TEST(BinaryRoundTripTest, NegativeDoubleAndSpecials) {
+  BinaryWriter writer;
+  writer.WriteF64(-0.0);
+  writer.WriteF64(1e300);
+  writer.WriteF64(-1e-300);
+  BinaryReader reader(writer.buffer());
+  EXPECT_DOUBLE_EQ(reader.ReadF64().value(), -0.0);
+  EXPECT_DOUBLE_EQ(reader.ReadF64().value(), 1e300);
+  EXPECT_DOUBLE_EQ(reader.ReadF64().value(), -1e-300);
+}
+
+TEST(ByteSpanTest, AsBytesAndBack) {
+  const std::string text = "round trip";
+  const ByteSpan span = AsBytes(text);
+  EXPECT_EQ(span.size(), text.size());
+  EXPECT_EQ(AsStringView(span), text);
+}
+
+}  // namespace
+}  // namespace dpfs

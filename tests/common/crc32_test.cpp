@@ -1,0 +1,46 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs {
+namespace {
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(Crc32c({}), 0u); }
+
+TEST(Crc32cTest, KnownVector) {
+  // RFC 3720 test vector: CRC-32C of "123456789" is 0xE3069283.
+  EXPECT_EQ(Crc32c(AsBytes("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, AllZeros32Bytes) {
+  // Another RFC 3720 vector: 32 bytes of zeros → 0x8A9136AA.
+  const Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t one_shot = Crc32c(AsBytes(data));
+  std::uint32_t crc = 0;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    const std::size_t len = std::min<std::size_t>(7, data.size() - i);
+    crc = Crc32cExtend(crc, AsBytes(data.data() + i, len));
+  }
+  EXPECT_EQ(crc, one_shot);
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesCrc) {
+  Bytes data(100, 0x5A);
+  const std::uint32_t before = Crc32c(data);
+  data[50] ^= 0x01;
+  EXPECT_NE(Crc32c(data), before);
+}
+
+TEST(Crc32cTest, DifferentLengthsDiffer) {
+  const Bytes a(10, 0);
+  const Bytes b(11, 0);
+  EXPECT_NE(Crc32c(a), Crc32c(b));
+}
+
+}  // namespace
+}  // namespace dpfs

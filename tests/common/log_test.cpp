@@ -1,0 +1,60 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelFiltering) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(internal::LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(internal::LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(internal::LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(internal::LogEnabled(LogLevel::kError));
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(internal::LogEnabled(LogLevel::kError));
+}
+
+TEST(LogTest, DebugEnablesEverything) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(internal::LogEnabled(LogLevel::kDebug));
+  EXPECT_TRUE(internal::LogEnabled(LogLevel::kError));
+}
+
+TEST(LogTest, MacroShortCircuitsWhenDisabled) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  DPFS_LOG_DEBUG << count();
+  EXPECT_EQ(evaluations, 0);  // stream expression never evaluated
+  DPFS_LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, GetSetRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace dpfs

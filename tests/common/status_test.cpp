@@ -1,0 +1,119 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = NotFoundError("missing brick");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing brick");
+  EXPECT_EQ(status.ToString(), "not_found: missing brick");
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  const Status status = IoError("disk full").WithContext("server 3");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "server 3: disk full");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  const Status status = Status::Ok().WithContext("ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(ProtocolError("x").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
+  EXPECT_EQ(StatusCodeName(StatusCode::kProtocolError), "protocol_error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string(1000, 'x'));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return InvalidArgumentError("odd");
+  return v / 2;
+}
+
+Result<int> QuarterViaMacro(int v) {
+  DPFS_ASSIGN_OR_RETURN(const int half, Half(v));
+  DPFS_ASSIGN_OR_RETURN(const int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterViaMacro(8).value(), 2);
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 3 is odd at the second step
+  EXPECT_FALSE(QuarterViaMacro(5).ok());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return OutOfRangeError("negative");
+  return Status::Ok();
+}
+
+Status CheckBoth(int a, int b) {
+  DPFS_RETURN_IF_ERROR(FailIfNegative(a));
+  DPFS_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_EQ(CheckBoth(-1, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CheckBoth(1, -2).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dpfs

@@ -1,0 +1,133 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, PreservesEmptyFields) {
+  const auto parts = SplitString(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitStringTest, NoSeparator) {
+  const auto parts = SplitString("plain", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyTokens) {
+  const auto parts = SplitWhitespace("  ls   -l\t/home/x  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "ls");
+  EXPECT_EQ(parts[1], "-l");
+  EXPECT_EQ(parts[2], "/home/x");
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n").empty());
+}
+
+TEST(TrimWhitespaceTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("  "), "");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("BlOcK", "block"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(CaseTest, ToLower) { EXPECT_EQ(ToLower("DPFS-Server"), "dpfs-server"); }
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(EndsWith("file.dpfs", ".dpfs"));
+  EXPECT_FALSE(EndsWith("dpfs", ".dpfs"));
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("  99  ").value(), 99);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(FormatByteSizeTest, Units) {
+  EXPECT_EQ(FormatByteSize(512), "512 B");
+  EXPECT_EQ(FormatByteSize(2048), "2.0 KB");
+  EXPECT_EQ(FormatByteSize(5ull * 1024 * 1024), "5.0 MB");
+  EXPECT_EQ(FormatByteSize(3ull * 1024 * 1024 * 1024), "3.0 GB");
+}
+
+TEST(NormalizePathTest, Basic) {
+  EXPECT_EQ(NormalizePath("/a/b/c").value(), "/a/b/c");
+  EXPECT_EQ(NormalizePath("a/b").value(), "/a/b");
+  EXPECT_EQ(NormalizePath("/a//b/").value(), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/./b").value(), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/x/../b").value(), "/a/b");
+  EXPECT_EQ(NormalizePath("/").value(), "/");
+  EXPECT_EQ(NormalizePath("").value(), "/");
+}
+
+TEST(NormalizePathTest, EscapingRootFails) {
+  EXPECT_FALSE(NormalizePath("/..").ok());
+  EXPECT_FALSE(NormalizePath("/a/../../b").ok());
+}
+
+TEST(SplitPathTest, Basic) {
+  const auto [parent1, name1] = SplitPath("/a/b/c");
+  EXPECT_EQ(parent1, "/a/b");
+  EXPECT_EQ(name1, "c");
+  const auto [parent2, name2] = SplitPath("/top");
+  EXPECT_EQ(parent2, "/");
+  EXPECT_EQ(name2, "top");
+  const auto [parent3, name3] = SplitPath("/");
+  EXPECT_EQ(parent3, "/");
+  EXPECT_EQ(name3, "");
+}
+
+}  // namespace
+}  // namespace dpfs

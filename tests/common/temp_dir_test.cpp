@@ -1,0 +1,53 @@
+#include "common/temp_dir.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dpfs {
+namespace {
+
+TEST(TempDirTest, CreatesAndRemoves) {
+  std::filesystem::path path;
+  {
+    const Result<TempDir> dir = TempDir::Create("dpfs-test");
+    ASSERT_TRUE(dir.ok());
+    path = dir.value().path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_NE(path.string().find("dpfs-test"), std::string::npos);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, RemovesContentsRecursively) {
+  std::filesystem::path path;
+  {
+    TempDir dir = TempDir::Create().value();
+    path = dir.path();
+    std::filesystem::create_directories(dir.Sub("a/b/c"));
+    std::ofstream(dir.Sub("a/b/file.txt")) << "data";
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, TwoDirsAreDistinct) {
+  const TempDir a = TempDir::Create().value();
+  const TempDir b = TempDir::Create().value();
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDirTest, MoveTransfersOwnership) {
+  TempDir a = TempDir::Create().value();
+  const std::filesystem::path path = a.path();
+  TempDir b = std::move(a);
+  EXPECT_EQ(b.path(), path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, SubJoinsPath) {
+  const TempDir dir = TempDir::Create().value();
+  EXPECT_EQ(dir.Sub("x.db"), dir.path() / "x.db");
+}
+
+}  // namespace
+}  // namespace dpfs

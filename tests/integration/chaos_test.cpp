@@ -1,0 +1,151 @@
+// Chaos: every feature at once. Collective phases, independent cached
+// readers, sieve readers, parallel-dispatch writers, renames, fsck, and
+// metadata traffic all share one FileSystem against one live cluster.
+// Nothing may deadlock, crash, or corrupt data.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "client/collective.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace dpfs {
+namespace {
+
+using client::CollectiveFile;
+using client::CreateOptions;
+using client::FileHandle;
+using client::IoOptions;
+
+TEST(ChaosTest, AllFeaturesConcurrently) {
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 4;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  auto fs = cluster->fs();
+  fs->EnableBrickCache(2 << 20);
+  fs->SetAccessLogging(true);
+
+  ASSERT_TRUE(fs->metadata().MakeDirectory("/chaos").ok());
+
+  // Shared collective file.
+  constexpr std::uint32_t kRanks = 4;
+  CreateOptions coll_create;
+  coll_create.level = layout::FileLevel::kMultidim;
+  coll_create.array_shape = {64, 64};
+  coll_create.brick_shape = {16, 16};
+  auto collective =
+      CollectiveFile::Create(fs, "/chaos/coll.dpfs", coll_create, kRanks);
+  ASSERT_TRUE(collective.ok()) << collective.status().ToString();
+  const layout::HpfPattern pattern =
+      layout::HpfPattern::Parse("(BLOCK,BLOCK)").value();
+  layout::ProcessGrid grid;
+  grid.grid = {2, 2};
+  ASSERT_TRUE(collective.value()->SetHpfViews(pattern, grid).ok());
+
+  // A hot shared read-only file for the cached readers.
+  CreateOptions hot_create;
+  hot_create.total_bytes = 64 * 1024;
+  hot_create.brick_bytes = 4 * 1024;
+  FileHandle hot = fs->Create("/chaos/hot.bin", hot_create).value();
+  SplitMix64 seed_rng(5);
+  Bytes hot_data(64 * 1024);
+  for (std::uint8_t& b : hot_data) {
+    b = static_cast<std::uint8_t>(seed_rng.NextU64());
+  }
+  ASSERT_TRUE(fs->WriteBytes(hot, 0, hot_data).ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  // 4 collective ranks doing write/read phases.
+  for (std::uint32_t rank = 0; rank < kRanks; ++rank) {
+    threads.emplace_back([&, rank] {
+      const layout::Region view = collective.value()->view(rank).value();
+      for (int phase = 0; phase < 4; ++phase) {
+        SplitMix64 rng(phase * 10 + rank);
+        Bytes data(view.num_elements());
+        for (std::uint8_t& b : data) {
+          b = static_cast<std::uint8_t>(rng.NextU64());
+        }
+        if (!collective.value()->WriteAll(rank, data).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        Bytes check(data.size());
+        if (!collective.value()->ReadAll(rank, check).ok() || check != data) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // 3 cached readers hammering the hot file with mixed options.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 rng(100 + t);
+      FileHandle handle = fs->Open("/chaos/hot.bin").value();
+      handle.client_id = 10 + t;
+      Bytes buffer;
+      for (int op = 0; op < 40; ++op) {
+        const std::uint64_t offset = rng.NextBelow(60 * 1024);
+        const std::uint64_t length = 1 + rng.NextBelow(4 * 1024);
+        buffer.resize(length);
+        IoOptions io;
+        io.whole_brick_reads = rng.NextBelow(2) == 0;
+        io.parallel_dispatch = rng.NextBelow(2) == 0;
+        if (!fs->ReadBytes(handle, offset, buffer, io).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (!std::equal(buffer.begin(), buffer.end(),
+                        hot_data.begin() + static_cast<std::ptrdiff_t>(offset))) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // One metadata churner: create/rename/delete private files + fsck.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 10; ++i) {
+      CreateOptions create;
+      create.total_bytes = 2048;
+      create.brick_bytes = 512;
+      const std::string path = "/chaos/tmp" + std::to_string(i);
+      Result<FileHandle> handle = fs->Create(path, create);
+      if (!handle.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (!fs->WriteBytes(*handle, 0, Bytes(2048, static_cast<std::uint8_t>(i)))
+               .ok() ||
+          !fs->Rename(path, path + ".renamed").ok() ||
+          !fs->Remove(path + ".renamed").ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (!fs->Fsck().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // End state: clean fsck, hot file intact, collective file readable.
+  EXPECT_TRUE(fs->Fsck().value().clean());
+  Bytes final_hot(64 * 1024);
+  FileHandle hot2 = fs->Open("/chaos/hot.bin").value();
+  ASSERT_TRUE(fs->ReadBytes(hot2, 0, final_hot).ok());
+  EXPECT_EQ(final_hot, hot_data);
+  const auto advice = fs->AdviseLevel("/chaos/hot.bin");
+  EXPECT_TRUE(advice.ok());
+}
+
+}  // namespace
+}  // namespace dpfs

@@ -1,0 +1,206 @@
+// Shadow-model consistency: random sequences of region writes and reads
+// against a live cluster must always agree with an in-memory golden array —
+// across all three file levels, including non-divisible (padded-edge-brick)
+// geometries, and regardless of combination options.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace dpfs {
+namespace {
+
+using client::CreateOptions;
+using client::FileHandle;
+using client::IoOptions;
+
+class ShadowConsistencyTest : public ::testing::TestWithParam<int> {
+ protected:
+  ShadowConsistencyTest() {
+    core::ClusterOptions options;
+    options.num_servers = 3;  // odd count exercises uneven round-robin
+    cluster_ = core::LocalCluster::Start(std::move(options)).value();
+    fs_ = cluster_->fs();
+  }
+
+  std::unique_ptr<core::LocalCluster> cluster_;
+  std::shared_ptr<client::FileSystem> fs_;
+};
+
+TEST_P(ShadowConsistencyTest, RandomRegionOpsMatchShadow) {
+  SplitMix64 rng(GetParam() * 7919 + 1);
+
+  // Random geometry — deliberately awkward (non-divisible) sizes.
+  const layout::Shape shape = {17 + rng.NextBelow(40),
+                               23 + rng.NextBelow(40)};
+  const std::uint64_t element_size = 1 + rng.NextBelow(4);
+
+  CreateOptions create;
+  create.element_size = element_size;
+  create.array_shape = shape;
+  switch (GetParam() % 3) {
+    case 0:
+      create.level = layout::FileLevel::kLinear;
+      create.brick_bytes = 13 + rng.NextBelow(100);
+      break;
+    case 1:
+      create.level = layout::FileLevel::kMultidim;
+      create.brick_shape = {1 + rng.NextBelow(shape[0]),
+                            1 + rng.NextBelow(shape[1])};
+      break;
+    case 2: {
+      create.level = layout::FileLevel::kArray;
+      create.pattern = layout::HpfPattern::Parse("(BLOCK,BLOCK)").value();
+      // Force divisibility for the array level by rounding the shape.
+      layout::Shape rounded = shape;
+      rounded[0] = ((rounded[0] + 1) / 2) * 2;
+      rounded[1] = ((rounded[1] + 2) / 3) * 3;
+      create.array_shape = rounded;
+      create.chunk_grid = {2, 3};
+      break;
+    }
+  }
+  FileHandle handle = fs_->Create("/shadow.dpfs", create).value();
+  const layout::Shape& actual_shape = handle.meta().array_shape;
+  const std::uint64_t total_bytes =
+      layout::NumElements(actual_shape) * element_size;
+
+  Bytes shadow(total_bytes, 0);
+  const auto shadow_index = [&](std::uint64_t r, std::uint64_t c,
+                                std::uint64_t byte) {
+    return (r * actual_shape[1] + c) * element_size + byte;
+  };
+
+  for (int op = 0; op < 30; ++op) {
+    layout::Region region;
+    region.lower = {rng.NextBelow(actual_shape[0]),
+                    rng.NextBelow(actual_shape[1])};
+    region.extent = {
+        1 + rng.NextBelow(actual_shape[0] - region.lower[0]),
+        1 + rng.NextBelow(actual_shape[1] - region.lower[1])};
+    const std::uint64_t region_bytes =
+        region.num_elements() * element_size;
+    IoOptions options;
+    options.combine = rng.NextBelow(2) == 0;
+    options.rotate_start = rng.NextBelow(2) == 0;
+
+    if (rng.NextBelow(2) == 0) {
+      // Write random data to the region; update the shadow.
+      Bytes data(region_bytes);
+      for (std::uint8_t& b : data) {
+        b = static_cast<std::uint8_t>(rng.NextU64());
+      }
+      ASSERT_TRUE(fs_->WriteRegion(handle, region, data, options).ok())
+          << "op " << op;
+      std::uint64_t cursor = 0;
+      for (std::uint64_t r = 0; r < region.extent[0]; ++r) {
+        for (std::uint64_t c = 0; c < region.extent[1]; ++c) {
+          for (std::uint64_t byte = 0; byte < element_size; ++byte) {
+            shadow[shadow_index(region.lower[0] + r, region.lower[1] + c,
+                                byte)] = data[cursor++];
+          }
+        }
+      }
+    } else {
+      // Read the region and compare with the shadow.
+      Bytes read(region_bytes);
+      ASSERT_TRUE(fs_->ReadRegion(handle, region, read, options).ok())
+          << "op " << op;
+      std::uint64_t cursor = 0;
+      for (std::uint64_t r = 0; r < region.extent[0]; ++r) {
+        for (std::uint64_t c = 0; c < region.extent[1]; ++c) {
+          for (std::uint64_t byte = 0; byte < element_size; ++byte) {
+            ASSERT_EQ(read[cursor],
+                      shadow[shadow_index(region.lower[0] + r,
+                                          region.lower[1] + c, byte)])
+                << "op " << op << " at (" << region.lower[0] + r << ","
+                << region.lower[1] + c << ") byte " << byte;
+            ++cursor;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShadowConsistencyTest,
+                         ::testing::Range(0, 12));
+
+TEST(ShadowRankTest, FourDimensionalMultidimRoundTrip) {
+  // Rank-4 arrays exercise the odometer paths well beyond the paper's 2-D
+  // examples.
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 3;
+  const auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  const auto fs = cluster->fs();
+
+  CreateOptions create;
+  create.level = layout::FileLevel::kMultidim;
+  create.array_shape = {6, 5, 7, 9};
+  create.brick_shape = {2, 3, 4, 4};  // non-divisible: padded edge bricks
+  create.element_size = 2;
+  FileHandle handle = fs->Create("/tesseract.dpfs", create).value();
+
+  SplitMix64 rng(4444);
+  const std::uint64_t total = 6 * 5 * 7 * 9 * 2;
+  Bytes truth(total);
+  for (std::uint8_t& b : truth) b = static_cast<std::uint8_t>(rng.NextU64());
+  ASSERT_TRUE(
+      fs->WriteRegion(handle, {{0, 0, 0, 0}, {6, 5, 7, 9}}, truth).ok());
+
+  // Interior hyper-rectangle read.
+  const layout::Region window{{1, 1, 2, 3}, {4, 3, 4, 5}};
+  Bytes read(window.num_elements() * 2);
+  ASSERT_TRUE(fs->ReadRegion(handle, window, read).ok());
+  std::uint64_t cursor = 0;
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      for (std::uint64_t c = 0; c < 4; ++c) {
+        for (std::uint64_t d = 0; d < 5; ++d) {
+          const std::uint64_t element =
+              (((a + 1) * 5 + (b + 1)) * 7 + (c + 2)) * 9 + (d + 3);
+          for (int byte = 0; byte < 2; ++byte) {
+            ASSERT_EQ(read[cursor++], truth[element * 2 + byte])
+                << a << "," << b << "," << c << "," << d;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShadowByteTest, RandomByteOpsMatchShadowOnLinearFile) {
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 4;
+  const auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  const auto fs = cluster->fs();
+
+  SplitMix64 rng(99);
+  CreateOptions create;
+  create.total_bytes = 10000;
+  create.brick_bytes = 37;  // deliberately odd: 271 bricks, partial tail
+  FileHandle handle = fs->Create("/bytes.bin", create).value();
+
+  Bytes shadow(10000, 0);
+  for (int op = 0; op < 60; ++op) {
+    const std::uint64_t offset = rng.NextBelow(10000);
+    const std::uint64_t length = 1 + rng.NextBelow(10000 - offset);
+    if (rng.NextBelow(2) == 0) {
+      Bytes data(length);
+      for (std::uint8_t& b : data) {
+        b = static_cast<std::uint8_t>(rng.NextU64());
+      }
+      ASSERT_TRUE(fs->WriteBytes(handle, offset, data).ok());
+      std::copy(data.begin(), data.end(), shadow.begin() + offset);
+    } else {
+      Bytes read(length);
+      ASSERT_TRUE(fs->ReadBytes(handle, offset, read).ok());
+      ASSERT_TRUE(std::equal(read.begin(), read.end(),
+                             shadow.begin() + offset))
+          << "op " << op << " offset " << offset << " length " << length;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpfs

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Multi-process deployment smoke test: two dpfsd daemons register into a
+# shared metadata directory; the dpfs CLI imports, inspects, moves, and
+# exports a file through them. Usage: deployment_test.sh <dpfsd> <dpfs>
+set -u
+
+DPFSD="$1"
+DPFS="$2"
+WORK="$(mktemp -d)"
+PIDS=""
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -n "$PIDS" ] && kill $PIDS 2>/dev/null
+  rm -rf "$WORK"
+  exit 1
+}
+
+"$DPFSD" --root "$WORK/s0" --name node0 --metadb "$WORK/meta" \
+         --performance 1 > "$WORK/d0.log" 2>&1 &
+PIDS="$!"
+"$DPFSD" --root "$WORK/s1" --name node1 --metadb "$WORK/meta" \
+         --performance 3 > "$WORK/d1.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# Wait for both registrations to land.
+for i in $(seq 1 50); do
+  if grep -q registered "$WORK/d0.log" && grep -q registered "$WORK/d1.log"; then
+    break
+  fi
+  sleep 0.1
+done
+grep -q registered "$WORK/d0.log" || fail "node0 never registered"
+grep -q registered "$WORK/d1.log" || fail "node1 never registered"
+
+head -c 300000 /dev/urandom > "$WORK/input.bin"
+
+"$DPFS" --metadb "$WORK/meta" --c "mkdir /data" || fail "mkdir"
+"$DPFS" --metadb "$WORK/meta" --c "import $WORK/input.bin /data/blob" \
+  || fail "import"
+"$DPFS" --metadb "$WORK/meta" --c "stat /data/blob" | grep -q "size:       300000" \
+  || fail "stat size"
+"$DPFS" --metadb "$WORK/meta" --c "mv /data/blob /data/renamed" || fail "mv"
+"$DPFS" --metadb "$WORK/meta" --c "export /data/renamed $WORK/output.bin" \
+  || fail "export"
+cmp -s "$WORK/input.bin" "$WORK/output.bin" || fail "round-trip mismatch"
+
+# Both servers actually stored bricks (round-robin striping).
+"$DPFS" --metadb "$WORK/meta" --c "df" | grep -q node0 || fail "df node0"
+[ -n "$(find "$WORK/s0" -type f 2>/dev/null)" ] || fail "node0 stored nothing"
+[ -n "$(find "$WORK/s1" -type f 2>/dev/null)" ] || fail "node1 stored nothing"
+
+"$DPFS" --metadb "$WORK/meta" --c "rm /data/renamed" || fail "rm"
+
+kill $PIDS 2>/dev/null
+wait $PIDS 2>/dev/null
+rm -rf "$WORK"
+echo "deployment smoke test passed"
+exit 0

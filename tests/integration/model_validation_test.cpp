@@ -1,0 +1,140 @@
+// Cross-validation of the performance model against reality: for effects
+// large enough to be timing-robust on loopback TCP, the real execution and
+// the simulator must agree on who wins. This is the test that keeps the
+// figure-reproduction honest.
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "core/cluster.h"
+#include "layout/plan.h"
+#include "simnet/replay.h"
+
+namespace dpfs {
+namespace {
+
+using client::CreateOptions;
+using client::FileHandle;
+using client::IoOptions;
+
+TEST(ModelValidationTest, LinearColumnPathologyAgreesWithSimulator) {
+  // Column access through a linear file vs a multidim file: the transfer
+  // amplification (here 64x) dominates any timing noise.
+  constexpr std::uint64_t kDim = 512;
+
+  // --- Real execution ------------------------------------------------------
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 4;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  auto fs = cluster->fs();
+
+  CreateOptions linear_create;
+  linear_create.level = layout::FileLevel::kLinear;
+  linear_create.array_shape = {kDim, kDim};
+  linear_create.brick_bytes = kDim;  // one row per brick
+  FileHandle linear = fs->Create("/lin", linear_create).value();
+
+  CreateOptions md_create;
+  md_create.level = layout::FileLevel::kMultidim;
+  md_create.array_shape = {kDim, kDim};
+  md_create.brick_shape = {64, 64};
+  FileHandle multidim = fs->Create("/md", md_create).value();
+
+  const Bytes data(kDim * kDim, 0x3C);
+  ASSERT_TRUE(fs->WriteRegion(linear, {{0, 0}, {kDim, kDim}}, data).ok());
+  ASSERT_TRUE(fs->WriteRegion(multidim, {{0, 0}, {kDim, kDim}}, data).ok());
+
+  const layout::Region columns{{0, 100}, {kDim, 8}};
+  Bytes out(columns.num_elements());
+
+  // Warm both paths once, then time several repetitions.
+  ASSERT_TRUE(fs->ReadRegion(linear, columns, out).ok());
+  ASSERT_TRUE(fs->ReadRegion(multidim, columns, out).ok());
+  constexpr int kReps = 5;
+  WallTimer linear_timer;
+  for (int i = 0; i < kReps; ++i) {
+    ASSERT_TRUE(fs->ReadRegion(linear, columns, out).ok());
+  }
+  const double real_linear = linear_timer.ElapsedSeconds();
+  WallTimer md_timer;
+  for (int i = 0; i < kReps; ++i) {
+    ASSERT_TRUE(fs->ReadRegion(multidim, columns, out).ok());
+  }
+  const double real_multidim = md_timer.ElapsedSeconds();
+
+  // --- Simulated execution of the same plans ------------------------------
+  const auto simulate = [&](const FileHandle& handle) {
+    layout::PlanOptions options;
+    options.combine = true;
+    layout::IoPlan plan;
+    plan.clients.push_back(
+        layout::PlanRegionAccess(handle.map, handle.record.distribution, 0,
+                                 columns, options)
+            .value());
+    return simnet::Replay(plan, std::vector<simnet::StorageClassModel>(
+                                    4, simnet::Class1()))
+        .value()
+        .makespan_s;
+  };
+  const double sim_linear = simulate(linear);
+  const double sim_multidim = simulate(multidim);
+
+  // Both worlds must agree: multidim wins, by a wide margin.
+  EXPECT_GT(real_linear, real_multidim * 2)
+      << "real: " << real_linear << "s vs " << real_multidim << "s";
+  EXPECT_GT(sim_linear, sim_multidim * 2)
+      << "sim: " << sim_linear << "s vs " << sim_multidim << "s";
+}
+
+TEST(ModelValidationTest, RequestCountEffectAgreesWithSimulator) {
+  // Sieve vs whole-brick on a sparse column read: wire bytes shrink ~64x.
+  // Compare *transferred bytes* (deterministic) in both worlds rather than
+  // wall time, which loopback makes noisy.
+  constexpr std::uint64_t kDim = 256;
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 2;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  auto fs = cluster->fs();
+
+  CreateOptions create;
+  create.level = layout::FileLevel::kLinear;
+  create.array_shape = {kDim, kDim};
+  create.brick_bytes = kDim;
+  FileHandle handle = fs->Create("/f", create).value();
+  const Bytes data(kDim * kDim, 1);
+  ASSERT_TRUE(fs->WriteRegion(handle, {{0, 0}, {kDim, kDim}}, data).ok());
+
+  const layout::Region column{{0, 9}, {kDim, 4}};
+  const auto measure_real = [&](bool whole) {
+    const std::uint64_t before =
+        cluster->server(0).stats().bytes_read.load() +
+        cluster->server(1).stats().bytes_read.load();
+    IoOptions io;
+    io.whole_brick_reads = whole;
+    Bytes out(column.num_elements());
+    EXPECT_TRUE(fs->ReadRegion(handle, column, out, io).ok());
+    return cluster->server(0).stats().bytes_read.load() +
+           cluster->server(1).stats().bytes_read.load() - before;
+  };
+  const std::uint64_t real_whole = measure_real(true);
+  const std::uint64_t real_sieve = measure_real(false);
+
+  const auto measure_sim = [&](bool whole) {
+    layout::PlanOptions options;
+    options.combine = true;
+    options.whole_brick_reads = whole;
+    return layout::PlanRegionAccess(handle.map, handle.record.distribution,
+                                    0, column, options)
+        .value()
+        .transfer_bytes();
+  };
+  const std::uint64_t sim_whole = measure_sim(true);
+  const std::uint64_t sim_sieve = measure_sim(false);
+
+  // The simulator's transfer accounting must match the real wire exactly.
+  EXPECT_EQ(real_whole, sim_whole);
+  EXPECT_EQ(real_sieve, sim_sieve);
+  EXPECT_GT(real_whole, real_sieve * 32);
+}
+
+}  // namespace
+}  // namespace dpfs

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Scripted use of the interactive shell binary (stdin-driven batch mode).
+set -u
+SHELL_BIN="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+head -c 10000 /dev/urandom > "$WORK/in.dat"
+
+OUT="$("$SHELL_BIN" --servers 2 <<SCRIPT
+mkdir /proj
+cd /proj
+import $WORK/in.dat data.bin
+ls -l
+stat data.bin
+du /
+export data.bin $WORK/out.dat
+rm data.bin
+exit
+SCRIPT
+)" || { echo "shell exited nonzero"; exit 1; }
+
+echo "$OUT" | grep -q "imported 9.8 KB" || { echo "FAIL: import"; echo "$OUT"; exit 1; }
+echo "$OUT" | grep -q "data.bin" || { echo "FAIL: ls"; exit 1; }
+echo "$OUT" | grep -q "size:       10000" || { echo "FAIL: stat"; exit 1; }
+cmp -s "$WORK/in.dat" "$WORK/out.dat" || { echo "FAIL: round trip"; exit 1; }
+echo "shell script test passed"

@@ -1,0 +1,144 @@
+// The §4.2 worked example, verified end to end: four processors accessing a
+// 32-brick file striped round-robin over four servers (Fig 3), with and
+// without request combination.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/plan.h"
+
+namespace dpfs::layout {
+namespace {
+
+class CombineExampleTest : public ::testing::Test {
+ protected:
+  CombineExampleTest()
+      : map_(BrickMap::Linear(32 * 1024, 1024).value()),
+        dist_(BrickDistribution::RoundRobin(32, 4).value()) {}
+
+  /// Processor p accesses bricks 8p..8p+7 (§4.2: "processor 0 accesses
+  /// brick 0 to 7 and processor 1 accesses 8 to 15, and so on").
+  ClientPlan PlanFor(std::uint32_t processor, bool combine,
+                     bool rotate = true) {
+    PlanOptions options;
+    options.combine = combine;
+    options.rotate_start = rotate;
+    return PlanByteAccess(map_, dist_, processor, processor * 8 * 1024,
+                          8 * 1024, options)
+        .value();
+  }
+
+  BrickMap map_;
+  BrickDistribution dist_;
+};
+
+TEST_F(CombineExampleTest, GeneralApproachEightRequestsPerProcessor) {
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(PlanFor(p, /*combine=*/false).num_requests(), 8u);
+  }
+}
+
+TEST_F(CombineExampleTest, CombinedFourRequestsPerProcessor) {
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(PlanFor(p, /*combine=*/true).num_requests(), 4u);
+  }
+}
+
+TEST_F(CombineExampleTest, Processor0CombinesBricks0And4) {
+  // "The combined approach will let processor 0 access brick 0 and 4 in one
+  // request because they reside on the same storage."
+  const ClientPlan plan = PlanFor(0, true, /*rotate=*/false);
+  ASSERT_EQ(plan.requests[0].bricks.size(), 2u);
+  EXPECT_EQ(plan.requests[0].server, 0u);
+  EXPECT_EQ(plan.requests[0].bricks[0].brick, 0u);
+  EXPECT_EQ(plan.requests[0].bricks[1].brick, 4u);
+  // "Next, it accesses brick 1 and 5 in another single request."
+  EXPECT_EQ(plan.requests[1].bricks[0].brick, 1u);
+  EXPECT_EQ(plan.requests[1].bricks[1].brick, 5u);
+}
+
+TEST_F(CombineExampleTest, ScheduleMatchesPaperStagger) {
+  // "processor 0 starts its access from subfile-0 (brick 0, 4), while
+  // processor 1 starts from subfile-1 (brick 9, 13), processor 2 from
+  // subfile-2 (brick 18, 22) and processor 3 from subfile-3 (brick 27, 31)."
+  const std::vector<std::vector<BrickId>> expected_first = {
+      {0, 4}, {9, 13}, {18, 22}, {27, 31}};
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const ClientPlan plan = PlanFor(p, true, /*rotate=*/true);
+    ASSERT_EQ(plan.requests.size(), 4u);
+    const ServerRequest& first = plan.requests[0];
+    EXPECT_EQ(first.server, p);
+    ASSERT_EQ(first.bricks.size(), 2u);
+    EXPECT_EQ(first.bricks[0].brick, expected_first[p][0]) << "proc " << p;
+    EXPECT_EQ(first.bricks[1].brick, expected_first[p][1]) << "proc " << p;
+  }
+}
+
+TEST_F(CombineExampleTest, WithoutCombinationAllProcessorsStampedeServer0) {
+  // "processor 0, 1, 2 and 3 will access brick 0, 8, 16 and 24 respectively.
+  // Note that brick 0, 8, 16 and 24 are on the same storage device."
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const ClientPlan plan = PlanFor(p, /*combine=*/false);
+    EXPECT_EQ(plan.requests[0].server, 0u)
+        << "processor " << p << " first request";
+    EXPECT_EQ(plan.requests[0].bricks[0].brick, p * 8);
+  }
+}
+
+TEST_F(CombineExampleTest, CombinationPreservesDataCoverage) {
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const ClientPlan general = PlanFor(p, false);
+    const ClientPlan combined = PlanFor(p, true);
+    std::set<BrickId> general_bricks;
+    std::set<BrickId> combined_bricks;
+    for (const ServerRequest& request : general.requests) {
+      for (const BrickRequest& brick : request.bricks) {
+        general_bricks.insert(brick.brick);
+      }
+    }
+    for (const ServerRequest& request : combined.requests) {
+      for (const BrickRequest& brick : request.bricks) {
+        combined_bricks.insert(brick.brick);
+      }
+    }
+    EXPECT_EQ(general_bricks, combined_bricks);
+    EXPECT_EQ(general.useful_bytes(), combined.useful_bytes());
+  }
+}
+
+TEST_F(CombineExampleTest, RequestCountScalesWithServersNotBricks) {
+  // With combination, request count is bounded by the number of servers a
+  // client touches, independent of brick count.
+  const BrickMap big = BrickMap::Linear(1024 * 1024, 1024).value();  // 1024 bricks
+  const BrickDistribution dist = BrickDistribution::RoundRobin(1024, 4).value();
+  PlanOptions combined;
+  combined.combine = true;
+  const ClientPlan plan =
+      PlanByteAccess(big, dist, 0, 0, 1024 * 1024, combined).value();
+  EXPECT_EQ(plan.num_requests(), 4u);
+  std::size_t bricks = 0;
+  for (const ServerRequest& request : plan.requests) {
+    bricks += request.bricks.size();
+  }
+  EXPECT_EQ(bricks, 1024u);
+}
+
+TEST_F(CombineExampleTest, GreedyPlacementCombinedRequestsFollowBricklists) {
+  // Combination works with the greedy distribution too: processor 0 touching
+  // everything sends exactly one request per server holding >= 1 brick.
+  const BrickDistribution greedy =
+      BrickDistribution::Greedy(32, {1, 3, 1, 3}).value();
+  PlanOptions combined;
+  combined.combine = true;
+  combined.rotate_start = false;
+  const ClientPlan plan =
+      PlanByteAccess(map_, greedy, 0, 0, 32 * 1024, combined).value();
+  EXPECT_EQ(plan.num_requests(), 4u);
+  for (const ServerRequest& request : plan.requests) {
+    EXPECT_EQ(request.bricks.size(),
+              greedy.bricks_on(request.server).size());
+  }
+}
+
+}  // namespace
+}  // namespace dpfs::layout

@@ -1,0 +1,142 @@
+#include "layout/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::layout {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 0u);
+  EXPECT_EQ(NumElements({5}), 5u);
+  EXPECT_EQ(NumElements({8, 8}), 64u);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24u);
+}
+
+TEST(ShapeTest, Validate) {
+  EXPECT_FALSE(ValidateShape({}).ok());
+  EXPECT_FALSE(ValidateShape({4, 0}).ok());
+  EXPECT_TRUE(ValidateShape({1}).ok());
+  EXPECT_TRUE(ValidateShape({65536, 65536}).ok());
+}
+
+TEST(LinearIndexTest, RowMajor) {
+  const Shape shape = {4, 5};
+  EXPECT_EQ(LinearIndex(shape, {0, 0}), 0u);
+  EXPECT_EQ(LinearIndex(shape, {0, 4}), 4u);
+  EXPECT_EQ(LinearIndex(shape, {1, 0}), 5u);
+  EXPECT_EQ(LinearIndex(shape, {3, 4}), 19u);
+}
+
+TEST(LinearIndexTest, ThreeDimensional) {
+  const Shape shape = {2, 3, 4};
+  EXPECT_EQ(LinearIndex(shape, {1, 2, 3}), 23u);
+  EXPECT_EQ(LinearIndex(shape, {1, 0, 0}), 12u);
+}
+
+TEST(LinearIndexTest, InverseRoundTrip) {
+  const Shape shape = {3, 4, 5};
+  for (std::uint64_t i = 0; i < NumElements(shape); ++i) {
+    const Coords coords = CoordsFromLinear(shape, i);
+    EXPECT_EQ(LinearIndex(shape, coords), i);
+  }
+}
+
+TEST(CeilDivTest, Basic) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+  EXPECT_EQ(CeilDiv(1, 1), 1u);
+}
+
+TEST(RegionTest, Validate) {
+  const Shape shape = {8, 8};
+  EXPECT_TRUE(ValidateRegion(shape, {{0, 0}, {8, 8}}).ok());
+  EXPECT_TRUE(ValidateRegion(shape, {{7, 7}, {1, 1}}).ok());
+  EXPECT_FALSE(ValidateRegion(shape, {{0, 0}, {9, 8}}).ok());
+  EXPECT_FALSE(ValidateRegion(shape, {{4, 4}, {5, 4}}).ok());
+  EXPECT_FALSE(ValidateRegion(shape, {{0}, {8}}).ok());       // rank mismatch
+  EXPECT_FALSE(ValidateRegion(shape, {{0, 0}, {0, 8}}).ok()); // zero extent
+}
+
+TEST(RegionTest, NumElementsAndToString) {
+  const Region region{{2, 3}, {4, 5}};
+  EXPECT_EQ(region.num_elements(), 20u);
+  EXPECT_EQ(region.ToString(), "[2:6, 3:8)");
+}
+
+TEST(RegionTest, Intersect) {
+  const Region a{{0, 0}, {4, 4}};
+  const Region b{{2, 2}, {4, 4}};
+  const Region overlap = Intersect(a, b);
+  EXPECT_EQ(overlap.lower, (Coords{2, 2}));
+  EXPECT_EQ(overlap.extent, (Shape{2, 2}));
+}
+
+TEST(RegionTest, IntersectDisjointIsEmpty) {
+  const Region a{{0, 0}, {2, 2}};
+  const Region b{{4, 4}, {2, 2}};
+  EXPECT_TRUE(Intersect(a, b).empty());
+}
+
+TEST(RegionTest, IntersectContained) {
+  const Region outer{{0, 0}, {10, 10}};
+  const Region inner{{3, 4}, {2, 2}};
+  EXPECT_EQ(Intersect(outer, inner), inner);
+  EXPECT_EQ(Intersect(inner, outer), inner);
+}
+
+TEST(RowRunTest, Rank1SingleRun) {
+  const Region region{{3}, {5}};
+  const auto runs = RegionRowRuns(region);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].start, (Coords{3}));
+  EXPECT_EQ(runs[0].length, 5u);
+}
+
+TEST(RowRunTest, Rank2RowsInOrder) {
+  const Region region{{1, 2}, {3, 4}};
+  const auto runs = RegionRowRuns(region);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].start, (Coords{1, 2}));
+  EXPECT_EQ(runs[1].start, (Coords{2, 2}));
+  EXPECT_EQ(runs[2].start, (Coords{3, 2}));
+  for (const RowRun& run : runs) EXPECT_EQ(run.length, 4u);
+}
+
+TEST(RowRunTest, Rank3Order) {
+  const Region region{{0, 0, 0}, {2, 2, 3}};
+  const auto runs = RegionRowRuns(region);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].start, (Coords{0, 0, 0}));
+  EXPECT_EQ(runs[1].start, (Coords{0, 1, 0}));
+  EXPECT_EQ(runs[2].start, (Coords{1, 0, 0}));
+  EXPECT_EQ(runs[3].start, (Coords{1, 1, 0}));
+}
+
+TEST(RowRunTest, RunCountMatchesFormula) {
+  const Region region{{5, 6, 7}, {3, 4, 5}};
+  EXPECT_EQ(RegionRowRuns(region).size(),
+            region.num_elements() / region.extent.back());
+}
+
+TEST(RowRunTest, ColumnRegionHasOneRunPerRow) {
+  // A single column of a 2-d array: the worst case for linear striping.
+  const Region region{{0, 3}, {100, 1}};
+  const auto runs = RegionRowRuns(region);
+  EXPECT_EQ(runs.size(), 100u);
+  EXPECT_EQ(runs[42].start, (Coords{42, 3}));
+  EXPECT_EQ(runs[42].length, 1u);
+}
+
+TEST(RowRunTest, ForEachMatchesMaterialized) {
+  const Region region{{1, 1}, {5, 7}};
+  std::size_t count = 0;
+  ForEachRowRun(region, [&](const RowRun& run) {
+    EXPECT_EQ(run.length, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+}  // namespace
+}  // namespace dpfs::layout

@@ -1,0 +1,146 @@
+#include "layout/hpf.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::layout {
+namespace {
+
+TEST(HpfPatternTest, ParseCanonicalForms) {
+  EXPECT_EQ(HpfPattern::Parse("(BLOCK,*)").value().dims,
+            (std::vector<DimDist>{DimDist::kBlock, DimDist::kStar}));
+  EXPECT_EQ(HpfPattern::Parse("(*,BLOCK)").value().dims,
+            (std::vector<DimDist>{DimDist::kStar, DimDist::kBlock}));
+  EXPECT_EQ(HpfPattern::Parse("(BLOCK,BLOCK)").value().dims,
+            (std::vector<DimDist>{DimDist::kBlock, DimDist::kBlock}));
+}
+
+TEST(HpfPatternTest, ParseIsLenient) {
+  EXPECT_TRUE(HpfPattern::Parse("block, *").ok());
+  EXPECT_TRUE(HpfPattern::Parse(" ( Block , Block ) ").ok());
+  EXPECT_TRUE(HpfPattern::Parse("*,*,BLOCK").ok());
+}
+
+TEST(HpfPatternTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(HpfPattern::Parse("").ok());
+  EXPECT_FALSE(HpfPattern::Parse("(CYCLIC,*)").ok());
+  EXPECT_FALSE(HpfPattern::Parse("( , )").ok());
+}
+
+TEST(HpfPatternTest, ToStringRoundTrip) {
+  for (const char* text : {"(BLOCK,*)", "(*,BLOCK)", "(BLOCK,BLOCK)",
+                           "(*,*,BLOCK)"}) {
+    EXPECT_EQ(HpfPattern::Parse(text).value().ToString(), text);
+  }
+}
+
+TEST(HpfPatternTest, NumBlockDims) {
+  EXPECT_EQ(HpfPattern::Parse("(BLOCK,*)").value().num_block_dims(), 1u);
+  EXPECT_EQ(HpfPattern::Parse("(BLOCK,BLOCK)").value().num_block_dims(), 2u);
+  EXPECT_EQ(HpfPattern::Parse("(*,*)").value().num_block_dims(), 0u);
+}
+
+TEST(ProcessGridTest, AutoOneDim) {
+  EXPECT_EQ(ProcessGrid::Auto(8, 1).grid, (Shape{8}));
+  EXPECT_EQ(ProcessGrid::Auto(1, 1).grid, (Shape{1}));
+}
+
+TEST(ProcessGridTest, AutoTwoDimsIsNearSquare) {
+  const Shape grid4 = ProcessGrid::Auto(4, 2).grid;
+  EXPECT_EQ(NumElements(grid4), 4u);
+  EXPECT_EQ(grid4, (Shape{2, 2}));
+  const Shape grid16 = ProcessGrid::Auto(16, 2).grid;
+  EXPECT_EQ(grid16, (Shape{4, 4}));
+  const Shape grid8 = ProcessGrid::Auto(8, 2).grid;
+  EXPECT_EQ(NumElements(grid8), 8u);
+  // 4x2 or 2x4; near-square either way.
+  EXPECT_LE(std::max(grid8[0], grid8[1]) / std::min(grid8[0], grid8[1]), 2u);
+}
+
+TEST(ProcessGridTest, AutoHandlesPrimes) {
+  const Shape grid = ProcessGrid::Auto(7, 2).grid;
+  EXPECT_EQ(NumElements(grid), 7u);
+}
+
+TEST(ChunkTest, BlockStar) {
+  // (BLOCK,*) over 8x8 with 4 processes: each gets 2 full rows (Fig 5's
+  // "each processor will access exactly two rows").
+  const Shape array = {8, 8};
+  const HpfPattern pattern = HpfPattern::Parse("(BLOCK,*)").value();
+  ProcessGrid grid;
+  grid.grid = {4};
+  for (std::uint64_t rank = 0; rank < 4; ++rank) {
+    const Region chunk = ChunkForProcess(array, pattern, grid, rank).value();
+    EXPECT_EQ(chunk.lower, (Coords{rank * 2, 0}));
+    EXPECT_EQ(chunk.extent, (Shape{2, 8}));
+  }
+}
+
+TEST(ChunkTest, StarBlock) {
+  // (*,BLOCK): each process gets 2 full columns.
+  const Shape array = {8, 8};
+  const HpfPattern pattern = HpfPattern::Parse("(*,BLOCK)").value();
+  ProcessGrid grid;
+  grid.grid = {4};
+  for (std::uint64_t rank = 0; rank < 4; ++rank) {
+    const Region chunk = ChunkForProcess(array, pattern, grid, rank).value();
+    EXPECT_EQ(chunk.lower, (Coords{0, rank * 2}));
+    EXPECT_EQ(chunk.extent, (Shape{8, 2}));
+  }
+}
+
+TEST(ChunkTest, BlockBlock) {
+  const Shape array = {8, 8};
+  const HpfPattern pattern = HpfPattern::Parse("(BLOCK,BLOCK)").value();
+  ProcessGrid grid;
+  grid.grid = {2, 2};
+  EXPECT_EQ(ChunkForProcess(array, pattern, grid, 0).value(),
+            (Region{{0, 0}, {4, 4}}));
+  EXPECT_EQ(ChunkForProcess(array, pattern, grid, 1).value(),
+            (Region{{0, 4}, {4, 4}}));
+  EXPECT_EQ(ChunkForProcess(array, pattern, grid, 2).value(),
+            (Region{{4, 0}, {4, 4}}));
+  EXPECT_EQ(ChunkForProcess(array, pattern, grid, 3).value(),
+            (Region{{4, 4}, {4, 4}}));
+}
+
+TEST(ChunkTest, ChunksTileTheArrayExactly) {
+  const Shape array = {16, 24};
+  const HpfPattern pattern = HpfPattern::Parse("(BLOCK,BLOCK)").value();
+  ProcessGrid grid;
+  grid.grid = {4, 3};
+  const auto chunks = AllChunks(array, pattern, grid).value();
+  ASSERT_EQ(chunks.size(), 12u);
+  std::uint64_t covered = 0;
+  for (const Region& chunk : chunks) covered += chunk.num_elements();
+  EXPECT_EQ(covered, NumElements(array));
+  // Pairwise disjoint.
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    for (std::size_t j = i + 1; j < chunks.size(); ++j) {
+      EXPECT_TRUE(Intersect(chunks[i], chunks[j]).empty())
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ChunkTest, ErrorsOnBadInputs) {
+  const Shape array = {8, 8};
+  const HpfPattern pattern = HpfPattern::Parse("(BLOCK,*)").value();
+  ProcessGrid grid;
+  grid.grid = {4};
+  // Rank out of range.
+  EXPECT_FALSE(ChunkForProcess(array, pattern, grid, 4).ok());
+  // Pattern rank mismatch.
+  EXPECT_FALSE(
+      ChunkForProcess({8}, pattern, grid, 0).ok());
+  // Non-divisible extent.
+  ProcessGrid grid3;
+  grid3.grid = {3};
+  EXPECT_FALSE(ChunkForProcess(array, pattern, grid3, 0).ok());
+  // Grid rank does not match BLOCK count.
+  ProcessGrid grid2d;
+  grid2d.grid = {2, 2};
+  EXPECT_FALSE(ChunkForProcess(array, pattern, grid2d, 0).ok());
+}
+
+}  // namespace
+}  // namespace dpfs::layout

@@ -1,0 +1,118 @@
+// The paper's §3.2 worked example at full scale: a 64K x 64K array where a
+// column access needs all 65536 bricks under linear striping but only 256
+// bricks under 256x256 multidimensional striping.
+#include <gtest/gtest.h>
+
+#include "layout/brick_map.h"
+
+namespace dpfs::layout {
+namespace {
+
+constexpr std::uint64_t k64K = 64 * 1024;
+
+TEST(PaperScaleTest, LinearStripingColumnAccessNeedsAllBricks) {
+  // Brick = 64KB, element = 1 byte: each row is one brick, 65536 bricks.
+  const BrickMap map =
+      BrickMap::LinearArray({k64K, k64K}, 1, 64 * 1024).value();
+  ASSERT_EQ(map.num_bricks(), 65536u);
+
+  // One column of data touches every brick, one byte useful per brick.
+  const auto usage = map.SummarizeRegion({{0, 0}, {k64K, 1}}).value();
+  EXPECT_EQ(usage.size(), 65536u);
+  for (const auto& [brick, brick_usage] : usage) {
+    EXPECT_EQ(brick_usage.useful_bytes, 1u);
+  }
+}
+
+TEST(PaperScaleTest, MultidimStripingColumnAccessNeeds256Bricks) {
+  // "For the 64K x 64K array example, each brick size would be 256 x 256,
+  // so only 256 bricks are needed."
+  const BrickMap map =
+      BrickMap::Multidim({k64K, k64K}, {256, 256}, 1).value();
+  ASSERT_EQ(map.num_bricks(), 65536u);  // 256 x 256 brick grid
+
+  const auto usage = map.SummarizeRegion({{0, 0}, {k64K, 1}}).value();
+  EXPECT_EQ(usage.size(), 256u);
+  for (const auto& [brick, brick_usage] : usage) {
+    EXPECT_EQ(brick_usage.useful_bytes, 256u);  // one column of the brick
+  }
+}
+
+TEST(PaperScaleTest, BrickCountReductionFactor) {
+  const BrickMap linear =
+      BrickMap::LinearArray({k64K, k64K}, 1, 64 * 1024).value();
+  const BrickMap multidim =
+      BrickMap::Multidim({k64K, k64K}, {256, 256}, 1).value();
+  const Region column{{0, 0}, {k64K, 1}};
+  const std::size_t linear_bricks =
+      linear.SummarizeRegion(column).value().size();
+  const std::size_t multidim_bricks =
+      multidim.SummarizeRegion(column).value().size();
+  EXPECT_EQ(linear_bricks / multidim_bricks, 256u);
+}
+
+TEST(PaperScaleTest, RowAccessIsCheapInBothLevels) {
+  // Linear striping is fine for row access — one brick per row.
+  const BrickMap linear =
+      BrickMap::LinearArray({k64K, k64K}, 1, 64 * 1024).value();
+  EXPECT_EQ(linear.SummarizeRegion({{7, 0}, {1, k64K}}).value().size(), 1u);
+  // Multidim needs one brick-row: 256 bricks, all fully useful columns-wise.
+  const BrickMap multidim =
+      BrickMap::Multidim({k64K, k64K}, {256, 256}, 1).value();
+  const auto usage = multidim.SummarizeRegion({{7, 0}, {1, k64K}}).value();
+  EXPECT_EQ(usage.size(), 256u);
+}
+
+TEST(PaperScaleTest, UsefulFractionOfWholeBrickReads) {
+  // Under read-whole-brick semantics the column access through linear
+  // striping is 1/65536 efficient; through multidim striping it is 1/256.
+  const BrickMap linear =
+      BrickMap::LinearArray({k64K, k64K}, 1, 64 * 1024).value();
+  const BrickMap multidim =
+      BrickMap::Multidim({k64K, k64K}, {256, 256}, 1).value();
+  const Region column{{0, 0}, {k64K, 1}};
+
+  const auto linear_usage = linear.SummarizeRegion(column).value();
+  std::uint64_t useful = 0;
+  std::uint64_t transferred = 0;
+  for (const auto& [brick, usage] : linear_usage) {
+    useful += usage.useful_bytes;
+    transferred += linear.brick_valid_bytes(brick);
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(useful) /
+                       static_cast<double>(transferred),
+                   1.0 / 65536.0);
+
+  const auto multidim_usage = multidim.SummarizeRegion(column).value();
+  useful = transferred = 0;
+  for (const auto& [brick, usage] : multidim_usage) {
+    useful += usage.useful_bytes;
+    transferred += multidim.brick_valid_bytes(brick);
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(useful) /
+                       static_cast<double>(transferred),
+                   1.0 / 256.0);
+}
+
+TEST(PaperScaleTest, Fig11StyleStarBlockChunk) {
+  // The Fig 11 workload scaled to the paper's file: 32K x 32K bytes, 8
+  // compute nodes in (*,BLOCK). Linear (64 KB bricks) vs multidim (256x256).
+  constexpr std::uint64_t k32K = 32 * 1024;
+  const BrickMap linear =
+      BrickMap::LinearArray({k32K, k32K}, 1, 64 * 1024).value();
+  const BrickMap multidim =
+      BrickMap::Multidim({k32K, k32K}, {256, 256}, 1).value();
+  // "each processor has to access all the bricks (16K = 16384)".
+  ASSERT_EQ(linear.num_bricks(), 16384u);
+  const Region chunk{{0, 0}, {k32K, k32K / 8}};  // processor 0's columns
+  EXPECT_EQ(linear.SummarizeRegion(chunk).value().size(), 16384u);
+  // Multidim: 128 brick-rows x 16 brick-cols = 2048 bricks, all fully useful.
+  const auto usage = multidim.SummarizeRegion(chunk).value();
+  EXPECT_EQ(usage.size(), 2048u);
+  for (const auto& [brick, brick_usage] : usage) {
+    EXPECT_EQ(brick_usage.useful_bytes, multidim.brick_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace dpfs::layout

@@ -1,0 +1,173 @@
+#include "layout/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::layout {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  // Fig 3's file: 32 bricks over 4 servers round-robin. We model it as a
+  // linear byte file of 32 bricks x 8 bytes.
+  PlanTest()
+      : map_(BrickMap::Linear(32 * 8, 8).value()),
+        dist_(BrickDistribution::RoundRobin(32, 4).value()) {}
+
+  BrickMap map_;
+  BrickDistribution dist_;
+};
+
+TEST_F(PlanTest, UncombinedOneRequestPerBrick) {
+  PlanOptions options;
+  options.combine = false;
+  // Processor 0 accesses bricks 0..7 (bytes 0..64).
+  const ClientPlan plan =
+      PlanByteAccess(map_, dist_, 0, 0, 64, options).value();
+  EXPECT_EQ(plan.num_requests(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(plan.requests[i].bricks.size(), 1u);
+    EXPECT_EQ(plan.requests[i].bricks[0].brick, i);
+    EXPECT_EQ(plan.requests[i].server, i % 4);
+  }
+}
+
+TEST_F(PlanTest, CombinedOneRequestPerServer) {
+  // §4.2: "there are only 4 requests needed for each processor, much
+  // smaller than 8 requests of general approach."
+  PlanOptions options;
+  options.combine = true;
+  options.rotate_start = false;
+  const ClientPlan plan =
+      PlanByteAccess(map_, dist_, 0, 0, 64, options).value();
+  EXPECT_EQ(plan.num_requests(), 4u);
+  for (const ServerRequest& request : plan.requests) {
+    EXPECT_EQ(request.bricks.size(), 2u);
+  }
+  // Client 0's request to server 0 carries bricks 0 and 4.
+  EXPECT_EQ(plan.requests[0].server, 0u);
+  EXPECT_EQ(plan.requests[0].bricks[0].brick, 0u);
+  EXPECT_EQ(plan.requests[0].bricks[1].brick, 4u);
+}
+
+TEST_F(PlanTest, RotationStaggersStartServers) {
+  PlanOptions options;
+  options.combine = true;
+  options.rotate_start = true;
+  // All four processors access disjoint brick ranges covering all servers.
+  for (std::uint32_t client = 0; client < 4; ++client) {
+    const ClientPlan plan =
+        PlanByteAccess(map_, dist_, client, client * 64, 64, options).value();
+    ASSERT_EQ(plan.num_requests(), 4u);
+    EXPECT_EQ(plan.requests[0].server, client % 4)
+        << "client " << client << " should start on its own server";
+  }
+}
+
+TEST_F(PlanTest, ReadTransfersWholeBricks) {
+  PlanOptions options;
+  options.direction = IoDirection::kRead;
+  options.combine = false;
+  // Read 4 bytes spanning half of brick 1.
+  const ClientPlan plan = PlanByteAccess(map_, dist_, 0, 8, 4, options).value();
+  ASSERT_EQ(plan.num_requests(), 1u);
+  EXPECT_EQ(plan.requests[0].bricks[0].useful_bytes, 4u);
+  EXPECT_EQ(plan.requests[0].bricks[0].transfer_bytes, 8u);  // whole brick
+  EXPECT_EQ(plan.transfer_bytes(), 8u);
+  EXPECT_EQ(plan.useful_bytes(), 4u);
+}
+
+TEST_F(PlanTest, WriteTransfersOnlyUsefulBytes) {
+  PlanOptions options;
+  options.direction = IoDirection::kWrite;
+  const ClientPlan plan = PlanByteAccess(map_, dist_, 0, 8, 4, options).value();
+  EXPECT_EQ(plan.transfer_bytes(), 4u);
+  EXPECT_EQ(plan.useful_bytes(), 4u);
+}
+
+TEST_F(PlanTest, ReadOfLinearTailBrickTransfersValidBytesOnly) {
+  const BrickMap map = BrickMap::Linear(20, 8).value();  // bricks 8,8,4
+  const BrickDistribution dist = BrickDistribution::RoundRobin(3, 2).value();
+  PlanOptions options;
+  options.direction = IoDirection::kRead;
+  const ClientPlan plan = PlanByteAccess(map, dist, 0, 16, 4, options).value();
+  ASSERT_EQ(plan.num_requests(), 1u);
+  EXPECT_EQ(plan.requests[0].bricks[0].transfer_bytes, 4u);
+}
+
+TEST_F(PlanTest, CollectivePlanCoversAllClients) {
+  const BrickMap map = BrickMap::Multidim({8, 8}, {2, 2}, 1).value();
+  const BrickDistribution dist = BrickDistribution::RoundRobin(16, 4).value();
+  std::vector<Region> regions;
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    regions.push_back({{0, c * 2}, {8, 2}});  // (*,BLOCK) with 4 clients
+  }
+  PlanOptions options;
+  options.combine = true;
+  const IoPlan plan = PlanCollectiveAccess(map, dist, regions, options).value();
+  ASSERT_EQ(plan.clients.size(), 4u);
+  EXPECT_EQ(plan.total_useful_bytes(), 64u);
+  for (const ClientPlan& client : plan.clients) {
+    EXPECT_EQ(client.useful_bytes(), 16u);
+  }
+}
+
+TEST_F(PlanTest, DistributionSmallerThanFileRejected) {
+  const BrickDistribution small = BrickDistribution::RoundRobin(4, 2).value();
+  PlanOptions options;
+  EXPECT_FALSE(PlanByteAccess(map_, small, 0, 0, 64, options).ok());
+}
+
+TEST_F(PlanTest, RegionPlanOnShapedLinearFile) {
+  // Fig 5 workload through the planner: 8x8 array, 4-element linear bricks,
+  // processor reading two columns touches 8 bricks.
+  const BrickMap map = BrickMap::LinearArray({8, 8}, 1, 4).value();
+  const BrickDistribution dist = BrickDistribution::RoundRobin(16, 4).value();
+  PlanOptions options;
+  options.combine = false;
+  const ClientPlan plan =
+      PlanRegionAccess(map, dist, 0, {{0, 0}, {8, 2}}, options).value();
+  EXPECT_EQ(plan.num_requests(), 8u);
+  // Whole-brick reads: 8 bricks x 4 bytes transferred for 16 useful bytes.
+  EXPECT_EQ(plan.transfer_bytes(), 32u);
+  EXPECT_EQ(plan.useful_bytes(), 16u);
+}
+
+TEST_F(PlanTest, CombineReducesRequestsNotBytes) {
+  const BrickMap map = BrickMap::Multidim({8, 8}, {2, 2}, 1).value();
+  const BrickDistribution dist = BrickDistribution::RoundRobin(16, 4).value();
+  const Region region{{0, 0}, {8, 2}};
+  PlanOptions uncombined;
+  uncombined.combine = false;
+  PlanOptions combined;
+  combined.combine = true;
+  const ClientPlan plan_u =
+      PlanRegionAccess(map, dist, 0, region, uncombined).value();
+  const ClientPlan plan_c =
+      PlanRegionAccess(map, dist, 0, region, combined).value();
+  EXPECT_GT(plan_u.num_requests(), plan_c.num_requests());
+  EXPECT_EQ(plan_u.transfer_bytes(), plan_c.transfer_bytes());
+  EXPECT_EQ(plan_u.useful_bytes(), plan_c.useful_bytes());
+}
+
+TEST_F(PlanTest, BrickOrderPreservedInsideCombinedRequest) {
+  PlanOptions options;
+  options.combine = true;
+  options.rotate_start = false;
+  const ClientPlan plan =
+      PlanByteAccess(map_, dist_, 0, 0, 32 * 8, options).value();
+  for (const ServerRequest& request : plan.requests) {
+    for (std::size_t i = 1; i < request.bricks.size(); ++i) {
+      EXPECT_LT(request.bricks[i - 1].brick, request.bricks[i].brick);
+    }
+  }
+}
+
+TEST_F(PlanTest, EmptyAccessYieldsEmptyPlan) {
+  PlanOptions options;
+  const ClientPlan plan = PlanByteAccess(map_, dist_, 0, 0, 0, options).value();
+  EXPECT_EQ(plan.num_requests(), 0u);
+  EXPECT_EQ(plan.transfer_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dpfs::layout

@@ -1,0 +1,359 @@
+#include "metadb/database.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace dpfs::metadb {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : db_(Database::OpenInMemory()) {}
+
+  ResultSet Exec(std::string_view sql) {
+    Result<ResultSet> result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << " for: " << sql;
+    return result.ok() ? std::move(result).value() : ResultSet{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, CreateInsertSelect) {
+  Exec("CREATE TABLE servers (name TEXT PRIMARY KEY, perf INT)");
+  Exec("INSERT INTO servers VALUES ('fast', 1), ('slow', 3)");
+  const ResultSet result = Exec("SELECT * FROM servers ORDER BY name");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.GetText(0, "name").value(), "fast");
+  EXPECT_EQ(result.GetInt(1, "perf").value(), 3);
+}
+
+TEST_F(DatabaseTest, CreateDuplicateTableFails) {
+  Exec("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(db_->Execute("CREATE TABLE t (a INT)").ok());
+  EXPECT_TRUE(db_->Execute("CREATE TABLE IF NOT EXISTS t (a INT)").ok());
+}
+
+TEST_F(DatabaseTest, TableNamesAreCaseInsensitive) {
+  Exec("CREATE TABLE MyTable (a INT)");
+  Exec("INSERT INTO mytable VALUES (1)");
+  EXPECT_EQ(Exec("SELECT * FROM MYTABLE").size(), 1u);
+}
+
+TEST_F(DatabaseTest, DropTable) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("DROP TABLE t");
+  EXPECT_FALSE(db_->Execute("SELECT * FROM t").ok());
+  EXPECT_FALSE(db_->Execute("DROP TABLE t").ok());
+  EXPECT_TRUE(db_->Execute("DROP TABLE IF EXISTS t").ok());
+}
+
+TEST_F(DatabaseTest, InsertWithExplicitColumns) {
+  Exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)");
+  Exec("INSERT INTO t (c, a) VALUES (1.5, 7)");
+  const ResultSet result = Exec("SELECT * FROM t");
+  EXPECT_EQ(result.GetInt(0, "a").value(), 7);
+  EXPECT_TRUE(result.GetValue(0, "b").value().is_null());
+  EXPECT_DOUBLE_EQ(result.GetDouble(0, "c").value(), 1.5);
+}
+
+TEST_F(DatabaseTest, InsertArityMismatchFails) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(db_->Execute("INSERT INTO t (a) VALUES (1, 2)").ok());
+}
+
+TEST_F(DatabaseTest, MultiRowInsertIsAtomic) {
+  Exec("CREATE TABLE t (a INT PRIMARY KEY)");
+  Exec("INSERT INTO t VALUES (1)");
+  // Second row conflicts; the whole statement must be rolled back.
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (2), (1), (3)").ok());
+  EXPECT_EQ(Exec("SELECT * FROM t").size(), 1u);
+}
+
+TEST_F(DatabaseTest, SelectProjectionAndLimit) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  for (int i = 0; i < 10; ++i) {
+    Exec("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+         std::to_string(i * i) + ")");
+  }
+  const ResultSet result = Exec("SELECT b FROM t ORDER BY b DESC LIMIT 3");
+  ASSERT_EQ(result.size(), 3u);
+  ASSERT_EQ(result.columns.size(), 1u);
+  EXPECT_EQ(result.GetInt(0, "b").value(), 81);
+  EXPECT_EQ(result.GetInt(2, "b").value(), 49);
+}
+
+TEST_F(DatabaseTest, SelectWhereOnTextAndInt) {
+  Exec("CREATE TABLE files (name TEXT, size INT)");
+  Exec("INSERT INTO files VALUES ('a', 10), ('b', 20), ('c', 30)");
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE size >= 20").size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE name = 'b'").size(), 1u);
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE name != 'b' AND size < 25").size(),
+            1u);
+}
+
+TEST_F(DatabaseTest, UpdateRows) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)");
+  const ResultSet result = Exec("UPDATE t SET b = 9 WHERE a >= 2");
+  EXPECT_EQ(result.affected_rows, 2u);
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE b = 9").size(), 2u);
+}
+
+TEST_F(DatabaseTest, UpdateAllWithoutWhere) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1), (2)");
+  EXPECT_EQ(Exec("UPDATE t SET a = 0").affected_rows, 2u);
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE a = 0").size(), 2u);
+}
+
+TEST_F(DatabaseTest, DeleteRows) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  EXPECT_EQ(Exec("DELETE FROM t WHERE a = 2").affected_rows, 1u);
+  EXPECT_EQ(Exec("SELECT * FROM t").size(), 2u);
+  EXPECT_EQ(Exec("DELETE FROM t").affected_rows, 2u);
+  EXPECT_EQ(Exec("SELECT * FROM t").size(), 0u);
+}
+
+TEST_F(DatabaseTest, TransactionCommit) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("BEGIN");
+  EXPECT_TRUE(db_->in_transaction());
+  Exec("INSERT INTO t VALUES (1)");
+  Exec("INSERT INTO t VALUES (2)");
+  Exec("COMMIT");
+  EXPECT_FALSE(db_->in_transaction());
+  EXPECT_EQ(Exec("SELECT * FROM t").size(), 2u);
+}
+
+TEST_F(DatabaseTest, TransactionRollbackRestoresInserts) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1)");
+  Exec("BEGIN");
+  Exec("INSERT INTO t VALUES (2)");
+  Exec("ROLLBACK");
+  const ResultSet result = Exec("SELECT * FROM t");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.GetInt(0, "a").value(), 1);
+}
+
+TEST_F(DatabaseTest, TransactionRollbackRestoresUpdatesAndDeletes) {
+  Exec("CREATE TABLE t (a INT, b TEXT)");
+  Exec("INSERT INTO t VALUES (1, 'one'), (2, 'two')");
+  Exec("BEGIN");
+  Exec("UPDATE t SET b = 'changed' WHERE a = 1");
+  Exec("DELETE FROM t WHERE a = 2");
+  EXPECT_EQ(Exec("SELECT * FROM t").size(), 1u);
+  Exec("ROLLBACK");
+  const ResultSet result = Exec("SELECT * FROM t ORDER BY a");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.GetText(0, "b").value(), "one");
+  EXPECT_EQ(result.GetText(1, "b").value(), "two");
+}
+
+TEST_F(DatabaseTest, TransactionRollbackRestoresDdl) {
+  Exec("CREATE TABLE keep (a INT)");
+  Exec("INSERT INTO keep VALUES (42)");
+  Exec("BEGIN");
+  Exec("CREATE TABLE fresh (b INT)");
+  Exec("DROP TABLE keep");
+  Exec("ROLLBACK");
+  EXPECT_FALSE(db_->HasTable("fresh"));
+  ASSERT_TRUE(db_->HasTable("keep"));
+  EXPECT_EQ(Exec("SELECT * FROM keep").GetInt(0, "a").value(), 42);
+}
+
+TEST_F(DatabaseTest, NestedBeginFails) {
+  Exec("BEGIN");
+  EXPECT_FALSE(db_->Execute("BEGIN").ok());
+  Exec("ROLLBACK");
+}
+
+TEST_F(DatabaseTest, CommitOutsideTransactionFails) {
+  EXPECT_FALSE(db_->Execute("COMMIT").ok());
+  EXPECT_FALSE(db_->Execute("ROLLBACK").ok());
+}
+
+TEST_F(DatabaseTest, FailedAutoCommitStatementLeavesNoTrace) {
+  Exec("CREATE TABLE t (a INT PRIMARY KEY)");
+  Exec("INSERT INTO t VALUES (1)");
+  EXPECT_FALSE(db_->Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(db_->in_transaction());
+  EXPECT_EQ(Exec("SELECT * FROM t").size(), 1u);
+}
+
+TEST_F(DatabaseTest, SelectIsNull) {
+  Exec("CREATE TABLE t (a INT, b TEXT)");
+  Exec("INSERT INTO t (a) VALUES (1)");
+  Exec("INSERT INTO t VALUES (2, 'x')");
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE b IS NULL").size(), 1u);
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE b IS NOT NULL").size(), 1u);
+}
+
+TEST_F(DatabaseTest, ResultSetToStringContainsHeaderAndValues) {
+  Exec("CREATE TABLE t (name TEXT, size INT)");
+  Exec("INSERT INTO t VALUES ('file1', 100)");
+  const std::string rendered = Exec("SELECT * FROM t").ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("file1"), std::string::npos);
+  EXPECT_NE(rendered.find("100"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, TableNamesIntrospection) {
+  Exec("CREATE TABLE b_table (a INT)");
+  Exec("CREATE TABLE a_table (a INT)");
+  const std::vector<std::string> names = db_->TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a_table");  // sorted by key
+  EXPECT_EQ(names[1], "b_table");
+}
+
+TEST_F(DatabaseTest, SelectWithInList) {
+  Exec("CREATE TABLE t (a INT, name TEXT)");
+  Exec("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z'), (4, 'w')");
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE a IN (1, 3)").size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE a NOT IN (1, 3)").size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM t WHERE name IN ('y')").size(), 1u);
+  EXPECT_EQ(
+      Exec("SELECT * FROM t WHERE a IN (1, 2) AND name IN ('y', 'z')").size(),
+      1u);
+  EXPECT_FALSE(db_->Execute("SELECT * FROM t WHERE a IN ()").ok());
+  EXPECT_FALSE(db_->Execute("SELECT * FROM t WHERE a IN (1,").ok());
+}
+
+TEST_F(DatabaseTest, SelectWithLike) {
+  Exec("CREATE TABLE files (name TEXT)");
+  Exec("INSERT INTO files VALUES ('/home/a/x.dat'), ('/home/b/y.dat'), "
+       "('/tmp/z.dat')");
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE name LIKE '/home/%'").size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE name NOT LIKE '/home/%'").size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT * FROM files WHERE name LIKE '%_.dat'").size(), 3u);
+  EXPECT_FALSE(db_->Execute("SELECT * FROM files WHERE name LIKE 7").ok());
+}
+
+TEST_F(DatabaseTest, CountStar) {
+  Exec("CREATE TABLE t (a INT)");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").GetInt(0, "count").value(), 0);
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").GetInt(0, "count").value(), 3);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE a >= 2")
+                .GetInt(0, "count")
+                .value(),
+            2);
+}
+
+TEST_F(DatabaseTest, CountStarMalformedRejected) {
+  Exec("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(db_->Execute("SELECT COUNT(a) FROM t").ok());
+  EXPECT_FALSE(db_->Execute("SELECT COUNT(* FROM t").ok());
+}
+
+TEST_F(DatabaseTest, DumpSqlReproducesState) {
+  Exec("CREATE TABLE servers (name TEXT PRIMARY KEY, perf INT, load DOUBLE)");
+  Exec("INSERT INTO servers VALUES ('a''quoted', 1, 2.5)");
+  Exec("INSERT INTO servers (name, perf) VALUES ('partial', 3)");
+  Exec("CREATE TABLE empty_table (x INT)");
+
+  auto restored = Database::OpenInMemory();
+  for (const std::string& sql : db_->DumpSql()) {
+    ASSERT_TRUE(restored->Execute(sql).ok()) << sql;
+  }
+  const ResultSet original =
+      Exec("SELECT * FROM servers ORDER BY name");
+  const ResultSet copy =
+      restored->Execute("SELECT * FROM servers ORDER BY name").value();
+  ASSERT_EQ(copy.size(), original.size());
+  for (std::size_t row = 0; row < original.size(); ++row) {
+    EXPECT_EQ(copy.GetText(row, "name").value(),
+              original.GetText(row, "name").value());
+    EXPECT_EQ(copy.GetInt(row, "perf").value(),
+              original.GetInt(row, "perf").value());
+    EXPECT_EQ(copy.GetValue(row, "load").value().is_null(),
+              original.GetValue(row, "load").value().is_null());
+  }
+  EXPECT_TRUE(restored->HasTable("empty_table"));
+  // Primary key constraint restored too.
+  EXPECT_FALSE(
+      restored->Execute("INSERT INTO servers VALUES ('partial', 9, 0.0)")
+          .ok());
+}
+
+TEST_F(DatabaseTest, DumpSqlPreservesDoubles) {
+  Exec("CREATE TABLE t (v DOUBLE)");
+  Exec("INSERT INTO t VALUES (0.1)");
+  Exec("INSERT INTO t VALUES (3.0)");
+  auto restored = Database::OpenInMemory();
+  for (const std::string& sql : db_->DumpSql()) {
+    ASSERT_TRUE(restored->Execute(sql).ok()) << sql;
+  }
+  const ResultSet copy = restored->Execute("SELECT * FROM t").value();
+  EXPECT_DOUBLE_EQ(copy.GetDouble(0, "v").value(), 0.1);
+  EXPECT_DOUBLE_EQ(copy.GetDouble(1, "v").value(), 3.0);
+  EXPECT_EQ(copy.GetValue(1, "v").value().type(), ValueType::kDouble);
+}
+
+TEST_F(DatabaseTest, ConcurrentAutoCommitStatementsAreSerialized) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, who INT)");
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = t * kPerThread + i;
+        if (!db_->Execute("INSERT INTO t VALUES (" + std::to_string(id) +
+                          ", " + std::to_string(t) + ")")
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+        // Reads interleave freely with the writers.
+        if (!db_->Execute("SELECT COUNT(*) FROM t WHERE who = " +
+                          std::to_string(t))
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").GetInt(0, "count").value(),
+            kThreads * kPerThread);
+}
+
+TEST_F(DatabaseTest, PaperMetadataTablesWorkEndToEnd) {
+  // Exercise the exact table shapes from Fig 10 of the paper.
+  Exec("CREATE TABLE DPFS_SERVER (server_name TEXT PRIMARY KEY, "
+       "capacity INT, performance INT)");
+  Exec("INSERT INTO DPFS_SERVER VALUES ('ccn40.mcs.anl.gov', 500000000, 1)");
+  Exec("INSERT INTO DPFS_SERVER VALUES ('aruba.ece.nwu.edu', 300000000, 3)");
+  Exec("CREATE TABLE DPFS_FILE_DISTRIBUTION (server TEXT, filename TEXT, "
+       "bricklist TEXT)");
+  Exec("INSERT INTO DPFS_FILE_DISTRIBUTION VALUES ('ccn40.mcs.anl.gov', "
+       "'/home/xhshen/dpfs.test', '0,2,6,8,12,14,18,20,24,26,30')");
+  Exec("CREATE TABLE DPFS_FILE_ATTR (filename TEXT PRIMARY KEY, owner TEXT, "
+       "permission INT, size INT, filelevel TEXT, dims INT, dimsize TEXT)");
+  Exec("INSERT INTO DPFS_FILE_ATTR VALUES ('/home/xhshen/dpfs.test', "
+       "'xhshen', 744, 2097152, 'multidims', 2, '256,256')");
+
+  const ResultSet join_probe = Exec(
+      "SELECT bricklist FROM DPFS_FILE_DISTRIBUTION WHERE filename = "
+      "'/home/xhshen/dpfs.test' AND server = 'ccn40.mcs.anl.gov'");
+  ASSERT_EQ(join_probe.size(), 1u);
+  EXPECT_EQ(join_probe.GetText(0, "bricklist").value(),
+            "0,2,6,8,12,14,18,20,24,26,30");
+
+  const ResultSet fastest =
+      Exec("SELECT server_name FROM DPFS_SERVER WHERE performance = 1");
+  ASSERT_EQ(fastest.size(), 1u);
+  EXPECT_EQ(fastest.GetText(0, "server_name").value(), "ccn40.mcs.anl.gov");
+}
+
+}  // namespace
+}  // namespace dpfs::metadb

@@ -1,0 +1,231 @@
+#include "metadb/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "common/rng.h"
+
+namespace dpfs::metadb {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest()
+      : schema_(Schema::Create({{"name", ValueType::kText, true},
+                                {"size", ValueType::kInt, false},
+                                {"ratio", ValueType::kDouble, false}})
+                    .value()),
+        row_{Value("alpha"), Value(std::int64_t{100}), Value(2.5)} {}
+
+  bool Eval(const ExprPtr& expr) {
+    return EvaluateFilter(*expr, schema_, row_).value();
+  }
+
+  Schema schema_;
+  Row row_;
+};
+
+TEST_F(PredicateTest, ColumnEqualsLiteral) {
+  EXPECT_TRUE(Eval(MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                               MakeLiteral(Value("alpha")))));
+  EXPECT_FALSE(Eval(MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                                MakeLiteral(Value("beta")))));
+}
+
+TEST_F(PredicateTest, NumericComparisons) {
+  const auto size = [] { return MakeColumn("size"); };
+  EXPECT_TRUE(Eval(MakeCompare(CompareOp::kLt, size(),
+                               MakeLiteral(Value(std::int64_t{200})))));
+  EXPECT_TRUE(Eval(MakeCompare(CompareOp::kLe, size(),
+                               MakeLiteral(Value(std::int64_t{100})))));
+  EXPECT_FALSE(Eval(MakeCompare(CompareOp::kGt, size(),
+                                MakeLiteral(Value(std::int64_t{100})))));
+  EXPECT_TRUE(Eval(MakeCompare(CompareOp::kGe, size(),
+                               MakeLiteral(Value(std::int64_t{100})))));
+  EXPECT_TRUE(Eval(MakeCompare(CompareOp::kNe, size(),
+                               MakeLiteral(Value(std::int64_t{99})))));
+}
+
+TEST_F(PredicateTest, MixedIntDoubleComparison) {
+  EXPECT_TRUE(Eval(MakeCompare(CompareOp::kGt, MakeColumn("ratio"),
+                               MakeLiteral(Value(std::int64_t{2})))));
+}
+
+TEST_F(PredicateTest, AndOrNot) {
+  const ExprPtr true_expr = MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                                        MakeLiteral(Value("alpha")));
+  const ExprPtr false_expr = MakeCompare(CompareOp::kGt, MakeColumn("size"),
+                                         MakeLiteral(Value(std::int64_t{500})));
+  EXPECT_TRUE(Eval(MakeAnd(true_expr, true_expr)));
+  EXPECT_FALSE(Eval(MakeAnd(true_expr, false_expr)));
+  EXPECT_TRUE(Eval(MakeOr(false_expr, true_expr)));
+  EXPECT_FALSE(Eval(MakeOr(false_expr, false_expr)));
+  EXPECT_TRUE(Eval(MakeNot(false_expr)));
+  EXPECT_FALSE(Eval(MakeNot(true_expr)));
+}
+
+TEST_F(PredicateTest, ComparisonWithNullIsFalse) {
+  // SQL: NULL = NULL evaluates to NULL, filtered as false.
+  EXPECT_FALSE(Eval(MakeCompare(CompareOp::kEq, MakeLiteral(Value::Null()),
+                                MakeLiteral(Value::Null()))));
+}
+
+TEST_F(PredicateTest, IsNull) {
+  EXPECT_TRUE(Eval(MakeIsNull(MakeLiteral(Value::Null()), false)));
+  EXPECT_FALSE(Eval(MakeIsNull(MakeColumn("name"), false)));
+  EXPECT_TRUE(Eval(MakeIsNull(MakeColumn("name"), true)));  // IS NOT NULL
+}
+
+TEST_F(PredicateTest, UnknownColumnErrors) {
+  const ExprPtr expr = MakeCompare(CompareOp::kEq, MakeColumn("nope"),
+                                   MakeLiteral(Value(std::int64_t{1})));
+  EXPECT_FALSE(EvaluateFilter(*expr, schema_, row_).ok());
+}
+
+TEST_F(PredicateTest, TypeMismatchErrors) {
+  const ExprPtr expr = MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                                   MakeLiteral(Value(std::int64_t{1})));
+  EXPECT_FALSE(EvaluateFilter(*expr, schema_, row_).ok());
+}
+
+TEST_F(PredicateTest, ToStringRendering) {
+  const ExprPtr expr = MakeAnd(
+      MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                  MakeLiteral(Value("a"))),
+      MakeNot(MakeCompare(CompareOp::kLt, MakeColumn("size"),
+                          MakeLiteral(Value(std::int64_t{5})))));
+  EXPECT_EQ(expr->ToString(), "((name = 'a') AND (NOT (size < 5)))");
+}
+
+TEST_F(PredicateTest, ExtractEqualityConstraintDirect) {
+  const ExprPtr expr = MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                                   MakeLiteral(Value("alpha")));
+  const auto key = ExtractEqualityConstraint(*expr, schema_, 0);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->AsText(), "alpha");
+}
+
+TEST_F(PredicateTest, ExtractEqualityConstraintReversedOperands) {
+  const ExprPtr expr = MakeCompare(CompareOp::kEq, MakeLiteral(Value("alpha")),
+                                   MakeColumn("name"));
+  EXPECT_TRUE(ExtractEqualityConstraint(*expr, schema_, 0).has_value());
+}
+
+TEST_F(PredicateTest, ExtractEqualityConstraintUnderAnd) {
+  const ExprPtr expr = MakeAnd(
+      MakeCompare(CompareOp::kGt, MakeColumn("size"),
+                  MakeLiteral(Value(std::int64_t{0}))),
+      MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                  MakeLiteral(Value("alpha"))));
+  EXPECT_TRUE(ExtractEqualityConstraint(*expr, schema_, 0).has_value());
+}
+
+TEST_F(PredicateTest, ExtractEqualityConstraintAbsent) {
+  // Wrong column.
+  const ExprPtr expr1 = MakeCompare(CompareOp::kEq, MakeColumn("size"),
+                                    MakeLiteral(Value(std::int64_t{1})));
+  EXPECT_FALSE(ExtractEqualityConstraint(*expr1, schema_, 0).has_value());
+  // Wrong operator.
+  const ExprPtr expr2 = MakeCompare(CompareOp::kLt, MakeColumn("name"),
+                                    MakeLiteral(Value("z")));
+  EXPECT_FALSE(ExtractEqualityConstraint(*expr2, schema_, 0).has_value());
+  // OR does not guarantee the constraint.
+  const ExprPtr expr3 = MakeOr(
+      MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                  MakeLiteral(Value("a"))),
+      MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                  MakeLiteral(Value("b"))));
+  EXPECT_FALSE(ExtractEqualityConstraint(*expr3, schema_, 0).has_value());
+}
+
+TEST(LikeMatchTest, Literals) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+  EXPECT_FALSE(LikeMatch("ab", "abc"));
+  EXPECT_TRUE(LikeMatch("", ""));
+}
+
+TEST(LikeMatchTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("/home/x/file", "/home/%"));
+  EXPECT_TRUE(LikeMatch("/home/x/file", "%file"));
+  EXPECT_TRUE(LikeMatch("/home/x/file", "%/x/%"));
+  EXPECT_FALSE(LikeMatch("/tmp/file", "/home/%"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_TRUE(LikeMatch("abc", "a%b%c"));
+  EXPECT_FALSE(LikeMatch("acb", "a%b%c"));
+}
+
+TEST(LikeMatchTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("cart", "c_t"));
+  EXPECT_TRUE(LikeMatch("cart", "c__t"));
+  EXPECT_TRUE(LikeMatch("run7", "run_"));
+}
+
+TEST(LikeMatchTest, BacktrackingCases) {
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a"));
+  EXPECT_FALSE(LikeMatch("aaa", "a%b"));
+}
+
+TEST(LikeMatchTest, AgreesWithRegexOracle) {
+  // Property: LikeMatch must agree with the equivalent regex on random
+  // inputs over a tiny alphabet (small alphabet maximizes wildcard
+  // collisions and backtracking).
+  SplitMix64 rng(20260707);
+  const char alphabet[] = {'a', 'b', '%', '_'};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    std::string pattern;
+    const std::uint64_t text_len = rng.NextBelow(8);
+    const std::uint64_t pattern_len = rng.NextBelow(6);
+    for (std::uint64_t i = 0; i < text_len; ++i) {
+      text += (rng.NextBelow(2) == 0) ? 'a' : 'b';
+    }
+    std::string regex;
+    for (std::uint64_t i = 0; i < pattern_len; ++i) {
+      const char c = alphabet[rng.NextBelow(4)];
+      pattern += c;
+      if (c == '%') {
+        regex += ".*";
+      } else if (c == '_') {
+        regex += '.';
+      } else {
+        regex += c;
+      }
+    }
+    const bool expected =
+        std::regex_match(text, std::regex(regex));
+    EXPECT_EQ(LikeMatch(text, pattern), expected)
+        << "text='" << text << "' pattern='" << pattern << "'";
+  }
+}
+
+TEST_F(PredicateTest, LikeExpression) {
+  EXPECT_TRUE(Eval(MakeLike(MakeColumn("name"), "al%", false)));
+  EXPECT_FALSE(Eval(MakeLike(MakeColumn("name"), "be%", false)));
+  EXPECT_TRUE(Eval(MakeLike(MakeColumn("name"), "be%", true)));  // NOT LIKE
+  EXPECT_EQ(MakeLike(MakeColumn("name"), "a%", false)->ToString(),
+            "(name LIKE 'a%')");
+}
+
+TEST_F(PredicateTest, LikeOnNumberErrors) {
+  const ExprPtr expr = MakeLike(MakeColumn("size"), "1%", false);
+  EXPECT_FALSE(EvaluateFilter(*expr, schema_, row_).ok());
+}
+
+TEST_F(PredicateTest, ShortCircuitAvoidsErrorOnRhs) {
+  // FALSE AND <type-error> short-circuits to false instead of erroring.
+  const ExprPtr false_expr = MakeCompare(
+      CompareOp::kGt, MakeColumn("size"), MakeLiteral(Value(std::int64_t{500})));
+  const ExprPtr bad = MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                                  MakeLiteral(Value(std::int64_t{1})));
+  EXPECT_FALSE(Eval(MakeAnd(false_expr, bad)));
+}
+
+}  // namespace
+}  // namespace dpfs::metadb

@@ -1,0 +1,98 @@
+#include "metadb/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::metadb {
+namespace {
+
+Schema MakeServerSchema() {
+  return Schema::Create({{"name", ValueType::kText, true},
+                         {"capacity", ValueType::kInt, false},
+                         {"performance", ValueType::kInt, false}})
+      .value();
+}
+
+TEST(SchemaTest, CreateValid) {
+  const Schema schema = MakeServerSchema();
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.primary_key_index().value(), 0u);
+}
+
+TEST(SchemaTest, RejectsEmpty) { EXPECT_FALSE(Schema::Create({}).ok()); }
+
+TEST(SchemaTest, RejectsDuplicateNamesCaseInsensitive) {
+  EXPECT_FALSE(Schema::Create({{"Name", ValueType::kText, false},
+                               {"name", ValueType::kInt, false}})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsMultiplePrimaryKeys) {
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kText, true},
+                               {"b", ValueType::kInt, true}})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsNullColumnType) {
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kNull, false}}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyColumnName) {
+  EXPECT_FALSE(Schema::Create({{"", ValueType::kText, false}}).ok());
+}
+
+TEST(SchemaTest, ColumnIndexIsCaseInsensitive) {
+  const Schema schema = MakeServerSchema();
+  EXPECT_EQ(schema.ColumnIndex("CAPACITY").value(), 1u);
+  EXPECT_EQ(schema.ColumnIndex("performance").value(), 2u);
+  EXPECT_FALSE(schema.ColumnIndex("missing").ok());
+}
+
+TEST(SchemaTest, ValidateRowArity) {
+  const Schema schema = MakeServerSchema();
+  EXPECT_FALSE(schema.ValidateRow({Value("x")}).ok());
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value("x"), Value(std::int64_t{1}),
+                                Value(std::int64_t{2})})
+                  .ok());
+}
+
+TEST(SchemaTest, ValidateRowTypes) {
+  const Schema schema = MakeServerSchema();
+  // Text into int column: rejected.
+  EXPECT_FALSE(
+      schema.ValidateRow({Value("x"), Value("not-int"), Value(std::int64_t{2})})
+          .ok());
+  // NULL anywhere: allowed by ValidateRow (PK nullability enforced at the
+  // table layer).
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value::Null(), Value::Null(), Value::Null()})
+                  .ok());
+}
+
+TEST(SchemaTest, IntCoercesIntoDoubleColumn) {
+  const Schema schema =
+      Schema::Create({{"ratio", ValueType::kDouble, false}}).value();
+  EXPECT_TRUE(schema.ValidateRow({Value(std::int64_t{3})}).ok());
+  const Value coerced =
+      CoerceValue(Value(std::int64_t{3}), ValueType::kDouble).value();
+  EXPECT_EQ(coerced.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(coerced.AsDouble(), 3.0);
+}
+
+TEST(SchemaTest, DoubleDoesNotCoerceIntoInt) {
+  EXPECT_FALSE(CoerceValue(Value(2.5), ValueType::kInt).ok());
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  const Schema schema = MakeServerSchema();
+  BinaryWriter writer;
+  schema.Serialize(writer);
+  BinaryReader reader(writer.buffer());
+  const Schema restored = Schema::Deserialize(reader).value();
+  EXPECT_EQ(restored.num_columns(), 3u);
+  EXPECT_EQ(restored.columns(), schema.columns());
+  EXPECT_EQ(restored.primary_key_index(), schema.primary_key_index());
+}
+
+}  // namespace
+}  // namespace dpfs::metadb

@@ -1,0 +1,95 @@
+#include "metadb/sql_lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::metadb {
+namespace {
+
+std::vector<Token> Lex(std::string_view sql) {
+  return Tokenize(sql).value();
+}
+
+TEST(SqlLexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexerTest, IdentifiersAndKeywords) {
+  const auto tokens = Lex("SELECT name FROM files");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "name");
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].text, "files");
+}
+
+TEST(SqlLexerTest, Integers) {
+  const auto tokens = Lex("42 -17 0");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, -17);
+  EXPECT_EQ(tokens[2].int_value, 0);
+}
+
+TEST(SqlLexerTest, Floats) {
+  const auto tokens = Lex("3.5 -0.25");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, -0.25);
+}
+
+TEST(SqlLexerTest, MalformedNumberRejected) {
+  EXPECT_FALSE(Tokenize("1.2.3").ok());
+}
+
+TEST(SqlLexerTest, StringLiterals) {
+  const auto tokens = Lex("'hello' '' 'it''s'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "");
+  EXPECT_EQ(tokens[2].text, "it's");
+}
+
+TEST(SqlLexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(SqlLexerTest, Symbols) {
+  const auto tokens = Lex("( ) , ; * = != <> < <= > >=");
+  const std::vector<std::string> expected = {"(", ")", ",", ";", "*", "=",
+                                             "!=", "!=", "<", "<=", ">", ">="};
+  ASSERT_EQ(tokens.size(), expected.size() + 1);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(tokens[i].IsSymbol(expected[i]))
+        << i << ": got '" << tokens[i].text << "'";
+  }
+}
+
+TEST(SqlLexerTest, DpfsStyleIdentifiers) {
+  // Table names like DPFS_SERVER and host names with dots/dashes.
+  const auto tokens = Lex("DPFS_SERVER ccn40.mcs.anl.gov round-robin");
+  EXPECT_EQ(tokens[0].text, "DPFS_SERVER");
+  EXPECT_EQ(tokens[1].text, "ccn40.mcs.anl.gov");
+  EXPECT_EQ(tokens[2].text, "round-robin");
+}
+
+TEST(SqlLexerTest, LineComments) {
+  const auto tokens = Lex("SELECT -- comment here\n name");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].text, "name");
+}
+
+TEST(SqlLexerTest, UnexpectedCharacterRejected) {
+  EXPECT_FALSE(Tokenize("SELECT @ FROM t").ok());
+}
+
+TEST(SqlLexerTest, OffsetsReported) {
+  const auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace dpfs::metadb

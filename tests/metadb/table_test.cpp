@@ -1,0 +1,207 @@
+#include "metadb/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::metadb {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : table_("files", Schema::Create({{"name", ValueType::kText, true},
+                                        {"size", ValueType::kInt, false}})
+                            .value()) {}
+
+  Table table_;
+};
+
+TEST_F(TableTest, InsertAndGet) {
+  const RowId id = table_.Insert({Value("a"), Value(std::int64_t{10})}).value();
+  const Row row = table_.Get(id).value();
+  EXPECT_EQ(row[0].AsText(), "a");
+  EXPECT_EQ(row[1].AsInt(), 10);
+  EXPECT_EQ(table_.num_rows(), 1u);
+}
+
+TEST_F(TableTest, RowIdsAreMonotonic) {
+  const RowId a = table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  const RowId b = table_.Insert({Value("b"), Value(std::int64_t{2})}).value();
+  EXPECT_LT(a, b);
+}
+
+TEST_F(TableTest, PrimaryKeyUniqueness) {
+  ASSERT_TRUE(table_.Insert({Value("a"), Value(std::int64_t{1})}).ok());
+  const Result<RowId> dup =
+      table_.Insert({Value("a"), Value(std::int64_t{2})});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, PrimaryKeyCannotBeNull) {
+  EXPECT_FALSE(table_.Insert({Value::Null(), Value(std::int64_t{1})}).ok());
+}
+
+TEST_F(TableTest, LookupByPrimaryKey) {
+  const RowId id = table_.Insert({Value("x"), Value(std::int64_t{5})}).value();
+  EXPECT_EQ(table_.LookupByPrimaryKey(Value("x")).value(), id);
+  EXPECT_FALSE(table_.LookupByPrimaryKey(Value("y")).ok());
+}
+
+TEST_F(TableTest, UpdateRowMaintainsIndex) {
+  const RowId id = table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  ASSERT_TRUE(table_.UpdateRow(id, {Value("b"), Value(std::int64_t{2})}).ok());
+  EXPECT_FALSE(table_.LookupByPrimaryKey(Value("a")).ok());
+  EXPECT_EQ(table_.LookupByPrimaryKey(Value("b")).value(), id);
+  // Freed key can be reused.
+  EXPECT_TRUE(table_.Insert({Value("a"), Value(std::int64_t{3})}).ok());
+}
+
+TEST_F(TableTest, UpdateToConflictingKeyFails) {
+  const RowId id = table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  ASSERT_TRUE(table_.Insert({Value("b"), Value(std::int64_t{2})}).ok());
+  EXPECT_FALSE(table_.UpdateRow(id, {Value("b"), Value(std::int64_t{9})}).ok());
+  // Self-update keeping the key is fine.
+  EXPECT_TRUE(table_.UpdateRow(id, {Value("a"), Value(std::int64_t{9})}).ok());
+}
+
+TEST_F(TableTest, EraseRemovesRowAndIndex) {
+  const RowId id = table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  ASSERT_TRUE(table_.Erase(id).ok());
+  EXPECT_EQ(table_.num_rows(), 0u);
+  EXPECT_FALSE(table_.Get(id).ok());
+  EXPECT_FALSE(table_.LookupByPrimaryKey(Value("a")).ok());
+  EXPECT_FALSE(table_.Erase(id).ok());
+}
+
+TEST_F(TableTest, InsertWithIdForReplay) {
+  ASSERT_TRUE(
+      table_.InsertWithId(7, {Value("a"), Value(std::int64_t{1})}).ok());
+  EXPECT_FALSE(
+      table_.InsertWithId(7, {Value("b"), Value(std::int64_t{2})}).ok());
+  // next_row_id advances past explicit ids.
+  const RowId next =
+      table_.Insert({Value("c"), Value(std::int64_t{3})}).value();
+  EXPECT_GT(next, 7u);
+}
+
+TEST_F(TableTest, ScanAllInRowIdOrder) {
+  (void)table_.Insert({Value("b"), Value(std::int64_t{2})}).value();
+  (void)table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  const auto rows = table_.Scan(nullptr).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].second[0].AsText(), "b");  // insertion order
+  EXPECT_EQ(rows[1].second[0].AsText(), "a");
+}
+
+TEST_F(TableTest, ScanWithFilter) {
+  (void)table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  (void)table_.Insert({Value("b"), Value(std::int64_t{20})}).value();
+  (void)table_.Insert({Value("c"), Value(std::int64_t{30})}).value();
+  const ExprPtr filter = MakeCompare(CompareOp::kGt, MakeColumn("size"),
+                                     MakeLiteral(Value(std::int64_t{10})));
+  const auto rows = table_.Scan(filter.get()).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].second[0].AsText(), "b");
+  EXPECT_EQ(rows[1].second[0].AsText(), "c");
+}
+
+TEST_F(TableTest, ScanUsesPrimaryKeyFastPath) {
+  for (int i = 0; i < 100; ++i) {
+    (void)table_
+        .Insert({Value("k" + std::to_string(i)), Value(std::int64_t{i})})
+        .value();
+  }
+  const ExprPtr filter = MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                                     MakeLiteral(Value("k42")));
+  const auto rows = table_.Scan(filter.get()).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second[1].AsInt(), 42);
+}
+
+TEST_F(TableTest, ScanPkFastPathRespectsResidualFilter) {
+  (void)table_.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  // name='a' AND size>5 → fast path probes 'a' but the residual filter
+  // rejects it.
+  const ExprPtr filter = MakeAnd(
+      MakeCompare(CompareOp::kEq, MakeColumn("name"),
+                  MakeLiteral(Value("a"))),
+      MakeCompare(CompareOp::kGt, MakeColumn("size"),
+                  MakeLiteral(Value(std::int64_t{5}))));
+  EXPECT_TRUE(table_.Scan(filter.get()).value().empty());
+}
+
+TEST_F(TableTest, SecondaryIndexLookup) {
+  Table table("dist", Schema::Create({{"filename", ValueType::kText, false},
+                                      {"server", ValueType::kText, false}})
+                          .value());
+  ASSERT_TRUE(table.CreateIndex("filename").ok());
+  const RowId a = table.Insert({Value("/f1"), Value("s0")}).value();
+  const RowId b = table.Insert({Value("/f1"), Value("s1")}).value();
+  (void)table.Insert({Value("/f2"), Value("s0")}).value();
+
+  EXPECT_EQ(table.LookupByIndex(0, Value("/f1")).value(),
+            (std::vector<RowId>{a, b}));
+  EXPECT_TRUE(table.LookupByIndex(0, Value("/nope")).value().empty());
+  EXPECT_FALSE(table.LookupByIndex(1, Value("s0")).ok());  // not indexed
+}
+
+TEST_F(TableTest, SecondaryIndexMaintainedByMutations) {
+  Table table("t", Schema::Create({{"k", ValueType::kText, false},
+                                   {"v", ValueType::kInt, false}})
+                       .value());
+  ASSERT_TRUE(table.CreateIndex("k").ok());
+  const RowId id = table.Insert({Value("x"), Value(std::int64_t{1})}).value();
+  // Update moves the row to a new key.
+  ASSERT_TRUE(table.UpdateRow(id, {Value("y"), Value(std::int64_t{2})}).ok());
+  EXPECT_TRUE(table.LookupByIndex(0, Value("x")).value().empty());
+  EXPECT_EQ(table.LookupByIndex(0, Value("y")).value(),
+            (std::vector<RowId>{id}));
+  // Erase removes the entry.
+  ASSERT_TRUE(table.Erase(id).ok());
+  EXPECT_TRUE(table.LookupByIndex(0, Value("y")).value().empty());
+}
+
+TEST_F(TableTest, CreateIndexOnPopulatedTableAndIdempotence) {
+  Table table("t", Schema::Create({{"k", ValueType::kInt, false}}).value());
+  for (int i = 0; i < 10; ++i) {
+    (void)table.Insert({Value(std::int64_t{i % 3})}).value();
+  }
+  ASSERT_TRUE(table.CreateIndex("k").ok());
+  ASSERT_TRUE(table.CreateIndex("k").ok());  // idempotent
+  EXPECT_EQ(table.LookupByIndex(0, Value(std::int64_t{0})).value().size(), 4u);
+  EXPECT_EQ(table.LookupByIndex(0, Value(std::int64_t{2})).value().size(), 3u);
+  EXPECT_FALSE(table.CreateIndex("missing").ok());
+}
+
+TEST_F(TableTest, ScanUsesSecondaryIndexWithResidualFilter) {
+  Table table("t", Schema::Create({{"k", ValueType::kText, false},
+                                   {"v", ValueType::kInt, false}})
+                       .value());
+  ASSERT_TRUE(table.CreateIndex("k").ok());
+  (void)table.Insert({Value("a"), Value(std::int64_t{1})}).value();
+  (void)table.Insert({Value("a"), Value(std::int64_t{2})}).value();
+  (void)table.Insert({Value("b"), Value(std::int64_t{3})}).value();
+  const ExprPtr filter = MakeAnd(
+      MakeCompare(CompareOp::kEq, MakeColumn("k"), MakeLiteral(Value("a"))),
+      MakeCompare(CompareOp::kGt, MakeColumn("v"),
+                  MakeLiteral(Value(std::int64_t{1}))));
+  const auto rows = table.Scan(filter.get()).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second[1].AsInt(), 2);
+}
+
+TEST_F(TableTest, InsertCoercesIntToDoubleColumn) {
+  Table table("t", Schema::Create({{"v", ValueType::kDouble, false}}).value());
+  const RowId id = table.Insert({Value(std::int64_t{4})}).value();
+  EXPECT_EQ(table.Get(id).value()[0].type(), ValueType::kDouble);
+}
+
+TEST_F(TableTest, NoPrimaryKeyTableAllowsDuplicates) {
+  Table table("t", Schema::Create({{"v", ValueType::kInt, false}}).value());
+  EXPECT_TRUE(table.Insert({Value(std::int64_t{1})}).ok());
+  EXPECT_TRUE(table.Insert({Value(std::int64_t{1})}).ok());
+  EXPECT_FALSE(table.LookupByPrimaryKey(Value(std::int64_t{1})).ok());
+}
+
+}  // namespace
+}  // namespace dpfs::metadb

@@ -1,0 +1,86 @@
+#include "metadb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::metadb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(std::int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("text").AsText(), "text");
+  EXPECT_EQ(Value(std::string("s")).type(), ValueType::kText);
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{3}).ToDouble().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToDouble().value(), 1.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, CompareSameTypes) {
+  EXPECT_EQ(Value(std::int64_t{1}).Compare(Value(std::int64_t{2})).value(), -1);
+  EXPECT_EQ(Value(std::int64_t{2}).Compare(Value(std::int64_t{2})).value(), 0);
+  EXPECT_EQ(Value(std::int64_t{3}).Compare(Value(std::int64_t{2})).value(), 1);
+  EXPECT_EQ(Value("a").Compare(Value("b")).value(), -1);
+  EXPECT_EQ(Value("b").Compare(Value("b")).value(), 0);
+  EXPECT_EQ(Value(1.5).Compare(Value(1.0)).value(), 1);
+}
+
+TEST(ValueTest, CompareNumericPromotion) {
+  EXPECT_EQ(Value(std::int64_t{2}).Compare(Value(2.0)).value(), 0);
+  EXPECT_EQ(Value(std::int64_t{2}).Compare(Value(2.5)).value(), -1);
+  EXPECT_EQ(Value(2.5).Compare(Value(std::int64_t{2})).value(), 1);
+}
+
+TEST(ValueTest, CompareTextWithNumberIsError) {
+  EXPECT_FALSE(Value("1").Compare(Value(std::int64_t{1})).ok());
+  EXPECT_FALSE(Value(std::int64_t{1}).Compare(Value("1")).ok());
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()).value(), 0);
+  EXPECT_EQ(Value::Null().Compare(Value(std::int64_t{0})).value(), -1);
+  EXPECT_EQ(Value(std::int64_t{0}).Compare(Value::Null()).value(), 1);
+}
+
+TEST(ValueTest, EqualityOperator) {
+  EXPECT_EQ(Value(std::int64_t{5}), Value(std::int64_t{5}));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_FALSE(Value("x") == Value("y"));
+  EXPECT_FALSE(Value("x") == Value(std::int64_t{5}));  // error → not equal
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(std::int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("abc").ToString(), "'abc'");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  const std::vector<Value> values = {
+      Value::Null(), Value(std::int64_t{-12345}), Value(3.25),
+      Value("hello 'world'"), Value(std::string())};
+  BinaryWriter writer;
+  for (const Value& v : values) v.Serialize(writer);
+  BinaryReader reader(writer.buffer());
+  for (const Value& expected : values) {
+    const Value got = Value::Deserialize(reader).value();
+    EXPECT_EQ(got.type(), expected.type());
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ValueTest, DeserializeBadTagFails) {
+  Bytes raw = {99};
+  BinaryReader reader(raw);
+  EXPECT_FALSE(Value::Deserialize(reader).ok());
+}
+
+}  // namespace
+}  // namespace dpfs::metadb

@@ -1,0 +1,92 @@
+#include "net/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::net {
+namespace {
+
+TEST(ReadRequestTest, EncodeDecodeRoundTrip) {
+  ReadRequest request;
+  request.subfile = "/home/x/data.dpfs";
+  request.fragments = {{0, 1024}, {4096, 512}, {1 << 20, 64}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const ReadRequest decoded = ReadRequest::Decode(reader).value();
+  EXPECT_EQ(decoded.subfile, request.subfile);
+  EXPECT_EQ(decoded.fragments, request.fragments);
+  EXPECT_EQ(decoded.total_bytes(), 1600u);
+}
+
+TEST(ReadRequestTest, EmptyFragments) {
+  ReadRequest request;
+  request.subfile = "f";
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const ReadRequest decoded = ReadRequest::Decode(reader).value();
+  EXPECT_TRUE(decoded.fragments.empty());
+  EXPECT_EQ(decoded.total_bytes(), 0u);
+}
+
+TEST(WriteRequestTest, EncodeDecodeRoundTrip) {
+  WriteRequest request;
+  request.subfile = "/a/b";
+  request.sync = true;
+  request.fragments.push_back({128, Bytes{1, 2, 3, 4}});
+  request.fragments.push_back({0, Bytes{9}});
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const WriteRequest decoded = WriteRequest::Decode(reader).value();
+  EXPECT_EQ(decoded.subfile, "/a/b");
+  EXPECT_TRUE(decoded.sync);
+  ASSERT_EQ(decoded.fragments.size(), 2u);
+  EXPECT_EQ(decoded.fragments[0].offset, 128u);
+  EXPECT_EQ(decoded.fragments[0].data, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(decoded.total_bytes(), 5u);
+}
+
+TEST(EnvelopeTest, RequestRoundTrip) {
+  const Bytes body = {10, 20, 30};
+  const Bytes frame = EncodeRequest(MessageType::kRead, body);
+  const DecodedRequest decoded = DecodeRequest(frame).value();
+  EXPECT_EQ(decoded.type, MessageType::kRead);
+  EXPECT_EQ(Bytes(decoded.body.begin(), decoded.body.end()), body);
+}
+
+TEST(EnvelopeTest, BadTypeRejected) {
+  Bytes frame = {0x7F};
+  EXPECT_FALSE(DecodeRequest(frame).ok());
+  Bytes empty;
+  EXPECT_FALSE(DecodeRequest(empty).ok());
+}
+
+TEST(EnvelopeTest, OkReplyRoundTrip) {
+  const Bytes body = {1, 2};
+  const Bytes frame = EncodeReply(Status::Ok(), body);
+  const DecodedReply decoded = DecodeReply(frame).value();
+  EXPECT_TRUE(decoded.status.ok());
+  EXPECT_EQ(Bytes(decoded.body.begin(), decoded.body.end()), body);
+}
+
+TEST(EnvelopeTest, ErrorReplyCarriesCodeAndMessage) {
+  const Bytes frame = EncodeReply(NotFoundError("no subfile"), {});
+  const DecodedReply decoded = DecodeReply(frame).value();
+  EXPECT_EQ(decoded.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.status.message(), "no subfile");
+}
+
+TEST(EnvelopeTest, AllMessageTypesDecodable) {
+  for (const MessageType type :
+       {MessageType::kPing, MessageType::kRead, MessageType::kWrite,
+        MessageType::kStat, MessageType::kDelete, MessageType::kTruncate,
+        MessageType::kShutdown}) {
+    const Bytes frame = EncodeRequest(type, {});
+    EXPECT_EQ(DecodeRequest(frame).value().type, type);
+    EXPECT_NE(MessageTypeName(type), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace dpfs::net

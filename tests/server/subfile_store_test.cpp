@@ -1,0 +1,160 @@
+#include "server/subfile_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+
+namespace dpfs::server {
+namespace {
+
+class SubfileStoreTest : public ::testing::Test {
+ protected:
+  SubfileStoreTest()
+      : dir_(TempDir::Create("dpfs-store").value()), store_(dir_.path()) {}
+
+  TempDir dir_;
+  SubfileStore store_;
+};
+
+TEST_F(SubfileStoreTest, WriteThenReadBack) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1, 2, 3, 4}});
+  ASSERT_TRUE(store_.WriteFragments("/f", writes, false).ok());
+  const Bytes data = store_.ReadFragments("/f", {{0, 4}}).value();
+  EXPECT_EQ(data, (Bytes{1, 2, 3, 4}));
+}
+
+TEST_F(SubfileStoreTest, WriteAtOffsetCreatesSparseHole) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({100, Bytes{7, 8}});
+  ASSERT_TRUE(store_.WriteFragments("/sparse", writes, false).ok());
+  // The hole reads as zeroes.
+  const Bytes data = store_.ReadFragments("/sparse", {{98, 4}}).value();
+  EXPECT_EQ(data, (Bytes{0, 0, 7, 8}));
+}
+
+TEST_F(SubfileStoreTest, ReadPastEofZeroFills) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{5}});
+  ASSERT_TRUE(store_.WriteFragments("/short", writes, false).ok());
+  const Bytes data = store_.ReadFragments("/short", {{0, 8}}).value();
+  EXPECT_EQ(data, (Bytes{5, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST_F(SubfileStoreTest, ReadMissingSubfileIsAllZeroes) {
+  const Bytes data = store_.ReadFragments("/nothing", {{0, 4}}).value();
+  EXPECT_EQ(data, (Bytes{0, 0, 0, 0}));
+}
+
+TEST_F(SubfileStoreTest, MultipleFragmentsConcatenatedInOrder) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1, 2, 3, 4, 5, 6, 7, 8}});
+  ASSERT_TRUE(store_.WriteFragments("/f", writes, false).ok());
+  const Bytes data = store_.ReadFragments("/f", {{6, 2}, {0, 2}}).value();
+  EXPECT_EQ(data, (Bytes{7, 8, 1, 2}));
+}
+
+TEST_F(SubfileStoreTest, NestedSubfilePathsCreateDirectories) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{42}});
+  ASSERT_TRUE(
+      store_.WriteFragments("/home/xhshen/dpfs.test", writes, false).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_.path() / "home/xhshen/dpfs.test"));
+  EXPECT_EQ(store_.ReadFragments("/home/xhshen/dpfs.test", {{0, 1}}).value(),
+            (Bytes{42}));
+}
+
+TEST_F(SubfileStoreTest, PathEscapeRejected) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1}});
+  EXPECT_FALSE(store_.WriteFragments("/../escape", writes, false).ok());
+  EXPECT_FALSE(store_.ReadFragments("/a/../../b", {{0, 1}}).ok());
+  EXPECT_FALSE(store_.WriteFragments("/", writes, false).ok());
+}
+
+TEST_F(SubfileStoreTest, StatReportsExistenceAndSize) {
+  EXPECT_FALSE(store_.Stat("/f").value().exists);
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({10, Bytes{1, 2}});
+  ASSERT_TRUE(store_.WriteFragments("/f", writes, false).ok());
+  const net::StatReply stat = store_.Stat("/f").value();
+  EXPECT_TRUE(stat.exists);
+  EXPECT_EQ(stat.size, 12u);
+}
+
+TEST_F(SubfileStoreTest, DeleteRemovesSubfile) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1}});
+  ASSERT_TRUE(store_.WriteFragments("/f", writes, false).ok());
+  ASSERT_TRUE(store_.Delete("/f").ok());
+  EXPECT_FALSE(store_.Stat("/f").value().exists);
+  EXPECT_EQ(store_.Delete("/f").code(), StatusCode::kNotFound);
+}
+
+TEST_F(SubfileStoreTest, TruncateSetsSize) {
+  ASSERT_TRUE(store_.Truncate("/f", 1000).ok());
+  EXPECT_EQ(store_.Stat("/f").value().size, 1000u);
+  ASSERT_TRUE(store_.Truncate("/f", 10).ok());
+  EXPECT_EQ(store_.Stat("/f").value().size, 10u);
+}
+
+TEST_F(SubfileStoreTest, SyncWriteSucceeds) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1, 2, 3}});
+  EXPECT_TRUE(store_.WriteFragments("/durable", writes, true).ok());
+}
+
+TEST_F(SubfileStoreTest, TotalBytesStored) {
+  EXPECT_EQ(store_.TotalBytesStored().value(), 0u);
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes(100, 1)});
+  ASSERT_TRUE(store_.WriteFragments("/a", writes, false).ok());
+  ASSERT_TRUE(store_.WriteFragments("/sub/b", writes, false).ok());
+  EXPECT_EQ(store_.TotalBytesStored().value(), 200u);
+}
+
+TEST_F(SubfileStoreTest, RenameMovesContents) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1, 2, 3}});
+  ASSERT_TRUE(store_.WriteFragments("/before", writes, false).ok());
+  ASSERT_TRUE(store_.Rename("/before", "/dir/after").ok());
+  EXPECT_FALSE(store_.Stat("/before").value().exists);
+  EXPECT_EQ(store_.ReadFragments("/dir/after", {{0, 3}}).value(),
+            (Bytes{1, 2, 3}));
+}
+
+TEST_F(SubfileStoreTest, RenameMissingSourceIsNotFound) {
+  EXPECT_EQ(store_.Rename("/ghost", "/x").code(), StatusCode::kNotFound);
+}
+
+TEST_F(SubfileStoreTest, RenameRejectsEscapes) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1}});
+  ASSERT_TRUE(store_.WriteFragments("/f", writes, false).ok());
+  EXPECT_FALSE(store_.Rename("/f", "/../../outside").ok());
+  EXPECT_FALSE(store_.Rename("/../outside", "/f2").ok());
+}
+
+TEST_F(SubfileStoreTest, RenameInvalidatesFdCache) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{9}});
+  ASSERT_TRUE(store_.WriteFragments("/cached", writes, false).ok());
+  // Prime the cache with a read, rename, then the old name reads as holes
+  // (fresh zeroes) and the new name serves the data.
+  ASSERT_TRUE(store_.ReadFragments("/cached", {{0, 1}}).ok());
+  ASSERT_TRUE(store_.Rename("/cached", "/moved").ok());
+  EXPECT_EQ(store_.ReadFragments("/cached", {{0, 1}}).value(), (Bytes{0}));
+  EXPECT_EQ(store_.ReadFragments("/moved", {{0, 1}}).value(), (Bytes{9}));
+}
+
+TEST_F(SubfileStoreTest, OverlappingWritesLastWins) {
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1, 1, 1, 1}});
+  writes.push_back({2, Bytes{9, 9}});
+  ASSERT_TRUE(store_.WriteFragments("/f", writes, false).ok());
+  EXPECT_EQ(store_.ReadFragments("/f", {{0, 4}}).value(),
+            (Bytes{1, 1, 9, 9}));
+}
+
+}  // namespace
+}  // namespace dpfs::server

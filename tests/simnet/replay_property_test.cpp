@@ -1,0 +1,134 @@
+// Sanity properties of the discrete-event replay engine: physical lower
+// bounds, monotonicity in offered load, and insensitivity to request
+// combination for total bytes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "layout/plan.h"
+#include "simnet/replay.h"
+
+namespace dpfs::simnet {
+namespace {
+
+using layout::BrickDistribution;
+using layout::BrickMap;
+using layout::IoDirection;
+using layout::IoPlan;
+using layout::PlanByteAccess;
+using layout::PlanOptions;
+
+IoPlan RandomPlan(std::uint64_t seed, std::uint32_t num_clients,
+                  std::uint32_t num_servers, bool combine) {
+  SplitMix64 rng(seed);
+  const std::uint64_t brick = (8 + rng.NextBelow(120)) * 1024;
+  const std::uint64_t per_client = (1 + rng.NextBelow(8)) << 20;
+  const BrickMap map =
+      BrickMap::Linear(per_client * num_clients, brick).value();
+  const BrickDistribution dist =
+      BrickDistribution::RoundRobin(map.num_bricks(), num_servers).value();
+  PlanOptions options;
+  options.combine = combine;
+  options.direction =
+      rng.NextBelow(2) == 0 ? IoDirection::kRead : IoDirection::kWrite;
+  IoPlan plan;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    plan.clients.push_back(PlanByteAccess(map, dist, c, c * per_client,
+                                          per_client, options)
+                               .value());
+  }
+  return plan;
+}
+
+class ReplayPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplayPropertyTest, MakespanRespectsPhysicalLowerBounds) {
+  const IoPlan plan = RandomPlan(GetParam() * 37 + 1, 4, 4, true);
+  const std::vector<StorageClassModel> servers(4, Class1());
+  const ReplayResult result = Replay(plan, servers).value();
+
+  // No server can move its assigned bytes faster than its link.
+  std::vector<double> bytes_per_server(4, 0);
+  for (const auto& client : plan.clients) {
+    for (const auto& request : client.requests) {
+      bytes_per_server[request.server] +=
+          static_cast<double>(request.transfer_bytes());
+    }
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    const double link_bound =
+        bytes_per_server[s] / servers[s].link_bytes_per_s;
+    EXPECT_GE(result.makespan_s * (1 + 1e-9), link_bound) << "server " << s;
+    const double disk_bound =
+        bytes_per_server[s] / servers[s].disk_bytes_per_s;
+    EXPECT_GE(result.makespan_s * (1 + 1e-9), disk_bound) << "server " << s;
+  }
+}
+
+TEST_P(ReplayPropertyTest, AddingAClientNeverShrinksMakespan) {
+  const int seed = GetParam() * 53 + 7;
+  const IoPlan small = RandomPlan(seed, 3, 4, true);
+  IoPlan big = RandomPlan(seed, 3, 4, true);
+  // Clone client 0 as an extra client (same requests, more load).
+  big.clients.push_back(big.clients.front());
+  big.clients.back().client = 3;
+  const std::vector<StorageClassModel> servers(4, Class3());
+  const double t_small = Replay(small, servers).value().makespan_s;
+  const double t_big = Replay(big, servers).value().makespan_s;
+  EXPECT_GE(t_big, t_small);
+}
+
+TEST_P(ReplayPropertyTest, CombinationPreservesBytesAndNeverHurtsMuch) {
+  const int seed = GetParam() * 71 + 3;
+  const IoPlan combined = RandomPlan(seed, 4, 4, true);
+  const IoPlan general = RandomPlan(seed, 4, 4, false);
+  const std::vector<StorageClassModel> servers(4, Class1());
+  const ReplayResult result_c = Replay(combined, servers).value();
+  const ReplayResult result_g = Replay(general, servers).value();
+  EXPECT_EQ(result_c.useful_bytes, result_g.useful_bytes);
+  EXPECT_EQ(result_c.transfer_bytes, result_g.transfer_bytes);
+  // Combination eliminates per-request overheads; with identical bytes it
+  // must not be slower (allow a sliver of scheduling noise).
+  EXPECT_LE(result_c.makespan_s, result_g.makespan_s * 1.01);
+}
+
+TEST_P(ReplayPropertyTest, SlowingEveryLinkScalesLinkBoundWorkloads) {
+  const int seed = GetParam() * 89 + 5;
+  const IoPlan plan = RandomPlan(seed, 4, 2, true);
+  std::vector<StorageClassModel> fast(2, Class1());
+  std::vector<StorageClassModel> slow(2, Class1());
+  for (StorageClassModel& model : slow) model.link_bytes_per_s /= 4;
+  const double t_fast = Replay(plan, fast).value().makespan_s;
+  const double t_slow = Replay(plan, slow).value().makespan_s;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+TEST_P(ReplayPropertyTest, ParallelDispatchNeverSlowerThanSequential) {
+  const int seed = GetParam() * 101 + 9;
+  IoPlan sequential = RandomPlan(seed, 4, 4, true);
+  IoPlan parallel = sequential;
+  for (auto& client : parallel.clients) client.parallel_dispatch = true;
+  const std::vector<StorageClassModel> servers(4, Class1());
+  const double t_seq = Replay(sequential, servers).value().makespan_s;
+  const double t_par = Replay(parallel, servers).value().makespan_s;
+  EXPECT_LE(t_par, t_seq * 1.0001);
+}
+
+TEST_P(ReplayPropertyTest, SharedUplinkBoundsAggregateBandwidth) {
+  const int seed = GetParam() * 113 + 11;
+  const IoPlan plan = RandomPlan(seed, 4, 4, true);
+  const std::vector<StorageClassModel> servers(4, Class1());
+  ReplayOptions capped;
+  capped.client_uplink_bytes_per_s = 2.0 * 1024 * 1024;
+  const ReplayResult unbounded = Replay(plan, servers).value();
+  const ReplayResult bounded = Replay(plan, servers, capped).value();
+  // The uplink serializes all transfer bytes.
+  const double uplink_floor = static_cast<double>(plan.total_transfer_bytes()) /
+                              capped.client_uplink_bytes_per_s;
+  EXPECT_GE(bounded.makespan_s * (1 + 1e-9), uplink_floor);
+  EXPECT_GE(bounded.makespan_s, unbounded.makespan_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dpfs::simnet

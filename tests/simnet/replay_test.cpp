@@ -1,0 +1,205 @@
+#include "simnet/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "layout/plan.h"
+
+namespace dpfs::simnet {
+namespace {
+
+using layout::BrickDistribution;
+using layout::BrickMap;
+using layout::ClientPlan;
+using layout::IoDirection;
+using layout::IoPlan;
+using layout::PlanByteAccess;
+using layout::PlanOptions;
+
+/// num_clients clients each reading a disjoint range of a linear file
+/// striped over num_servers servers.
+IoPlan MakePlan(std::uint32_t num_clients, std::uint32_t num_servers,
+                std::uint64_t bytes_per_client, std::uint64_t brick_bytes,
+                bool combine, IoDirection direction = IoDirection::kRead) {
+  const std::uint64_t total = bytes_per_client * num_clients;
+  const BrickMap map = BrickMap::Linear(total, brick_bytes).value();
+  const BrickDistribution dist =
+      BrickDistribution::RoundRobin(map.num_bricks(), num_servers).value();
+  PlanOptions options;
+  options.combine = combine;
+  options.direction = direction;
+  IoPlan plan;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    plan.clients.push_back(
+        PlanByteAccess(map, dist, c, c * bytes_per_client, bytes_per_client,
+                       options)
+            .value());
+  }
+  return plan;
+}
+
+TEST(ReplayTest, EmptyPlanFinishesAtZero) {
+  const IoPlan plan;
+  const ReplayResult result = Replay(plan, {Class1()}).value();
+  EXPECT_EQ(result.makespan_s, 0.0);
+  EXPECT_EQ(result.total_requests, 0u);
+}
+
+TEST(ReplayTest, SingleRequestTimeMatchesAnalyticModel) {
+  const IoPlan plan = MakePlan(1, 1, 64 * 1024, 64 * 1024, false);
+  ASSERT_EQ(plan.total_requests(), 1u);
+  const StorageClassModel model = Class1();
+  ReplayOptions options;
+  const ReplayResult result = Replay(plan, {model}, options).value();
+  const double bytes = 64.0 * 1024;
+  const double expected = options.client_overhead_s + model.link_latency_s +
+                          model.disk_overhead_s + bytes / model.disk_bytes_per_s +
+                          bytes / model.link_bytes_per_s +
+                          model.link_latency_s;
+  EXPECT_NEAR(result.makespan_s, expected, 1e-9);
+}
+
+TEST(ReplayTest, SequentialRequestsAccumulate) {
+  const IoPlan one = MakePlan(1, 1, 64 * 1024, 64 * 1024, false);
+  const IoPlan four = MakePlan(1, 1, 4 * 64 * 1024, 64 * 1024, false);
+  const double t1 = Replay(one, {Class1()}).value().makespan_s;
+  const double t4 = Replay(four, {Class1()}).value().makespan_s;
+  EXPECT_NEAR(t4, 4 * t1, 1e-6);
+}
+
+TEST(ReplayTest, ParallelServersBeatOneServer) {
+  // Same total data, 4 clients: striping over 4 servers must be much faster
+  // than striping over 1.
+  const IoPlan wide = MakePlan(4, 4, 1 << 20, 64 * 1024, true);
+  const IoPlan narrow = MakePlan(4, 1, 1 << 20, 64 * 1024, true);
+  const double t_wide = Replay(wide, {Class1(), Class1(), Class1(), Class1()})
+                            .value()
+                            .makespan_s;
+  const double t_narrow = Replay(narrow, {Class1()}).value().makespan_s;
+  EXPECT_LT(t_wide * 2.5, t_narrow);
+}
+
+TEST(ReplayTest, CombinationReducesMakespan) {
+  const IoPlan combined = MakePlan(4, 4, 1 << 20, 16 * 1024, true);
+  const IoPlan general = MakePlan(4, 4, 1 << 20, 16 * 1024, false);
+  const std::vector<StorageClassModel> servers(4, Class1());
+  const double t_combined = Replay(combined, servers).value().makespan_s;
+  const double t_general = Replay(general, servers).value().makespan_s;
+  EXPECT_LT(t_combined, t_general);
+}
+
+TEST(ReplayTest, SlowerClassYieldsLowerBandwidth) {
+  const IoPlan plan = MakePlan(4, 4, 1 << 20, 64 * 1024, true);
+  const double bw1 =
+      Replay(plan, std::vector<StorageClassModel>(4, Class1()))
+          .value()
+          .aggregate_bandwidth_MBps();
+  const double bw2 =
+      Replay(plan, std::vector<StorageClassModel>(4, Class2()))
+          .value()
+          .aggregate_bandwidth_MBps();
+  const double bw3 =
+      Replay(plan, std::vector<StorageClassModel>(4, Class3()))
+          .value()
+          .aggregate_bandwidth_MBps();
+  EXPECT_GT(bw1, bw3);
+  EXPECT_GT(bw3, bw2);
+}
+
+TEST(ReplayTest, WritesAndReadsBothComplete) {
+  const IoPlan writes =
+      MakePlan(2, 2, 1 << 20, 64 * 1024, true, IoDirection::kWrite);
+  const IoPlan reads =
+      MakePlan(2, 2, 1 << 20, 64 * 1024, true, IoDirection::kRead);
+  const std::vector<StorageClassModel> servers(2, Class1());
+  const ReplayResult write_result = Replay(writes, servers).value();
+  const ReplayResult read_result = Replay(reads, servers).value();
+  EXPECT_GT(write_result.makespan_s, 0.0);
+  EXPECT_GT(read_result.makespan_s, 0.0);
+  EXPECT_EQ(write_result.useful_bytes, read_result.useful_bytes);
+}
+
+TEST(ReplayTest, EfficiencyReflectsWholeBrickReads) {
+  // Reading 1 byte from each 64KB brick: efficiency = 1/65536.
+  const BrickMap map = BrickMap::Linear(10 * 64 * 1024, 64 * 1024).value();
+  const BrickDistribution dist = BrickDistribution::RoundRobin(10, 2).value();
+  PlanOptions options;
+  options.direction = IoDirection::kRead;
+  IoPlan plan;
+  ClientPlan client;
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    // 1 useful byte at the start of each brick.
+    const ClientPlan partial =
+        PlanByteAccess(map, dist, 0, b * 64 * 1024, 1, options).value();
+    for (const auto& request : partial.requests) {
+      client.requests.push_back(request);
+    }
+  }
+  client.direction = IoDirection::kRead;
+  plan.clients.push_back(std::move(client));
+  const ReplayResult result =
+      Replay(plan, {Class1(), Class1()}).value();
+  EXPECT_NEAR(result.efficiency(), 1.0 / 65536.0, 1e-9);
+}
+
+TEST(ReplayTest, UnknownServerRejected) {
+  const IoPlan plan = MakePlan(1, 4, 1 << 20, 64 * 1024, true);
+  EXPECT_FALSE(Replay(plan, {Class1()}).ok());  // only 1 server modeled
+}
+
+TEST(ReplayTest, PerClientFinishTimesReported) {
+  const IoPlan plan = MakePlan(3, 3, 1 << 20, 64 * 1024, true);
+  const ReplayResult result =
+      Replay(plan, std::vector<StorageClassModel>(3, Class1())).value();
+  ASSERT_EQ(result.client_finish_s.size(), 3u);
+  for (const double finish : result.client_finish_s) {
+    EXPECT_GT(finish, 0.0);
+    EXPECT_LE(finish, result.makespan_s);
+  }
+}
+
+TEST(ReplayTest, DeterministicAcrossRuns) {
+  const IoPlan plan = MakePlan(8, 4, 1 << 20, 16 * 1024, false);
+  const std::vector<StorageClassModel> servers(4, Class3());
+  const double t1 = Replay(plan, servers).value().makespan_s;
+  const double t2 = Replay(plan, servers).value().makespan_s;
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(ReplayTest, ManySmallRequestsSlowerThanFewLarge) {
+  // Same bytes, 16x more requests → strictly slower (per-request overheads).
+  const IoPlan small_bricks = MakePlan(4, 4, 1 << 20, 4 * 1024, false);
+  const IoPlan large_bricks = MakePlan(4, 4, 1 << 20, 64 * 1024, false);
+  const std::vector<StorageClassModel> servers(4, Class1());
+  EXPECT_GT(Replay(small_bricks, servers).value().makespan_s,
+            Replay(large_bricks, servers).value().makespan_s);
+}
+
+TEST(ReplayTest, RotatedScheduleBeatsStampede) {
+  // With combination, rotated start servers avoid all clients queueing on
+  // server 0 at t=0 (§4.2's scheduling claim).
+  const std::uint64_t bytes_per_client = 1 << 20;
+  const BrickMap map =
+      BrickMap::Linear(4 * bytes_per_client, 64 * 1024).value();
+  const BrickDistribution dist =
+      BrickDistribution::RoundRobin(map.num_bricks(), 4).value();
+  const auto build = [&](bool rotate) {
+    PlanOptions options;
+    options.combine = true;
+    options.rotate_start = rotate;
+    IoPlan plan;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      plan.clients.push_back(PlanByteAccess(map, dist, c,
+                                            c * bytes_per_client,
+                                            bytes_per_client, options)
+                                 .value());
+    }
+    return plan;
+  };
+  const std::vector<StorageClassModel> servers(4, Class1());
+  const double rotated = Replay(build(true), servers).value().makespan_s;
+  const double stampede = Replay(build(false), servers).value().makespan_s;
+  EXPECT_LE(rotated, stampede);
+}
+
+}  // namespace
+}  // namespace dpfs::simnet

@@ -1,0 +1,73 @@
+#include "simnet/storage_class.h"
+
+#include <gtest/gtest.h>
+
+namespace dpfs::simnet {
+namespace {
+
+TEST(StorageClassTest, PresetsByName) {
+  EXPECT_EQ(StorageClassByName("class1").value().name, "class1");
+  EXPECT_EQ(StorageClassByName("CLASS2").value().name, "class2");
+  EXPECT_EQ(StorageClassByName("class3").value().name, "class3");
+  EXPECT_EQ(StorageClassByName("wan").value().name, "remote-wan");
+  EXPECT_FALSE(StorageClassByName("class9").ok());
+}
+
+TEST(StorageClassTest, SoloBrickTimePositiveAndMonotonicInSize) {
+  for (const auto& model : {Class1(), Class2(), Class3(), RemoteWan()}) {
+    const double t64k = model.SoloBrickTime(64 * 1024);
+    const double t256k = model.SoloBrickTime(256 * 1024);
+    EXPECT_GT(t64k, 0.0) << model.name;
+    EXPECT_GT(t256k, t64k) << model.name;
+  }
+}
+
+TEST(StorageClassTest, Class1IsAboutThreeTimesFasterThanClass3) {
+  // §8.2: "Accessing a brick from class 1 is about 3 times faster than from
+  // class 3" — the ratio the greedy algorithm keys on.
+  const double ratio = Class3().SoloBrickTime(64 * 1024) /
+                       Class1().SoloBrickTime(64 * 1024);
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(StorageClassTest, Class2IsSlowestLanClass) {
+  // 10 Mbit shared Ethernet is the slowest of the three classes.
+  const std::uint64_t brick = 64 * 1024;
+  EXPECT_GT(Class2().SoloBrickTime(brick), Class1().SoloBrickTime(brick));
+  EXPECT_GT(Class2().SoloBrickTime(brick), Class3().SoloBrickTime(brick));
+}
+
+TEST(StorageClassTest, WanIsSlowestOverall) {
+  const std::uint64_t brick = 64 * 1024;
+  for (const auto& model : {Class1(), Class2(), Class3()}) {
+    EXPECT_GT(RemoteWan().SoloBrickTime(brick), model.SoloBrickTime(brick));
+  }
+}
+
+TEST(NormalizedPerformanceTest, FastestGetsOne) {
+  const auto perf = NormalizedPerformance({Class1(), Class3()}, 64 * 1024);
+  ASSERT_EQ(perf.size(), 2u);
+  EXPECT_EQ(perf[0], 1u);
+  EXPECT_EQ(perf[1], 3u);
+}
+
+TEST(NormalizedPerformanceTest, HomogeneousAllOnes) {
+  const auto perf =
+      NormalizedPerformance({Class1(), Class1(), Class1()}, 64 * 1024);
+  for (const std::uint32_t p : perf) EXPECT_EQ(p, 1u);
+}
+
+TEST(NormalizedPerformanceTest, MixedClassesOrdered) {
+  const auto perf = NormalizedPerformance(
+      {Class1(), Class2(), Class3(), RemoteWan()}, 64 * 1024);
+  EXPECT_EQ(perf[0], 1u);
+  EXPECT_GT(perf[1], perf[2]);   // class2 slower than class3
+  EXPECT_GT(perf[3], perf[1]);   // WAN slowest
+}
+
+TEST(NormalizedPerformanceTest, EmptyInput) {
+  EXPECT_TRUE(NormalizedPerformance({}, 1).empty());
+}
+
+}  // namespace
+}  // namespace dpfs::simnet

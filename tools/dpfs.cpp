@@ -1,0 +1,63 @@
+// dpfs — the DPFS user-interface CLI (§7) against an existing deployment.
+//
+//   dpfs --metadb /shared/dpfs-meta                 # interactive shell
+//   dpfs --metadb /shared/dpfs-meta --c "ls -l /"    # one command
+//   echo "import a.dat /a.dat" | dpfs --metadb DIR  # scripted
+//
+// The metadata directory is the one the dpfsd daemons registered into; the
+// CLI discovers the I/O servers from the DPFS_SERVER table.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "client/file_system.h"
+#include "common/options.h"
+#include "shell/shell.h"
+
+int main(int argc, char** argv) {
+  using namespace dpfs;
+  const Options opts = Options::Parse(argc, argv).value();
+  if (!opts.Has("metadb")) {
+    std::fprintf(stderr,
+                 "usage: dpfs --metadb DIR [--c COMMAND]\n");
+    return 2;
+  }
+
+  Result<std::unique_ptr<metadb::Database>> db =
+      metadb::Database::Open(opts.GetString("metadb", ""));
+  if (!db.ok()) {
+    std::fprintf(stderr, "dpfs: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<metadb::Database> shared = std::move(db).value();
+  Result<std::shared_ptr<client::FileSystem>> fs =
+      client::FileSystem::Connect(shared);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "dpfs: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+  shell::Shell shell(fs.value());
+
+  if (opts.Has("c")) {
+    const Status status = shell.Execute(opts.GetString("c", ""), std::cout);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dpfs: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("dpfs:%s> ", shell.cwd().c_str());
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (line == "exit" || line == "quit") break;
+    const Status status = shell.Execute(line, std::cout);
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  }
+  return 0;
+}
