@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_brick_size"
+  "../bench/ablation_brick_size.pdb"
+  "CMakeFiles/ablation_brick_size.dir/ablation_brick_size.cpp.o"
+  "CMakeFiles/ablation_brick_size.dir/ablation_brick_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_brick_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

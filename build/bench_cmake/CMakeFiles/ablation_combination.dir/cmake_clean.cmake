@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_combination"
+  "../bench/ablation_combination.pdb"
+  "CMakeFiles/ablation_combination.dir/ablation_combination.cpp.o"
+  "CMakeFiles/ablation_combination.dir/ablation_combination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_heterogeneity"
+  "../bench/ablation_heterogeneity.pdb"
+  "CMakeFiles/ablation_heterogeneity.dir/ablation_heterogeneity.cpp.o"
+  "CMakeFiles/ablation_heterogeneity.dir/ablation_heterogeneity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sieve_reads"
+  "../bench/ablation_sieve_reads.pdb"
+  "CMakeFiles/ablation_sieve_reads.dir/ablation_sieve_reads.cpp.o"
+  "CMakeFiles/ablation_sieve_reads.dir/ablation_sieve_reads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sieve_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_file_levels"
+  "../bench/fig11_file_levels.pdb"
+  "CMakeFiles/fig11_file_levels.dir/fig11_file_levels.cpp.o"
+  "CMakeFiles/fig11_file_levels.dir/fig11_file_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_file_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_file_levels"
+  "../bench/fig12_file_levels.pdb"
+  "CMakeFiles/fig12_file_levels.dir/fig12_file_levels.cpp.o"
+  "CMakeFiles/fig12_file_levels.dir/fig12_file_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_file_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_striping_algorithms"
+  "../bench/fig13_striping_algorithms.pdb"
+  "CMakeFiles/fig13_striping_algorithms.dir/fig13_striping_algorithms.cpp.o"
+  "CMakeFiles/fig13_striping_algorithms.dir/fig13_striping_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_striping_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/macro_mixed_workload"
+  "../bench/macro_mixed_workload.pdb"
+  "CMakeFiles/macro_mixed_workload.dir/macro_mixed_workload.cpp.o"
+  "CMakeFiles/macro_mixed_workload.dir/macro_mixed_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

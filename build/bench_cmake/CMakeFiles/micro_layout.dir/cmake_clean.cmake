@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_layout"
+  "../bench/micro_layout.pdb"
+  "CMakeFiles/micro_layout.dir/micro_layout.cpp.o"
+  "CMakeFiles/micro_layout.dir/micro_layout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

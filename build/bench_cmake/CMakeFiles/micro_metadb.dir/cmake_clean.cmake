@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_metadb"
+  "../bench/micro_metadb.pdb"
+  "CMakeFiles/micro_metadb.dir/micro_metadb.cpp.o"
+  "CMakeFiles/micro_metadb.dir/micro_metadb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_metadb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

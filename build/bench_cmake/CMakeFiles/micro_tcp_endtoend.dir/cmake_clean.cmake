@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_tcp_endtoend"
+  "../bench/micro_tcp_endtoend.pdb"
+  "CMakeFiles/micro_tcp_endtoend.dir/micro_tcp_endtoend.cpp.o"
+  "CMakeFiles/micro_tcp_endtoend.dir/micro_tcp_endtoend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tcp_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_remote_vs_dpfs"
+  "../bench/motivation_remote_vs_dpfs.pdb"
+  "CMakeFiles/motivation_remote_vs_dpfs.dir/motivation_remote_vs_dpfs.cpp.o"
+  "CMakeFiles/motivation_remote_vs_dpfs.dir/motivation_remote_vs_dpfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_remote_vs_dpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

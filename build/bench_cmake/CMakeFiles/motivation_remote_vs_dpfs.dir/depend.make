@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_remote_vs_dpfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shape_check"
+  "../bench/shape_check.pdb"
+  "CMakeFiles/shape_check.dir/shape_check.cpp.o"
+  "CMakeFiles/shape_check.dir/shape_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_request_counts"
+  "../bench/table_request_counts.pdb"
+  "CMakeFiles/table_request_counts.dir/table_request_counts.cpp.o"
+  "CMakeFiles/table_request_counts.dir/table_request_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_request_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

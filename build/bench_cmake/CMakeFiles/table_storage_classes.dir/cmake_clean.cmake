@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_storage_classes"
+  "../bench/table_storage_classes.pdb"
+  "CMakeFiles/table_storage_classes.dir/table_storage_classes.cpp.o"
+  "CMakeFiles/table_storage_classes.dir/table_storage_classes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_storage_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

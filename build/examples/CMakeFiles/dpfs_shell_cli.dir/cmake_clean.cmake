@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_shell_cli.dir/dpfs_shell.cpp.o"
+  "CMakeFiles/dpfs_shell_cli.dir/dpfs_shell.cpp.o.d"
+  "dpfs-shell"
+  "dpfs-shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_shell_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

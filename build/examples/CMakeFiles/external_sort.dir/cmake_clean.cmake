@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_sort.dir/external_sort.cpp.o"
+  "CMakeFiles/external_sort.dir/external_sort.cpp.o.d"
+  "external_sort"
+  "external_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_advisor.dir/hint_advisor.cpp.o"
+  "CMakeFiles/hint_advisor.dir/hint_advisor.cpp.o.d"
+  "hint_advisor"
+  "hint_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/out_of_core_matrix.cpp" "examples/CMakeFiles/out_of_core_matrix.dir/out_of_core_matrix.cpp.o" "gcc" "examples/CMakeFiles/out_of_core_matrix.dir/out_of_core_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dpfs_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dpfs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/dpfs_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dpfs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dpfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/dpfs_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_matrix.dir/out_of_core_matrix.cpp.o"
+  "CMakeFiles/out_of_core_matrix.dir/out_of_core_matrix.cpp.o.d"
+  "out_of_core_matrix"
+  "out_of_core_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--megabytes" "1")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_checkpoint_restart]=] "/root/repo/build/examples/checkpoint_restart" "--dim" "128" "--processes" "4" "--steps" "2")
+set_tests_properties([=[example_checkpoint_restart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_out_of_core_matrix]=] "/root/repo/build/examples/out_of_core_matrix" "--dim" "256" "--tile" "64" "--panels" "2")
+set_tests_properties([=[example_out_of_core_matrix]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_hint_advisor]=] "/root/repo/build/examples/hint_advisor" "--dim" "4096" "--clients" "4" "--servers" "2")
+set_tests_properties([=[example_hint_advisor]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_external_sort]=] "/root/repo/build/examples/external_sort" "--keys" "65536" "--budget-keys" "8192" "--threads" "4")
+set_tests_properties([=[example_external_sort]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

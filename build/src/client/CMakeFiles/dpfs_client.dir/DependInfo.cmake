@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/brick_cache.cpp" "src/client/CMakeFiles/dpfs_client.dir/brick_cache.cpp.o" "gcc" "src/client/CMakeFiles/dpfs_client.dir/brick_cache.cpp.o.d"
+  "/root/repo/src/client/collective.cpp" "src/client/CMakeFiles/dpfs_client.dir/collective.cpp.o" "gcc" "src/client/CMakeFiles/dpfs_client.dir/collective.cpp.o.d"
+  "/root/repo/src/client/conn_pool.cpp" "src/client/CMakeFiles/dpfs_client.dir/conn_pool.cpp.o" "gcc" "src/client/CMakeFiles/dpfs_client.dir/conn_pool.cpp.o.d"
+  "/root/repo/src/client/datatype.cpp" "src/client/CMakeFiles/dpfs_client.dir/datatype.cpp.o" "gcc" "src/client/CMakeFiles/dpfs_client.dir/datatype.cpp.o.d"
+  "/root/repo/src/client/file_system.cpp" "src/client/CMakeFiles/dpfs_client.dir/file_system.cpp.o" "gcc" "src/client/CMakeFiles/dpfs_client.dir/file_system.cpp.o.d"
+  "/root/repo/src/client/metadata.cpp" "src/client/CMakeFiles/dpfs_client.dir/metadata.cpp.o" "gcc" "src/client/CMakeFiles/dpfs_client.dir/metadata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/dpfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/dpfs_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_client.dir/brick_cache.cpp.o"
+  "CMakeFiles/dpfs_client.dir/brick_cache.cpp.o.d"
+  "CMakeFiles/dpfs_client.dir/collective.cpp.o"
+  "CMakeFiles/dpfs_client.dir/collective.cpp.o.d"
+  "CMakeFiles/dpfs_client.dir/conn_pool.cpp.o"
+  "CMakeFiles/dpfs_client.dir/conn_pool.cpp.o.d"
+  "CMakeFiles/dpfs_client.dir/datatype.cpp.o"
+  "CMakeFiles/dpfs_client.dir/datatype.cpp.o.d"
+  "CMakeFiles/dpfs_client.dir/file_system.cpp.o"
+  "CMakeFiles/dpfs_client.dir/file_system.cpp.o.d"
+  "CMakeFiles/dpfs_client.dir/metadata.cpp.o"
+  "CMakeFiles/dpfs_client.dir/metadata.cpp.o.d"
+  "libdpfs_client.a"
+  "libdpfs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/dpfs_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/dpfs_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/dpfs_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "src/common/CMakeFiles/dpfs_common.dir/options.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/options.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/dpfs_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/dpfs_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/temp_dir.cpp" "src/common/CMakeFiles/dpfs_common.dir/temp_dir.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/temp_dir.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/dpfs_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_common.dir/bytes.cpp.o"
+  "CMakeFiles/dpfs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/crc32.cpp.o"
+  "CMakeFiles/dpfs_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/log.cpp.o"
+  "CMakeFiles/dpfs_common.dir/log.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/options.cpp.o"
+  "CMakeFiles/dpfs_common.dir/options.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/status.cpp.o"
+  "CMakeFiles/dpfs_common.dir/status.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/strings.cpp.o"
+  "CMakeFiles/dpfs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/temp_dir.cpp.o"
+  "CMakeFiles/dpfs_common.dir/temp_dir.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dpfs_common.dir/thread_pool.cpp.o.d"
+  "libdpfs_common.a"
+  "libdpfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

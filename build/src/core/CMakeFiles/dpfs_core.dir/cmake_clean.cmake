@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_core.dir/cluster.cpp.o"
+  "CMakeFiles/dpfs_core.dir/cluster.cpp.o.d"
+  "libdpfs_core.a"
+  "libdpfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/brick_map.cpp" "src/layout/CMakeFiles/dpfs_layout.dir/brick_map.cpp.o" "gcc" "src/layout/CMakeFiles/dpfs_layout.dir/brick_map.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/layout/CMakeFiles/dpfs_layout.dir/geometry.cpp.o" "gcc" "src/layout/CMakeFiles/dpfs_layout.dir/geometry.cpp.o.d"
+  "/root/repo/src/layout/hpf.cpp" "src/layout/CMakeFiles/dpfs_layout.dir/hpf.cpp.o" "gcc" "src/layout/CMakeFiles/dpfs_layout.dir/hpf.cpp.o.d"
+  "/root/repo/src/layout/placement.cpp" "src/layout/CMakeFiles/dpfs_layout.dir/placement.cpp.o" "gcc" "src/layout/CMakeFiles/dpfs_layout.dir/placement.cpp.o.d"
+  "/root/repo/src/layout/plan.cpp" "src/layout/CMakeFiles/dpfs_layout.dir/plan.cpp.o" "gcc" "src/layout/CMakeFiles/dpfs_layout.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

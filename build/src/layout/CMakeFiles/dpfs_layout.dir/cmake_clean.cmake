@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_layout.dir/brick_map.cpp.o"
+  "CMakeFiles/dpfs_layout.dir/brick_map.cpp.o.d"
+  "CMakeFiles/dpfs_layout.dir/geometry.cpp.o"
+  "CMakeFiles/dpfs_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/dpfs_layout.dir/hpf.cpp.o"
+  "CMakeFiles/dpfs_layout.dir/hpf.cpp.o.d"
+  "CMakeFiles/dpfs_layout.dir/placement.cpp.o"
+  "CMakeFiles/dpfs_layout.dir/placement.cpp.o.d"
+  "CMakeFiles/dpfs_layout.dir/plan.cpp.o"
+  "CMakeFiles/dpfs_layout.dir/plan.cpp.o.d"
+  "libdpfs_layout.a"
+  "libdpfs_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

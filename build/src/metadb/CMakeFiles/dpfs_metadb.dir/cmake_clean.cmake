@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_metadb.dir/database.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/database.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/predicate.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/predicate.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/schema.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/schema.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/sql_lexer.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/sql_lexer.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/sql_parser.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/sql_parser.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/table.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/table.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/value.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/value.cpp.o.d"
+  "CMakeFiles/dpfs_metadb.dir/wal.cpp.o"
+  "CMakeFiles/dpfs_metadb.dir/wal.cpp.o.d"
+  "libdpfs_metadb.a"
+  "libdpfs_metadb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_metadb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpfs_metadb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_net.dir/connection.cpp.o"
+  "CMakeFiles/dpfs_net.dir/connection.cpp.o.d"
+  "CMakeFiles/dpfs_net.dir/frame.cpp.o"
+  "CMakeFiles/dpfs_net.dir/frame.cpp.o.d"
+  "CMakeFiles/dpfs_net.dir/messages.cpp.o"
+  "CMakeFiles/dpfs_net.dir/messages.cpp.o.d"
+  "CMakeFiles/dpfs_net.dir/socket.cpp.o"
+  "CMakeFiles/dpfs_net.dir/socket.cpp.o.d"
+  "libdpfs_net.a"
+  "libdpfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/fd_cache.cpp" "src/server/CMakeFiles/dpfs_server.dir/fd_cache.cpp.o" "gcc" "src/server/CMakeFiles/dpfs_server.dir/fd_cache.cpp.o.d"
+  "/root/repo/src/server/io_server.cpp" "src/server/CMakeFiles/dpfs_server.dir/io_server.cpp.o" "gcc" "src/server/CMakeFiles/dpfs_server.dir/io_server.cpp.o.d"
+  "/root/repo/src/server/subfile_store.cpp" "src/server/CMakeFiles/dpfs_server.dir/subfile_store.cpp.o" "gcc" "src/server/CMakeFiles/dpfs_server.dir/subfile_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dpfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

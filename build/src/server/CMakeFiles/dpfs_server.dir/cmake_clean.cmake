@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_server.dir/fd_cache.cpp.o"
+  "CMakeFiles/dpfs_server.dir/fd_cache.cpp.o.d"
+  "CMakeFiles/dpfs_server.dir/io_server.cpp.o"
+  "CMakeFiles/dpfs_server.dir/io_server.cpp.o.d"
+  "CMakeFiles/dpfs_server.dir/subfile_store.cpp.o"
+  "CMakeFiles/dpfs_server.dir/subfile_store.cpp.o.d"
+  "libdpfs_server.a"
+  "libdpfs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_shell.dir/shell.cpp.o"
+  "CMakeFiles/dpfs_shell.dir/shell.cpp.o.d"
+  "libdpfs_shell.a"
+  "libdpfs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpfs_shell.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/replay.cpp" "src/simnet/CMakeFiles/dpfs_simnet.dir/replay.cpp.o" "gcc" "src/simnet/CMakeFiles/dpfs_simnet.dir/replay.cpp.o.d"
+  "/root/repo/src/simnet/storage_class.cpp" "src/simnet/CMakeFiles/dpfs_simnet.dir/storage_class.cpp.o" "gcc" "src/simnet/CMakeFiles/dpfs_simnet.dir/storage_class.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/dpfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_simnet.dir/replay.cpp.o"
+  "CMakeFiles/dpfs_simnet.dir/replay.cpp.o.d"
+  "CMakeFiles/dpfs_simnet.dir/storage_class.cpp.o"
+  "CMakeFiles/dpfs_simnet.dir/storage_class.cpp.o.d"
+  "libdpfs_simnet.a"
+  "libdpfs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

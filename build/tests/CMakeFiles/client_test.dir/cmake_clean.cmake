@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_test.dir/client/brick_cache_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/brick_cache_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/collective_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/collective_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/conn_pool_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/conn_pool_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/datatype_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/datatype_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/file_system_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/file_system_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/matrix_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/matrix_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/metadata_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/metadata_test.cpp.o.d"
+  "client_test"
+  "client_test.pdb"
+  "client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

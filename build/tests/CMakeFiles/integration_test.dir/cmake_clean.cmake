@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/chaos_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/chaos_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/cluster_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/cluster_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/consistency_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/consistency_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/durability_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/durability_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fsck_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fsck_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/model_validation_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/model_validation_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/umbrella_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/umbrella_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/layout/brick_map_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/brick_map_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/brick_map_test.cpp.o.d"
+  "/root/repo/tests/layout/combine_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/combine_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/combine_test.cpp.o.d"
+  "/root/repo/tests/layout/geometry_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/geometry_test.cpp.o.d"
+  "/root/repo/tests/layout/hpf_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/hpf_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/hpf_test.cpp.o.d"
+  "/root/repo/tests/layout/multidim_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/multidim_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/multidim_test.cpp.o.d"
+  "/root/repo/tests/layout/placement_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/placement_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/placement_test.cpp.o.d"
+  "/root/repo/tests/layout/plan_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/plan_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/plan_test.cpp.o.d"
+  "/root/repo/tests/layout/property_test.cpp" "tests/CMakeFiles/layout_test.dir/layout/property_test.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/layout/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dpfs_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dpfs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/dpfs_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dpfs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dpfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/dpfs_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_test.dir/layout/brick_map_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/brick_map_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/combine_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/combine_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/geometry_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/geometry_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/hpf_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/hpf_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/multidim_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/multidim_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/placement_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/placement_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/plan_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/plan_test.cpp.o.d"
+  "CMakeFiles/layout_test.dir/layout/property_test.cpp.o"
+  "CMakeFiles/layout_test.dir/layout/property_test.cpp.o.d"
+  "layout_test"
+  "layout_test.pdb"
+  "layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metadb/database_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/database_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/database_test.cpp.o.d"
+  "/root/repo/tests/metadb/predicate_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/predicate_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/predicate_test.cpp.o.d"
+  "/root/repo/tests/metadb/recovery_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/recovery_test.cpp.o.d"
+  "/root/repo/tests/metadb/schema_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/schema_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/schema_test.cpp.o.d"
+  "/root/repo/tests/metadb/sql_fuzz_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/sql_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/sql_fuzz_test.cpp.o.d"
+  "/root/repo/tests/metadb/sql_lexer_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/sql_lexer_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/sql_lexer_test.cpp.o.d"
+  "/root/repo/tests/metadb/sql_parser_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/sql_parser_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/sql_parser_test.cpp.o.d"
+  "/root/repo/tests/metadb/table_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o.d"
+  "/root/repo/tests/metadb/value_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o.d"
+  "/root/repo/tests/metadb/wal_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dpfs_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dpfs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/dpfs_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dpfs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dpfs_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadb/CMakeFiles/dpfs_metadb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadb_test.dir/metadb/database_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/database_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/predicate_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/predicate_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/recovery_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/recovery_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/schema_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/schema_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/sql_fuzz_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/sql_fuzz_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/sql_lexer_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/sql_lexer_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/sql_parser_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/sql_parser_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o.d"
+  "metadb_test"
+  "metadb_test.pdb"
+  "metadb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

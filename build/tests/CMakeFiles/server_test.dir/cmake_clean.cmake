@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/server/backpressure_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/backpressure_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/fd_cache_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/fd_cache_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/io_server_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/io_server_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/protocol_fuzz_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/protocol_fuzz_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/subfile_store_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/subfile_store_test.cpp.o.d"
+  "server_test"
+  "server_test.pdb"
+  "server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_test.dir/simnet/replay_property_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/simnet/replay_property_test.cpp.o.d"
+  "CMakeFiles/simnet_test.dir/simnet/replay_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/simnet/replay_test.cpp.o.d"
+  "CMakeFiles/simnet_test.dir/simnet/storage_class_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/simnet/storage_class_test.cpp.o.d"
+  "simnet_test"
+  "simnet_test.pdb"
+  "simnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs.dir/dpfs.cpp.o"
+  "CMakeFiles/dpfs.dir/dpfs.cpp.o.d"
+  "dpfs"
+  "dpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

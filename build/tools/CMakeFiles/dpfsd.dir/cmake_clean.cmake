@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfsd.dir/dpfsd.cpp.o"
+  "CMakeFiles/dpfsd.dir/dpfsd.cpp.o.d"
+  "dpfsd"
+  "dpfsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
