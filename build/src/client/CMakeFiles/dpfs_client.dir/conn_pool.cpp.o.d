@@ -214,4 +214,5 @@ src/client/CMakeFiles/dpfs_client.dir/conn_pool.cpp.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/net/frame.h /root/repo/src/net/socket.h \
- /root/repo/src/net/messages.h
+ /root/repo/src/net/messages.h /root/repo/src/common/failpoint.h \
+ /usr/include/c++/12/atomic

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/dpfs_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/bytes.cpp.o.d"
   "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/dpfs_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/failpoint.cpp" "src/common/CMakeFiles/dpfs_common.dir/failpoint.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/failpoint.cpp.o.d"
   "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/dpfs_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/log.cpp.o.d"
   "/root/repo/src/common/options.cpp" "src/common/CMakeFiles/dpfs_common.dir/options.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/options.cpp.o.d"
   "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/dpfs_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/dpfs_common.dir/status.cpp.o.d"

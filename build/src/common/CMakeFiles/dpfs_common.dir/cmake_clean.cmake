@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dpfs_common.dir/bytes.cpp.o.d"
   "CMakeFiles/dpfs_common.dir/crc32.cpp.o"
   "CMakeFiles/dpfs_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/dpfs_common.dir/failpoint.cpp.o"
+  "CMakeFiles/dpfs_common.dir/failpoint.cpp.o.d"
   "CMakeFiles/dpfs_common.dir/log.cpp.o"
   "CMakeFiles/dpfs_common.dir/log.cpp.o.d"
   "CMakeFiles/dpfs_common.dir/options.cpp.o"

@@ -253,5 +253,5 @@ src/metadb/CMakeFiles/dpfs_metadb.dir/database.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/common/crc32.h /root/repo/src/common/strings.h \
- /root/repo/src/metadb/sql_parser.h
+ /root/repo/src/common/crc32.h /root/repo/src/common/failpoint.h \
+ /root/repo/src/common/strings.h /root/repo/src/metadb/sql_parser.h

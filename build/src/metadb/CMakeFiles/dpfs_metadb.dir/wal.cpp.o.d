@@ -232,5 +232,9 @@ src/metadb/CMakeFiles/dpfs_metadb.dir/wal.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/crc32.h \
- /root/repo/src/common/log.h /usr/include/c++/12/atomic
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/crc32.h /root/repo/src/common/failpoint.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/log.h

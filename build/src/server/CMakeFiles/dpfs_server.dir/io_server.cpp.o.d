@@ -258,4 +258,4 @@ src/server/CMakeFiles/dpfs_server.dir/io_server.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/log.h
+ /root/repo/src/common/failpoint.h /root/repo/src/common/log.h

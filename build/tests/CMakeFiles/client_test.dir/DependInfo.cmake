@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/client/file_system_test.cpp" "tests/CMakeFiles/client_test.dir/client/file_system_test.cpp.o" "gcc" "tests/CMakeFiles/client_test.dir/client/file_system_test.cpp.o.d"
   "/root/repo/tests/client/matrix_test.cpp" "tests/CMakeFiles/client_test.dir/client/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/client_test.dir/client/matrix_test.cpp.o.d"
   "/root/repo/tests/client/metadata_test.cpp" "tests/CMakeFiles/client_test.dir/client/metadata_test.cpp.o" "gcc" "tests/CMakeFiles/client_test.dir/client/metadata_test.cpp.o.d"
+  "/root/repo/tests/client/retry_backoff_test.cpp" "tests/CMakeFiles/client_test.dir/client/retry_backoff_test.cpp.o" "gcc" "tests/CMakeFiles/client_test.dir/client/retry_backoff_test.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/client_test.dir/client/matrix_test.cpp.o.d"
   "CMakeFiles/client_test.dir/client/metadata_test.cpp.o"
   "CMakeFiles/client_test.dir/client/metadata_test.cpp.o.d"
+  "CMakeFiles/client_test.dir/client/retry_backoff_test.cpp.o"
+  "CMakeFiles/client_test.dir/client/retry_backoff_test.cpp.o.d"
   "client_test"
   "client_test.pdb"
   "client_test[1]_tests.cmake"

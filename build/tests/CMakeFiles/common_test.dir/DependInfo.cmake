@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o.d"
   "/root/repo/tests/common/crc32_test.cpp" "tests/CMakeFiles/common_test.dir/common/crc32_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/crc32_test.cpp.o.d"
+  "/root/repo/tests/common/failpoint_test.cpp" "tests/CMakeFiles/common_test.dir/common/failpoint_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/failpoint_test.cpp.o.d"
   "/root/repo/tests/common/log_test.cpp" "tests/CMakeFiles/common_test.dir/common/log_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/log_test.cpp.o.d"
   "/root/repo/tests/common/options_test.cpp" "tests/CMakeFiles/common_test.dir/common/options_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/options_test.cpp.o.d"
   "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"

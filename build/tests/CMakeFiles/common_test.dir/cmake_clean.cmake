@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/common/bytes_test.cpp.o.d"
   "CMakeFiles/common_test.dir/common/crc32_test.cpp.o"
   "CMakeFiles/common_test.dir/common/crc32_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/failpoint_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/failpoint_test.cpp.o.d"
   "CMakeFiles/common_test.dir/common/log_test.cpp.o"
   "CMakeFiles/common_test.dir/common/log_test.cpp.o.d"
   "CMakeFiles/common_test.dir/common/options_test.cpp.o"

@@ -293,10 +293,10 @@ tests/CMakeFiles/integration_test.dir/integration/chaos_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -313,17 +313,17 @@ tests/CMakeFiles/integration_test.dir/integration/chaos_test.cpp.o: \
  /root/repo/src/net/frame.h /root/repo/src/net/socket.h \
  /root/repo/src/net/messages.h /root/repo/src/client/datatype.h \
  /root/repo/src/client/metadata.h /root/repo/src/layout/placement.h \
- /root/repo/src/metadb/database.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
- /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/metadb/sql_ast.h /root/repo/src/metadb/predicate.h \
- /root/repo/src/metadb/schema.h /root/repo/src/metadb/value.h \
- /root/repo/src/metadb/table.h /root/repo/src/metadb/wal.h \
- /root/repo/src/common/thread_pool.h \
+ /root/repo/src/metadb/database.h /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /root/repo/src/metadb/sql_ast.h \
+ /root/repo/src/metadb/predicate.h /root/repo/src/metadb/schema.h \
+ /root/repo/src/metadb/value.h /root/repo/src/metadb/table.h \
+ /root/repo/src/metadb/wal.h /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/layout/plan.h /root/repo/src/common/rng.h \
+ /root/repo/src/layout/plan.h /root/repo/src/common/crc32.h \
+ /root/repo/src/common/failpoint.h /root/repo/src/common/rng.h \
  /root/repo/src/core/cluster.h /root/repo/src/common/temp_dir.h \
  /root/repo/src/server/io_server.h /root/repo/src/server/subfile_store.h \
  /root/repo/src/server/fd_cache.h

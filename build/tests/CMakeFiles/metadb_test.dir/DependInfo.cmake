@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/metadb/sql_parser_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/sql_parser_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/sql_parser_test.cpp.o.d"
   "/root/repo/tests/metadb/table_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o.d"
   "/root/repo/tests/metadb/value_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o.d"
+  "/root/repo/tests/metadb/wal_crash_recovery_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/wal_crash_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/wal_crash_recovery_test.cpp.o.d"
   "/root/repo/tests/metadb/wal_test.cpp" "tests/CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o" "gcc" "tests/CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o.d"
   )
 

@@ -17,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o.d"
   "CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o"
   "CMakeFiles/metadb_test.dir/metadb/value_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/wal_crash_recovery_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/wal_crash_recovery_test.cpp.o.d"
   "CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o"
   "CMakeFiles/metadb_test.dir/metadb/wal_test.cpp.o.d"
   "metadb_test"

@@ -294,23 +294,25 @@ tests/CMakeFiles/server_test.dir/server/protocol_fuzz_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/rng.h /root/repo/src/common/temp_dir.h \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
- /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/common/status.h /root/repo/src/net/connection.h \
- /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
- /usr/include/c++/12/span /root/repo/src/net/frame.h \
- /root/repo/src/net/socket.h /root/repo/src/net/messages.h \
- /root/repo/src/server/io_server.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/crc32.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/cstring /usr/include/c++/12/span \
+ /root/repo/src/common/status.h /root/repo/src/common/failpoint.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/temp_dir.h \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/net/connection.h /root/repo/src/net/frame.h \
+ /root/repo/src/net/socket.h /root/repo/src/net/messages.h \
+ /root/repo/src/server/io_server.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/server/subfile_store.h /root/repo/src/server/fd_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc

@@ -14,6 +14,6 @@ include("/root/repo/build/tests/simnet_test[1]_include.cmake")
 include("/root/repo/build/tests/shell_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 add_test([=[deployment_smoke]=] "/root/repo/tests/integration/deployment_test.sh" "/root/repo/build/tools/dpfsd" "/root/repo/build/tools/dpfs")
-set_tests_properties([=[deployment_smoke]=] PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties([=[deployment_smoke]=] PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;94;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test([=[shell_script_smoke]=] "/root/repo/tests/integration/shell_script_test.sh" "/root/repo/build/examples/dpfs-shell")
-set_tests_properties([=[shell_script_smoke]=] PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;97;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties([=[shell_script_smoke]=] PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,5 +1,7 @@
 #include "client/conn_pool.h"
 
+#include "common/failpoint.h"
+
 namespace dpfs::client {
 
 PooledConnection::~PooledConnection() {
@@ -10,6 +12,9 @@ PooledConnection::~PooledConnection() {
 
 Result<PooledConnection> ConnectionPool::Acquire(
     const net::Endpoint& endpoint) {
+  // Simulates a refused/unreachable server before any pooled or fresh
+  // connection is touched (kUnavailable by default, so callers retry).
+  DPFS_FAILPOINT_RETURN("client.connect");
   const auto key = std::make_pair(endpoint.host, endpoint.port);
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -356,6 +356,12 @@ ThreadPool& FileSystem::DispatchPool() {
   return *dispatch_pool_;
 }
 
+struct FileSystem::RetryTally {
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> busy_retries{0};
+  std::atomic<std::uint64_t> backoff_ms{0};
+};
+
 Status FileSystem::ExecutePlan(const FileHandle& handle,
                                const layout::ClientPlan& plan,
                                const RunsByBrick& runs, ByteSpan write_data,
@@ -368,6 +374,7 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
     }
   }
 
+  RetryTally tally;
   Status status;
   if (options.parallel_dispatch && plan.requests.size() > 1) {
     // Dispatch threads write disjoint runs of the shared buffer, so no
@@ -376,7 +383,7 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
     ParallelFor(DispatchPool(), plan.requests.size(), [&](std::size_t i) {
       const Status request_status =
           ExecuteOneRequest(handle, plan.requests[i], runs, write_data,
-                            read_buffer, is_write, options);
+                            read_buffer, is_write, options, tally);
       if (!request_status.ok()) {
         std::lock_guard<std::mutex> lock(status_mu);
         if (status.ok()) status = request_status;
@@ -385,9 +392,18 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
   } else {
     for (const layout::ServerRequest& request : plan.requests) {
       status = ExecuteOneRequest(handle, request, runs, write_data,
-                                 read_buffer, is_write, options);
+                                 read_buffer, is_write, options, tally);
       if (!status.ok()) break;
     }
+  }
+  // Retry counters are reported even for failed accesses, so callers can
+  // observe retry exhaustion, not just recovery.
+  if (report != nullptr) {
+    report->retries +=
+        static_cast<std::size_t>(tally.retries.load(std::memory_order_relaxed));
+    report->busy_retries += static_cast<std::size_t>(
+        tally.busy_retries.load(std::memory_order_relaxed));
+    report->backoff_ms += tally.backoff_ms.load(std::memory_order_relaxed);
   }
   if (!status.ok()) return status;
 
@@ -409,12 +425,19 @@ Status FileSystem::ExecuteOneRequest(const FileHandle& handle,
                                      const RunsByBrick& runs,
                                      ByteSpan write_data,
                                      MutableByteSpan read_buffer,
-                                     bool is_write, const IoOptions& options) {
+                                     bool is_write, const IoOptions& options,
+                                     RetryTally& tally) {
   Status last;
   const int attempts = 1 + std::max(0, options.max_retries);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2 * attempt));
+      tally.retries.fetch_add(1, std::memory_order_relaxed);
+      if (last.code() == StatusCode::kResourceExhausted) {
+        tally.busy_retries.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::uint64_t backoff = 2ull * static_cast<std::uint64_t>(attempt);
+      tally.backoff_ms.fetch_add(backoff, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
     last = TryOneRequest(handle, request, runs, write_data, read_buffer,
                          is_write, options);

@@ -96,6 +96,13 @@ struct IoReport {
   std::size_t requests = 0;
   std::uint64_t transfer_bytes = 0;
   std::uint64_t useful_bytes = 0;
+  /// Retry/backoff observability (§4.2 "try again later"): attempts beyond
+  /// each request's first, how many were triggered by a busy server, and
+  /// the total linear-backoff sleep injected. Accumulated even when the
+  /// access ultimately fails (retry exhaustion is visible).
+  std::size_t retries = 0;
+  std::size_t busy_retries = 0;
+  std::uint64_t backoff_ms = 0;
 };
 
 class FileSystem {
@@ -212,6 +219,10 @@ class FileSystem {
   using RunsByBrick =
       std::unordered_map<layout::BrickId, std::vector<layout::BrickRun>>;
 
+  /// Retry counters shared by concurrent dispatch threads, folded into the
+  /// caller's IoReport when the plan finishes (defined in file_system.cpp).
+  struct RetryTally;
+
   /// Issues the plan's requests (sequentially, or concurrently with
   /// parallel_dispatch). Exactly one of write_data / read_buffer is used,
   /// per plan.direction.
@@ -225,7 +236,7 @@ class FileSystem {
                            const layout::ServerRequest& request,
                            const RunsByBrick& runs, ByteSpan write_data,
                            MutableByteSpan read_buffer, bool is_write,
-                           const IoOptions& options);
+                           const IoOptions& options, RetryTally& tally);
   /// A single attempt of the above.
   Status TryOneRequest(const FileHandle& handle,
                        const layout::ServerRequest& request,

@@ -1,0 +1,244 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace dpfs::failpoint {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+struct State {
+  Spec spec;
+  std::uint64_t hits = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, State>& Registry() {
+  static std::map<std::string, State>* registry =
+      new std::map<std::string, State>();
+  return *registry;
+}
+
+/// Default error code when the spec leaves `code` at kOk.
+StatusCode DefaultCode(Action action) {
+  switch (action) {
+    case Action::kReturnError:
+      return StatusCode::kIoError;
+    case Action::kShortIo:
+    case Action::kTornWrite:
+      return StatusCode::kIoError;
+    case Action::kDisconnect:
+      return StatusCode::kUnavailable;
+    case Action::kBusy:
+      return StatusCode::kResourceExhausted;
+    case Action::kOff:
+    case Action::kDelay:
+      break;
+  }
+  return StatusCode::kInternal;
+}
+
+Result<StatusCode> ParseStatusCode(std::string_view name) {
+  if (EqualsIgnoreCase(name, "busy")) return StatusCode::kResourceExhausted;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted); ++c) {
+    const auto code = static_cast<StatusCode>(c);
+    if (EqualsIgnoreCase(name, StatusCodeName(code))) return code;
+  }
+  return InvalidArgumentError("failpoint: unknown status code '" +
+                              std::string(name) + "'");
+}
+
+Result<Action> ParseAction(std::string_view name) {
+  if (EqualsIgnoreCase(name, "off")) return Action::kOff;
+  if (EqualsIgnoreCase(name, "error")) return Action::kReturnError;
+  if (EqualsIgnoreCase(name, "short")) return Action::kShortIo;
+  if (EqualsIgnoreCase(name, "delay")) return Action::kDelay;
+  if (EqualsIgnoreCase(name, "disconnect")) return Action::kDisconnect;
+  if (EqualsIgnoreCase(name, "torn")) return Action::kTornWrite;
+  if (EqualsIgnoreCase(name, "busy")) return Action::kBusy;
+  return InvalidArgumentError("failpoint: unknown action '" +
+                              std::string(name) + "'");
+}
+
+Result<int> ParseInt(std::string_view text, std::string_view what) {
+  int value = 0;
+  bool any = false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("failpoint: bad " + std::string(what) +
+                                  " '" + std::string(text) + "'");
+    }
+    value = value * 10 + (c - '0');
+    any = true;
+  }
+  if (!any) {
+    return InvalidArgumentError("failpoint: empty " + std::string(what));
+  }
+  return value;
+}
+
+/// Parses one "name=action[:param][,skip=N][,count=M]" clause.
+Status ArmOneClause(std::string_view clause) {
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return InvalidArgumentError("failpoint: clause '" + std::string(clause) +
+                                "' is not name=action");
+  }
+  const std::string name(TrimWhitespace(clause.substr(0, eq)));
+  Spec spec;
+  std::string_view rest = clause.substr(eq + 1);
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view field = TrimWhitespace(rest.substr(0, comma));
+    rest = (comma == std::string_view::npos) ? std::string_view{}
+                                             : rest.substr(comma + 1);
+    if (first) {
+      first = false;
+      const std::size_t colon = field.find(':');
+      DPFS_ASSIGN_OR_RETURN(
+          spec.action, ParseAction(field.substr(0, colon)));
+      if (colon != std::string_view::npos) {
+        const std::string_view param = field.substr(colon + 1);
+        if (spec.action == Action::kReturnError) {
+          DPFS_ASSIGN_OR_RETURN(spec.code, ParseStatusCode(param));
+        } else {
+          DPFS_ASSIGN_OR_RETURN(const int arg, ParseInt(param, "argument"));
+          spec.arg = static_cast<std::uint64_t>(arg);
+        }
+      }
+      continue;
+    }
+    if (field.substr(0, 5) == "skip=") {
+      DPFS_ASSIGN_OR_RETURN(spec.skip, ParseInt(field.substr(5), "skip"));
+    } else if (field.substr(0, 6) == "count=") {
+      DPFS_ASSIGN_OR_RETURN(spec.count, ParseInt(field.substr(6), "count"));
+    } else {
+      return InvalidArgumentError("failpoint: unknown field '" +
+                                  std::string(field) + "'");
+    }
+  }
+  if (first) {
+    return InvalidArgumentError("failpoint: clause '" + std::string(clause) +
+                                "' has no action");
+  }
+  Arm(name, std::move(spec));
+  return Status::Ok();
+}
+
+/// DPFS_FAILPOINTS is parsed once at process start, so env-armed points are
+/// live before any I/O happens (malformed clauses abort loudly: a chaos run
+/// with a typo'd schedule must not silently test nothing).
+const bool g_env_parsed = [] {
+  if (const char* env = std::getenv("DPFS_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    const Status armed = ArmFromString(env);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "DPFS_FAILPOINTS: %s\n", armed.ToString().c_str());
+      std::abort();
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+void Arm(const std::string& name, Spec spec) {
+  if (spec.code == StatusCode::kOk) spec.code = DefaultCode(spec.action);
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  State& state = Registry()[name];
+  const bool was_armed = state.spec.action != Action::kOff;
+  const bool now_armed = spec.action != Action::kOff;
+  state.spec = std::move(spec);
+  if (was_armed != now_armed) {
+    detail::g_armed.fetch_add(now_armed ? 1 : -1, std::memory_order_relaxed);
+  }
+}
+
+Status ArmFromString(const std::string& config) {
+  std::string_view rest = config;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view clause = TrimWhitespace(rest.substr(0, semi));
+    rest = (semi == std::string_view::npos) ? std::string_view{}
+                                            : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+    DPFS_RETURN_IF_ERROR(ArmOneClause(clause));
+  }
+  return Status::Ok();
+}
+
+void Disarm(const std::string& name) {
+  Spec off;
+  off.action = Action::kOff;
+  Arm(name, std::move(off));
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  int armed = 0;
+  for (const auto& [name, state] : Registry()) {
+    if (state.spec.action != Action::kOff) ++armed;
+  }
+  Registry().clear();
+  detail::g_armed.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+std::uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+namespace detail {
+
+std::optional<Hit> Evaluate(const char* name) {
+  Hit hit;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    const auto it = Registry().find(name);
+    if (it == Registry().end()) return std::nullopt;
+    State& state = it->second;
+    if (state.spec.action == Action::kOff) return std::nullopt;
+    if (state.spec.skip > 0) {
+      --state.spec.skip;
+      return std::nullopt;
+    }
+    ++state.hits;
+    hit.action = state.spec.action;
+    hit.arg = state.spec.arg;
+    hit.status = Status(
+        state.spec.code,
+        state.spec.message.empty() ? "failpoint '" + std::string(name) + "'"
+                                   : state.spec.message);
+    if (state.spec.count > 0 && --state.spec.count == 0) {
+      state.spec.action = Action::kOff;
+      g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // Delays complete inside Check so sites need no cooperation — and the
+  // sleep happens outside the registry lock.
+  if (hit.action == Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+    return std::nullopt;
+  }
+  return hit;
+}
+
+}  // namespace detail
+
+}  // namespace dpfs::failpoint

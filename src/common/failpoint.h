@@ -1,0 +1,107 @@
+// Deterministic fault injection (failpoints).
+//
+// A failpoint is a named site in production code where a test (or the
+// DPFS_FAILPOINTS environment variable) can inject a programmed failure:
+// an error return, a short read/write, a delay, a disconnect mid-frame, a
+// torn WAL append, or a "server busy" rejection. Sites are compiled in
+// permanently but cost a single relaxed atomic load while nothing is armed,
+// so they are safe on hot paths.
+//
+// Site idiom:
+//
+//   if (auto fp = failpoint::Check("net.send_all")) {
+//     switch (fp->action) { ... interpret per-site ... }
+//   }
+//
+// Generic actions (kReturnError, kDelay) need no site cooperation beyond
+// returning fp->status; transfer-shaping actions (kShortIo, kDisconnect,
+// kTornWrite) use fp->arg as a byte count the site honors. The registry is
+// process-global and thread-safe; tests arm failpoints programmatically and
+// must DisarmAll() on teardown. See docs/FAULT_INJECTION.md for the site
+// catalog and the DPFS_FAILPOINTS syntax.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpfs::failpoint {
+
+enum class Action : std::uint8_t {
+  kOff = 0,
+  kReturnError,  // site returns `status`
+  kShortIo,      // site transfers only `arg` bytes, then reports failure
+  kDelay,        // handled inside Check: sleep `arg` ms, then continue
+  kDisconnect,   // site sends/receives `arg` bytes, then severs the transport
+  kTornWrite,    // site persists only the first `arg` bytes, then fails
+  kBusy,         // server site replies "busy, retry later" and drops the session
+};
+
+/// What a site should do, armed under a failpoint name.
+struct Spec {
+  Action action = Action::kOff;
+  /// Error code carried by `Hit::status` (kReturnError primarily; other
+  /// actions get a per-action default when left at kOk).
+  StatusCode code = StatusCode::kOk;
+  std::string message;    // empty = "failpoint '<name>'"
+  std::uint64_t arg = 0;  // bytes (kShortIo/kDisconnect/kTornWrite), ms (kDelay)
+  int skip = 0;           // let the first N evaluations pass untouched
+  int count = -1;         // fire at most N times after skip; -1 = unlimited
+};
+
+/// One triggered evaluation, as seen by the site.
+struct Hit {
+  Action action = Action::kOff;
+  std::uint64_t arg = 0;
+  Status status;  // pre-built error for the site to return (or adapt)
+};
+
+/// Arms (or re-arms) `name` with `spec`. Action kOff disarms.
+void Arm(const std::string& name, Spec spec);
+
+/// Parses and arms a config string:
+///   name=action[:param][,skip=N][,count=M][;name2=...]
+/// where action is one of off|error|short|delay|disconnect|torn|busy and
+/// param is a status-code name for `error` (e.g. error:unavailable, alias
+/// busy -> resource_exhausted) or a number for the byte/ms actions.
+/// DPFS_FAILPOINTS is parsed through this at process start.
+Status ArmFromString(const std::string& config);
+
+/// Disarms `name`, keeping its hit counter readable until DisarmAll.
+void Disarm(const std::string& name);
+
+/// Disarms everything and resets all counters (test teardown).
+void DisarmAll();
+
+/// Times `name` actually fired (delays count; skipped evaluations do not).
+std::uint64_t HitCount(const std::string& name);
+
+namespace detail {
+extern std::atomic<int> g_armed;  // number of armed failpoints, process-wide
+std::optional<Hit> Evaluate(const char* name);
+}  // namespace detail
+
+/// Hot-path check: one relaxed atomic load when nothing is armed anywhere.
+inline std::optional<Hit> Check(const char* name) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) {
+    return std::nullopt;
+  }
+  return detail::Evaluate(name);
+}
+
+}  // namespace dpfs::failpoint
+
+/// Returns from the enclosing function with the armed error when `name` is
+/// armed with kReturnError (works for Status and Result<T> returns). Other
+/// actions at the site are ignored by this macro.
+#define DPFS_FAILPOINT_RETURN(name)                                        \
+  do {                                                                     \
+    if (auto dpfs_fp_hit_ = ::dpfs::failpoint::Check(name);                \
+        dpfs_fp_hit_.has_value() &&                                        \
+        dpfs_fp_hit_->action == ::dpfs::failpoint::Action::kReturnError) { \
+      return dpfs_fp_hit_->status;                                         \
+    }                                                                      \
+  } while (false)

@@ -35,10 +35,12 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
   DPFS_ASSIGN_OR_RETURN(cluster->fs_,
                         client::FileSystem::Connect(cluster->db_));
 
+  cluster->max_sessions_ = options.max_sessions;
   for (std::uint32_t i = 0; i < options.num_servers; ++i) {
     server::ServerOptions server_options;
     server_options.root_dir =
         cluster->root_ / ("server" + std::to_string(i));
+    server_options.max_sessions = options.max_sessions;
     DPFS_ASSIGN_OR_RETURN(std::unique_ptr<server::IoServer> server,
                           server::IoServer::Start(std::move(server_options)));
 
@@ -70,6 +72,23 @@ void LocalCluster::Stop() {
   for (const std::unique_ptr<server::IoServer>& server : servers_) {
     if (server != nullptr) server->Stop();
   }
+}
+
+Status LocalCluster::RestartServer(std::size_t index) {
+  if (index >= servers_.size()) {
+    return InvalidArgumentError("no server at index " + std::to_string(index));
+  }
+  const net::Endpoint endpoint = servers_[index]->endpoint();
+  servers_[index]->Stop();
+  servers_[index].reset();  // release the port before rebinding it
+
+  server::ServerOptions server_options;
+  server_options.root_dir = root_ / ("server" + std::to_string(index));
+  server_options.port = endpoint.port;  // keep the registered endpoint valid
+  server_options.max_sessions = max_sessions_;
+  DPFS_ASSIGN_OR_RETURN(servers_[index],
+                        server::IoServer::Start(std::move(server_options)));
+  return Status::Ok();
 }
 
 }  // namespace dpfs::core

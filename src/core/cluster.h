@@ -31,6 +31,9 @@ struct ClusterOptions {
   std::filesystem::path root_dir;
   /// Persist metadata on disk (WAL + snapshot) instead of in memory.
   bool durable_metadata = false;
+  /// Concurrent session cap per server (0 = unlimited); see
+  /// ServerOptions::max_sessions.
+  std::size_t max_sessions = 0;
 };
 
 class LocalCluster {
@@ -60,11 +63,17 @@ class LocalCluster {
   /// Stops every server (idempotent; also runs at destruction).
   void Stop();
 
+  /// Stops server `index` and starts a replacement on the same port and
+  /// subfile root, as if the workstation rebooted. Registered metadata is
+  /// unchanged (same name, same endpoint), so clients recover by retrying.
+  Status RestartServer(std::size_t index);
+
  private:
   LocalCluster() = default;
 
   std::optional<TempDir> owned_root_;
   std::filesystem::path root_;
+  std::size_t max_sessions_ = 0;
   std::vector<std::unique_ptr<server::IoServer>> servers_;
   std::shared_ptr<metadb::Database> db_;
   std::shared_ptr<client::FileSystem> fs_;

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "metadb/sql_parser.h"
 
@@ -396,6 +397,13 @@ Status Database::BeginLocked() {
 Status Database::CommitLocked() {
   if (!in_txn_) return AbortedError("COMMIT outside transaction");
   if (wal_.has_value() && !redo_.empty()) {
+    // Refused durability before any WAL byte is written: the commit fails
+    // cleanly and the in-memory state rolls back.
+    if (const auto fp = failpoint::Check("metadb.commit");
+        fp.has_value() && fp->action == failpoint::Action::kReturnError) {
+      (void)RollbackLocked();
+      return fp->status;
+    }
     const Status appended = wal_->AppendTransaction(next_txn_id_, redo_);
     if (!appended.ok()) {
       // Durability failed: roll the in-memory state back so memory and disk

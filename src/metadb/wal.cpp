@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 
 namespace dpfs::metadb {
@@ -221,12 +223,40 @@ Status WriteAheadLog::AppendTransaction(std::uint64_t txn_id,
   append_record(commit);
 
   const Bytes& data = frame.buffer();
+  if (auto fp = failpoint::Check("wal.append")) {
+    switch (fp->action) {
+      case failpoint::Action::kReturnError:
+        return fp->status;
+      case failpoint::Action::kTornWrite:
+      case failpoint::Action::kShortIo: {
+        // Persist only the first `arg` bytes of the transaction's frame —
+        // the on-disk image a crash mid-append leaves behind. The caller
+        // must treat this WAL as dead (close and recover), exactly as after
+        // a real torn write.
+        const std::size_t torn =
+            std::min<std::size_t>(static_cast<std::size_t>(fp->arg),
+                                  data.size());
+        if (torn > 0 &&
+            std::fwrite(data.data(), 1, torn, file_) != torn) {
+          return IoErrnoError("wal torn append", path_.string());
+        }
+        (void)std::fflush(file_);
+        size_ += torn;
+        return IoError("wal append torn after " + std::to_string(torn) +
+                       " bytes (" + fp->status.message() + ")");
+      }
+      default:
+        break;
+    }
+  }
   if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
     return IoErrnoError("wal append", path_.string());
   }
   if (std::fflush(file_) != 0) {
     return IoErrnoError("wal flush", path_.string());
   }
+  // Crash-before-sync: bytes reached the page cache, durability did not.
+  DPFS_FAILPOINT_RETURN("wal.sync");
   if (sync_commits_ && ::fdatasync(fileno(file_)) != 0) {
     return IoErrnoError("wal fdatasync", path_.string());
   }

@@ -1,5 +1,7 @@
 #include "net/connection.h"
 
+#include "common/failpoint.h"
+
 namespace dpfs::net {
 
 Result<ServerConnection> ServerConnection::Connect(const Endpoint& endpoint) {
@@ -9,16 +11,29 @@ Result<ServerConnection> ServerConnection::Connect(const Endpoint& endpoint) {
 }
 
 Result<Bytes> ServerConnection::Call(MessageType type, ByteSpan body) {
+  DPFS_FAILPOINT_RETURN("client.call");
   const Bytes request = EncodeRequest(type, body);
   DPFS_RETURN_IF_ERROR(
       SendFrame(socket_, request)
           .WithContext("send " + std::string(MessageTypeName(type)) + " to " +
                        endpoint_.ToString()));
   Bytes reply_frame;
-  DPFS_RETURN_IF_ERROR(
-      RecvFrame(socket_, reply_frame)
-          .WithContext("recv " + std::string(MessageTypeName(type)) +
-                       " reply from " + endpoint_.ToString()));
+  const Status received = RecvFrame(socket_, reply_frame);
+  if (!received.ok()) {
+    // Any reply-path transport failure — clean close, mid-frame close
+    // (kProtocolError), or CRC mismatch (kDataLoss) — means the server or
+    // the connection died under us. Surface all of them as kUnavailable so
+    // the caller's retry policy treats a torn reply like a dead server: the
+    // connection is abandoned and the (idempotent) request re-issued.
+    const Status context = received.WithContext(
+        "recv " + std::string(MessageTypeName(type)) + " reply from " +
+        endpoint_.ToString());
+    if (received.code() == StatusCode::kProtocolError ||
+        received.code() == StatusCode::kDataLoss) {
+      return UnavailableError(context.message());
+    }
+    return context;
+  }
   DPFS_ASSIGN_OR_RETURN(const DecodedReply reply, DecodeReply(reply_frame));
   if (!reply.status.ok()) return reply.status;
   return Bytes(reply.body.begin(), reply.body.end());

@@ -6,11 +6,33 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace dpfs::net {
+
+namespace {
+
+/// Raw best-effort send of exactly `data` (the failpoints' partial-transfer
+/// helper; plain SendAll must not be reentered while shaping a transfer).
+void SendBestEffort(int fd, ByteSpan data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
 
 TcpSocket::TcpSocket(TcpSocket&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)) {}
@@ -63,6 +85,25 @@ Status TcpSocket::SetNoDelay() {
 }
 
 Status TcpSocket::SendAll(ByteSpan data) {
+  if (auto fp = failpoint::Check("net.send_all")) {
+    switch (fp->action) {
+      case failpoint::Action::kReturnError:
+        return fp->status;
+      case failpoint::Action::kShortIo:
+      case failpoint::Action::kDisconnect: {
+        // Deliver only the first `arg` bytes, then sever the connection —
+        // the peer observes a frame truncated mid-stream.
+        SendBestEffort(fd_, data.first(std::min<std::size_t>(
+                                 static_cast<std::size_t>(fp->arg),
+                                 data.size())));
+        Close();
+        return UnavailableError("send: connection reset (" +
+                                fp->status.message() + ")");
+      }
+      default:
+        break;
+    }
+  }
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
@@ -77,6 +118,26 @@ Status TcpSocket::SendAll(ByteSpan data) {
 }
 
 Status TcpSocket::RecvExact(MutableByteSpan data) {
+  if (auto fp = failpoint::Check("net.recv_exact")) {
+    switch (fp->action) {
+      case failpoint::Action::kReturnError:
+        return fp->status;
+      case failpoint::Action::kShortIo:
+      case failpoint::Action::kDisconnect:
+        // Behave as if the peer closed mid-message after `arg` bytes. The
+        // unread bytes stay queued, but the connection is severed so no one
+        // resynchronizes on them.
+        Close();
+        if (fp->arg == 0 && data.size() > 0) {
+          return UnavailableError("peer closed connection (" +
+                                  fp->status.message() + ")");
+        }
+        return ProtocolError("peer closed connection mid-message (" +
+                             fp->status.message() + ")");
+      default:
+        break;
+    }
+  }
   std::size_t received = 0;
   while (received < data.size()) {
     const ssize_t n =

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "net/frame.h"
 #include "net/messages.h"
@@ -83,8 +84,18 @@ void IoServer::Session(net::TcpSocket socket) {
     ~SessionGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
   } guard{active_sessions_};
 
+  bool reject_busy =
+      options_.max_sessions > 0 && concurrent > options_.max_sessions;
+  if (!reject_busy) {
+    // "server.session" kBusy simulates §4.2's overloaded server without
+    // needing max_sessions pressure (busy-storm chaos schedules).
+    if (const auto fp = failpoint::Check("server.session");
+        fp.has_value() && fp->action == failpoint::Action::kBusy) {
+      reject_busy = true;
+    }
+  }
   Bytes frame;
-  if (options_.max_sessions > 0 && concurrent > options_.max_sessions) {
+  if (reject_busy) {
     // §4.2's overloaded server: answer one request with "busy" so the
     // client backs off and retries, then drop the session.
     stats_.sessions_rejected_busy.fetch_add(1, std::memory_order_relaxed);
@@ -106,7 +117,19 @@ void IoServer::Session(net::TcpSocket socket) {
       }
       return;
     }
-    const Bytes reply = HandleRequest(frame);
+    Bytes reply = HandleRequest(frame);
+    if (auto fp = failpoint::Check("server.before_reply")) {
+      if (fp->action == failpoint::Action::kDisconnect) {
+        // Drop the session with the reply unsent: the client sees a dead
+        // connection after a request it cannot know the fate of.
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (fp->action == failpoint::Action::kReturnError) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        reply = net::EncodeReply(fp->status, {});
+      }
+    }
     const Status sent = net::SendFrame(socket, reply);
     if (!sent.ok()) {
       stats_.errors.fetch_add(1, std::memory_order_relaxed);

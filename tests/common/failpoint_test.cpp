@@ -1,0 +1,242 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace dpfs::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedCheckReturnsNothing) {
+  EXPECT_FALSE(Check("test.never_armed").has_value());
+  EXPECT_EQ(HitCount("test.never_armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedCheckFiresWithStatusAndArg) {
+  Spec spec;
+  spec.action = Action::kShortIo;
+  spec.arg = 7;
+  Arm("test.point", spec);
+
+  const auto hit = Check("test.point");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, Action::kShortIo);
+  EXPECT_EQ(hit->arg, 7u);
+  EXPECT_EQ(hit->status.code(), StatusCode::kIoError);  // kShortIo default
+  EXPECT_EQ(hit->status.message(), "failpoint 'test.point'");
+  EXPECT_EQ(HitCount("test.point"), 1u);
+}
+
+TEST_F(FailpointTest, ArmingOnePointDoesNotFireOthers) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  Arm("test.a", spec);
+  EXPECT_FALSE(Check("test.b").has_value());
+  EXPECT_TRUE(Check("test.a").has_value());
+}
+
+TEST_F(FailpointTest, CustomCodeAndMessageAreCarried) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "simulated corruption";
+  Arm("test.point", spec);
+
+  const auto hit = Check("test.point");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(hit->status.message(), "simulated corruption");
+}
+
+TEST_F(FailpointTest, SkipLetsEarlyEvaluationsPass) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  spec.skip = 2;
+  Arm("test.point", spec);
+
+  EXPECT_FALSE(Check("test.point").has_value());
+  EXPECT_FALSE(Check("test.point").has_value());
+  EXPECT_TRUE(Check("test.point").has_value());
+  EXPECT_EQ(HitCount("test.point"), 1u);  // skipped evaluations don't count
+}
+
+TEST_F(FailpointTest, CountAutoDisarmsAfterNFires) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  spec.count = 2;
+  Arm("test.point", spec);
+
+  EXPECT_TRUE(Check("test.point").has_value());
+  EXPECT_TRUE(Check("test.point").has_value());
+  EXPECT_FALSE(Check("test.point").has_value());  // exhausted
+  EXPECT_EQ(HitCount("test.point"), 2u);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringButKeepsCounter) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  Arm("test.point", spec);
+  EXPECT_TRUE(Check("test.point").has_value());
+
+  Disarm("test.point");
+  EXPECT_FALSE(Check("test.point").has_value());
+  EXPECT_EQ(HitCount("test.point"), 1u);
+}
+
+TEST_F(FailpointTest, RearmResetsTriggers) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  spec.count = 1;
+  Arm("test.point", spec);
+  EXPECT_TRUE(Check("test.point").has_value());
+  EXPECT_FALSE(Check("test.point").has_value());
+
+  Arm("test.point", spec);  // fresh count
+  EXPECT_TRUE(Check("test.point").has_value());
+}
+
+TEST_F(FailpointTest, DelayCompletesInsideCheckAndReturnsNothing) {
+  Spec spec;
+  spec.action = Action::kDelay;
+  spec.arg = 20;  // ms
+  Arm("test.point", spec);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(Check("test.point").has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+  EXPECT_EQ(HitCount("test.point"), 1u);  // delays count as fires
+}
+
+TEST_F(FailpointTest, ArmFromStringSingleClause) {
+  ASSERT_TRUE(ArmFromString("test.point=error:unavailable").ok());
+  const auto hit = Check("test.point");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, Action::kReturnError);
+  EXPECT_EQ(hit->status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FailpointTest, ArmFromStringMultipleClausesWithModifiers) {
+  ASSERT_TRUE(
+      ArmFromString("test.a=short:3,skip=1,count=2; test.b=busy").ok());
+
+  EXPECT_FALSE(Check("test.a").has_value());  // skip=1
+  auto hit = Check("test.a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, Action::kShortIo);
+  EXPECT_EQ(hit->arg, 3u);
+  EXPECT_TRUE(Check("test.a").has_value());
+  EXPECT_FALSE(Check("test.a").has_value());  // count=2 exhausted
+
+  hit = Check("test.b");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, Action::kBusy);
+  EXPECT_EQ(hit->status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailpointTest, ArmFromStringBusyAliasForErrorParam) {
+  ASSERT_TRUE(ArmFromString("test.point=error:busy").ok());
+  const auto hit = Check("test.point");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailpointTest, ArmFromStringOffDisarms) {
+  ASSERT_TRUE(ArmFromString("test.point=error").ok());
+  EXPECT_TRUE(Check("test.point").has_value());
+  ASSERT_TRUE(ArmFromString("test.point=off").ok());
+  EXPECT_FALSE(Check("test.point").has_value());
+}
+
+TEST_F(FailpointTest, ArmFromStringRejectsMalformedConfigs) {
+  EXPECT_EQ(ArmFromString("noequals").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFromString("=error").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFromString("p=frobnicate").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFromString("p=error:not_a_code").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFromString("p=short:abc").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFromString("p=error,skip=x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFromString("p=error,unknown=1").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, DisarmAllResetsCounters) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  Arm("test.point", spec);
+  EXPECT_TRUE(Check("test.point").has_value());
+  DisarmAll();
+  EXPECT_FALSE(Check("test.point").has_value());
+  EXPECT_EQ(HitCount("test.point"), 0u);
+}
+
+TEST_F(FailpointTest, FailpointReturnMacroReturnsArmedStatus) {
+  const auto site = []() -> Status {
+    DPFS_FAILPOINT_RETURN("test.macro");
+    return Status::Ok();
+  };
+  EXPECT_TRUE(site().ok());
+
+  Spec spec;
+  spec.action = Action::kReturnError;
+  spec.code = StatusCode::kUnavailable;
+  Arm("test.macro", spec);
+  EXPECT_EQ(site().code(), StatusCode::kUnavailable);
+
+  // Non-error actions are ignored by the macro.
+  spec.action = Action::kShortIo;
+  Arm("test.macro", spec);
+  EXPECT_TRUE(site().ok());
+}
+
+TEST_F(FailpointTest, FailpointReturnMacroWorksForResult) {
+  const auto site = []() -> Result<int> {
+    DPFS_FAILPOINT_RETURN("test.macro");
+    return 42;
+  };
+  ASSERT_TRUE(site().ok());
+
+  Spec spec;
+  spec.action = Action::kReturnError;
+  Arm("test.macro", spec);
+  EXPECT_EQ(site().status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FailpointTest, ConcurrentChecksWithCountFireExactlyN) {
+  Spec spec;
+  spec.action = Action::kReturnError;
+  spec.count = 100;
+  Arm("test.point", spec);
+
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < 50; ++i) {
+        if (Check("test.point").has_value()) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fired.load(), 100);
+  EXPECT_EQ(HitCount("test.point"), 100u);
+}
+
+}  // namespace
+}  // namespace dpfs::failpoint

@@ -23,15 +23,23 @@ PIDS="$!"
          --performance 3 > "$WORK/d1.log" 2>&1 &
 PIDS="$PIDS $!"
 
-# Wait for both registrations to land.
-for i in $(seq 1 50); do
-  if grep -q registered "$WORK/d0.log" && grep -q registered "$WORK/d1.log"; then
+# Wait for both registrations to become visible through the client path,
+# not just the daemons' logs: a slow build (ASan) can log "registered"
+# before the metadb lock is released to other processes. `df` only lists a
+# node once its row is readable, so this is the real readiness signal.
+ready=""
+for i in $(seq 1 100); do
+  if DF="$("$DPFS" --metadb "$WORK/meta" --c "df" 2>/dev/null)" \
+     && echo "$DF" | grep -q node0 && echo "$DF" | grep -q node1; then
+    ready=1
     break
   fi
   sleep 0.1
 done
-grep -q registered "$WORK/d0.log" || fail "node0 never registered"
-grep -q registered "$WORK/d1.log" || fail "node1 never registered"
+if [ -z "$ready" ]; then
+  cat "$WORK"/d*.log >&2
+  fail "nodes never registered"
+fi
 
 head -c 300000 /dev/urandom > "$WORK/input.bin"
 

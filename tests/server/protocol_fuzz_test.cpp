@@ -4,6 +4,11 @@
 // crashing or wedging.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/temp_dir.h"
 #include "net/connection.h"
@@ -21,12 +26,23 @@ class ProtocolFuzzTest : public ::testing::Test {
     server_ = IoServer::Start(std::move(options)).value();
   }
 
+  void TearDown() override { failpoint::DisarmAll(); }
+
   /// The server is still healthy if a fresh connection can ping it.
   void ExpectServerAlive() {
     Result<net::ServerConnection> conn =
         net::ServerConnection::Connect(server_->endpoint());
     ASSERT_TRUE(conn.ok());
     EXPECT_TRUE(conn.value().Ping().ok());
+  }
+
+  /// Session teardown is asynchronous; poll the counter instead of sleeping.
+  void WaitForErrors(std::uint64_t at_least) {
+    for (int i = 0; i < 200; ++i) {
+      if (server_->stats().errors.load() >= at_least) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(server_->stats().errors.load(), at_least);
   }
 
   TempDir dir_;
@@ -117,6 +133,151 @@ TEST_F(ProtocolFuzzTest, RandomFrameStorm) {
   }
   ExpectServerAlive();
   EXPECT_GE(server_->stats().sessions_accepted.load(), 40u);
+}
+
+TEST_F(ProtocolFuzzTest, FailpointSendCutsFrameAndServerCountsTheError) {
+  // net.send_all kDisconnect severs the client's stream after `arg` bytes —
+  // a deterministic mid-frame disconnect instead of the hand-rolled one
+  // above. The server sees a truncated frame (kProtocolError, not a clean
+  // boundary close), counts it, and exits the session cleanly.
+  const std::uint64_t errors_before = server_->stats().errors.load();
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kDisconnect;
+  spec.arg = 6;  // the 8-byte header is cut short: mid-message at recv
+  spec.count = 1;
+  failpoint::Arm("net.send_all", spec);
+
+  BinaryWriter writer;
+  writer.WriteU32(100);
+  writer.WriteU32(0);
+  const Status sent = socket.SendAll(writer.buffer());
+  EXPECT_EQ(sent.code(), StatusCode::kUnavailable);  // reset at the client
+  EXPECT_EQ(failpoint::HitCount("net.send_all"), 1u);
+
+  WaitForErrors(errors_before + 1);
+  ExpectServerAlive();
+}
+
+TEST_F(ProtocolFuzzTest, FailpointCutInsidePayloadAlsoCounts) {
+  // Cut inside the payload (header fully delivered) — the server is waiting
+  // on the body when the stream dies.
+  const std::uint64_t errors_before = server_->stats().errors.load();
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+
+  Bytes payload(64, 0xAB);
+  BinaryWriter writer;
+  writer.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  writer.WriteU32(Crc32c(payload));
+  writer.WriteRaw(payload);
+
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kDisconnect;
+  spec.arg = 8 + 10;  // full header + 10 payload bytes
+  spec.count = 1;
+  failpoint::Arm("net.send_all", spec);
+  EXPECT_FALSE(socket.SendAll(writer.buffer()).ok());
+
+  WaitForErrors(errors_before + 1);
+  ExpectServerAlive();
+}
+
+TEST_F(ProtocolFuzzTest, OversizedLengthJustPastTheCapDropsSession) {
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  BinaryWriter writer;
+  writer.WriteU32(static_cast<std::uint32_t>(net::kMaxFrameBytes + 1));
+  writer.WriteU32(0);
+  ASSERT_TRUE(socket.SendAll(writer.buffer()).ok());
+  // The length check fails before any payload is read; session dropped.
+  Bytes reply;
+  EXPECT_FALSE(net::RecvFrame(socket, reply).ok());
+  ExpectServerAlive();
+}
+
+TEST_F(ProtocolFuzzTest, ServerDropsReplyMidSessionClientSeesUnavailable) {
+  // server.before_reply kDisconnect: the request was handled but the reply
+  // never leaves. The client observes a connection that died at a frame
+  // boundary — kUnavailable, the retryable "fate unknown" outcome.
+  const std::uint64_t errors_before = server_->stats().errors.load();
+  net::ServerConnection conn =
+      net::ServerConnection::Connect(server_->endpoint()).value();
+
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kDisconnect;
+  spec.count = 1;
+  failpoint::Arm("server.before_reply", spec);
+
+  const Status ping = conn.Ping();
+  EXPECT_EQ(ping.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server_->stats().errors.load(), errors_before + 1);
+  ExpectServerAlive();
+}
+
+TEST_F(ProtocolFuzzTest, ServerErrorReplyFailpointKeepsSessionUsable) {
+  // server.before_reply kReturnError swaps the real reply for an error
+  // envelope; unlike the disconnect, the session survives.
+  net::ServerConnection conn =
+      net::ServerConnection::Connect(server_->endpoint()).value();
+
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kReturnError;
+  spec.code = StatusCode::kIoError;
+  spec.message = "injected server fault";
+  spec.count = 1;
+  failpoint::Arm("server.before_reply", spec);
+
+  const Status ping = conn.Ping();
+  EXPECT_EQ(ping.code(), StatusCode::kIoError);
+  EXPECT_EQ(ping.message(), "injected server fault");
+  // Same connection, next request: back to normal.
+  EXPECT_TRUE(conn.Ping().ok());
+}
+
+TEST_F(ProtocolFuzzTest, StopJoinsAllSessionsAfterFaultStorm) {
+  // A storm of misbehaving sessions — truncated frames, dropped replies —
+  // must leave no wedged session thread behind: Stop() joins everything
+  // (the test would hang past its timeout on a leak).
+  failpoint::Spec drop;
+  drop.action = failpoint::Action::kDisconnect;
+  drop.skip = 1;  // every session gets one good reply, then a drop
+  failpoint::Arm("server.before_reply", drop);
+
+  std::vector<net::ServerConnection> victims;
+  for (int i = 0; i < 4; ++i) {
+    victims.push_back(
+        net::ServerConnection::Connect(server_->endpoint()).value());
+    (void)victims.back().Ping();  // only the storm-wide first one succeeds
+  }
+  // Sessions that die mid-frame on the client side.
+  std::vector<net::TcpSocket> truncated;
+  for (int i = 0; i < 4; ++i) {
+    truncated.push_back(
+        net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port)
+            .value());
+    BinaryWriter writer;
+    writer.WriteU32(1000);
+    writer.WriteU32(0);
+    ASSERT_TRUE(truncated.back().SendAll(writer.buffer()).ok());
+  }
+  // Sessions blocked mid-recv with nothing sent at all.
+  std::vector<net::TcpSocket> idle;
+  for (int i = 0; i < 4; ++i) {
+    idle.push_back(
+        net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port)
+            .value());
+  }
+  // The accept loop drains the TCP backlog asynchronously; make sure every
+  // session exists before asking Stop() to join them all.
+  for (int i = 0; i < 200 && server_->stats().sessions_accepted.load() < 12u;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server_->stats().sessions_accepted.load(), 12u);
+  server_->Stop();  // joins every session thread or the test times out
 }
 
 TEST_F(ProtocolFuzzTest, InterleavedGoodAndBadClients) {
