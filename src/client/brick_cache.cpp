@@ -4,7 +4,7 @@ namespace dpfs::client {
 
 std::optional<Bytes> BrickCache::Get(const std::string& file,
                                      layout::BrickId brick) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find({file, brick});
   if (it == entries_.end()) {
     ++misses_;
@@ -20,7 +20,7 @@ std::optional<Bytes> BrickCache::Get(const std::string& file,
 void BrickCache::Put(const std::string& file, layout::BrickId brick,
                      Bytes image) {
   if (image.size() > capacity_bytes_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Key key{file, brick};
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -45,7 +45,7 @@ void BrickCache::EvictOverBudgetLocked() {
 }
 
 void BrickCache::Invalidate(const std::string& file, layout::BrickId brick) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find({file, brick});
   if (it == entries_.end()) return;
   used_bytes_ -= it->second.image.size();
@@ -54,7 +54,7 @@ void BrickCache::Invalidate(const std::string& file, layout::BrickId brick) {
 }
 
 void BrickCache::InvalidateFile(const std::string& file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.lower_bound({file, 0}); it != entries_.end();) {
     if (it->first.first != file) break;
     used_bytes_ -= it->second.image.size();
@@ -64,22 +64,22 @@ void BrickCache::InvalidateFile(const std::string& file) {
 }
 
 void BrickCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   used_bytes_ = 0;
 }
 
 std::uint64_t BrickCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return used_bytes_;
 }
 std::uint64_t BrickCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 std::uint64_t BrickCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -12,11 +12,12 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "layout/brick_map.h"
 
 namespace dpfs::client {
@@ -48,15 +49,15 @@ class BrickCache {
     Bytes image;
     std::list<Key>::iterator lru_pos;
   };
-  void EvictOverBudgetLocked();
+  void EvictOverBudgetLocked() DPFS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::uint64_t capacity_bytes_;
-  std::uint64_t used_bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::map<Key, Entry> entries_;
-  std::list<Key> lru_;  // front = most recent
+  mutable Mutex mu_;
+  const std::uint64_t capacity_bytes_;  // immutable after construction
+  std::uint64_t used_bytes_ DPFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ DPFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ DPFS_GUARDED_BY(mu_) = 0;
+  std::map<Key, Entry> entries_ DPFS_GUARDED_BY(mu_);
+  std::list<Key> lru_ DPFS_GUARDED_BY(mu_);  // front = most recent
 };
 
 }  // namespace dpfs::client

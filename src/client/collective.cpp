@@ -6,9 +6,9 @@ CollectiveFile::CollectiveFile(std::shared_ptr<FileSystem> fs,
                                std::vector<FileHandle> handles)
     : fs_(std::move(fs)),
       handles_(std::move(handles)),
-      views_(handles_.size()),
       barrier_(static_cast<std::ptrdiff_t>(handles_.size())),
-      phase_failed_(handles_.size(), 0) {}
+      phase_failed_(handles_.size(), 0),
+      views_(handles_.size()) {}
 
 Result<std::unique_ptr<CollectiveFile>> CollectiveFile::Open(
     std::shared_ptr<FileSystem> fs, const std::string& path,
@@ -45,7 +45,7 @@ Status CollectiveFile::SetView(std::uint32_t rank,
         "collective views require an array-shaped file");
   }
   DPFS_RETURN_IF_ERROR(layout::ValidateRegion(map.array_shape(), region));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   views_[rank] = region;
   return Status::Ok();
 }
@@ -67,12 +67,12 @@ Status CollectiveFile::SetHpfViews(const layout::HpfPattern& pattern,
 }
 
 std::optional<layout::Region> CollectiveFile::view(std::uint32_t rank) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rank < views_.size() ? views_[rank] : std::nullopt;
 }
 
 IoReport CollectiveFile::report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_report_;
 }
 
@@ -88,7 +88,7 @@ Status CollectiveFile::Transfer(std::uint32_t rank, ByteSpan write_data,
 
   std::optional<layout::Region> region;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     region = views_[rank];
   }
   Status my_status =
@@ -103,10 +103,13 @@ Status CollectiveFile::Transfer(std::uint32_t rank, ByteSpan write_data,
                                        options, &report)
                     : fs_->ReadRegion(handles_[rank], *region, read_buffer,
                                       options, &report);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     total_report_.requests += report.requests;
     total_report_.transfer_bytes += report.transfer_bytes;
     total_report_.useful_bytes += report.useful_bytes;
+    total_report_.retries += report.retries;
+    total_report_.busy_retries += report.busy_retries;
+    total_report_.backoff_ms += report.backoff_ms;
   }
   if (!my_status.ok()) phase_failed_[rank] = 1;
 

@@ -13,11 +13,12 @@
 
 #include <barrier>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "client/file_system.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpfs::client {
 
@@ -73,16 +74,17 @@ class CollectiveFile {
 
   std::shared_ptr<FileSystem> fs_;
   std::vector<FileHandle> handles_;  // one per rank, client_id = rank
-  std::vector<std::optional<layout::Region>> views_;
   std::barrier<> barrier_;
 
   // Per-rank failure flag for the current phase. Each rank writes only its
   // own slot before the phase barrier and reads the others only between the
-  // two barriers, so the barrier's happens-before edges order all accesses.
+  // two barriers, so the barrier's happens-before edges order all accesses
+  // (deliberately not mu_-guarded; the barrier is the synchronization).
   std::vector<std::uint8_t> phase_failed_;
 
-  mutable std::mutex mu_;
-  IoReport total_report_;
+  mutable Mutex mu_;
+  std::vector<std::optional<layout::Region>> views_ DPFS_GUARDED_BY(mu_);
+  IoReport total_report_ DPFS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpfs::client

@@ -17,7 +17,7 @@ Result<PooledConnection> ConnectionPool::Acquire(
   DPFS_FAILPOINT_RETURN("client.connect");
   const auto key = std::make_pair(endpoint.host, endpoint.port);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = idle_.find(key);
     if (it != idle_.end() && !it->second.empty()) {
       std::unique_ptr<net::ServerConnection> conn =
@@ -33,19 +33,19 @@ Result<PooledConnection> ConnectionPool::Acquire(
 }
 
 void ConnectionPool::Release(std::unique_ptr<net::ServerConnection> conn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto key =
       std::make_pair(conn->endpoint().host, conn->endpoint().port);
   idle_[key].push_back(std::move(conn));
 }
 
 void ConnectionPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   idle_.clear();
 }
 
 std::size_t ConnectionPool::idle_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t count = 0;
   for (const auto& [key, conns] : idle_) count += conns.size();
   return count;

@@ -6,10 +6,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/connection.h"
 
 namespace dpfs::client {
@@ -61,10 +62,10 @@ class ConnectionPool {
   friend class PooledConnection;
   void Release(std::unique_ptr<net::ServerConnection> conn);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::map<std::pair<std::string, std::uint16_t>,
            std::vector<std::unique_ptr<net::ServerConnection>>>
-      idle_;
+      idle_ DPFS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpfs::client

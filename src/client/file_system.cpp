@@ -122,7 +122,7 @@ Result<FileHandle> FileSystem::Create(const std::string& path,
   handle.record.distribution = std::move(distribution);
   handle.map = std::move(map);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     record_cache_[handle.record.meta.path] = handle.record;
   }
   return handle;
@@ -131,7 +131,7 @@ Result<FileHandle> FileSystem::Create(const std::string& path,
 Result<FileHandle> FileSystem::Open(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     const auto it = record_cache_.find(normalized);
     if (it != record_cache_.end()) {
       ++cache_hits_;
@@ -148,7 +148,7 @@ Result<FileHandle> FileSystem::Open(const std::string& path) {
   handle.record = std::move(record);
   handle.map = std::move(map);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     record_cache_[normalized] = handle.record;
   }
   return handle;
@@ -328,19 +328,19 @@ Result<FileSystem::FsckReport> FileSystem::Fsck(bool repair) {
 }
 
 void FileSystem::InvalidateMetadataCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   record_cache_.clear();
 }
 
 void FileSystem::InvalidateMetadataCache(const std::string& path) {
   const Result<std::string> normalized = NormalizePath(path);
   if (!normalized.ok()) return;
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   record_cache_.erase(normalized.value());
 }
 
 FileSystem::CacheStats FileSystem::metadata_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return CacheStats{cache_hits_, cache_misses_};
 }
 
@@ -348,7 +348,7 @@ FileSystem::CacheStats FileSystem::metadata_cache_stats() const {
 // Plan execution
 
 ThreadPool& FileSystem::DispatchPool() {
-  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  MutexLock lock(dispatch_mu_);
   if (dispatch_pool_ == nullptr) {
     const unsigned hw = std::thread::hardware_concurrency();
     dispatch_pool_ = std::make_unique<ThreadPool>(std::max(4u, hw / 2));
@@ -379,13 +379,13 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
   if (options.parallel_dispatch && plan.requests.size() > 1) {
     // Dispatch threads write disjoint runs of the shared buffer, so no
     // synchronization is needed beyond collecting the first error.
-    std::mutex status_mu;
+    Mutex status_mu;
     ParallelFor(DispatchPool(), plan.requests.size(), [&](std::size_t i) {
       const Status request_status =
           ExecuteOneRequest(handle, plan.requests[i], runs, write_data,
                             read_buffer, is_write, options, tally);
       if (!request_status.ok()) {
-        std::lock_guard<std::mutex> lock(status_mu);
+        MutexLock lock(status_mu);
         if (status.ok()) status = request_status;
       }
     });

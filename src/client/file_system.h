@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,7 +23,9 @@
 #include "client/datatype.h"
 #include "client/metadata.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "layout/plan.h"
 
@@ -249,13 +250,16 @@ class FileSystem {
   ConnectionPool pool_;
   std::unique_ptr<BrickCache> brick_cache_;
   std::atomic<bool> access_logging_{false};
-  std::mutex dispatch_mu_;
-  std::unique_ptr<ThreadPool> dispatch_pool_;
+  Mutex dispatch_mu_;
+  // Created once under dispatch_mu_, never reset; the returned reference
+  // outlives the lock because the pointee is immutable after creation.
+  std::unique_ptr<ThreadPool> dispatch_pool_ DPFS_GUARDED_BY(dispatch_mu_);
 
-  mutable std::mutex cache_mu_;
-  std::map<std::string, FileRecord> record_cache_;  // key: normalized path
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
+  mutable Mutex cache_mu_;
+  std::map<std::string, FileRecord> record_cache_
+      DPFS_GUARDED_BY(cache_mu_);  // key: normalized path
+  std::uint64_t cache_hits_ DPFS_GUARDED_BY(cache_mu_) = 0;
+  std::uint64_t cache_misses_ DPFS_GUARDED_BY(cache_mu_) = 0;
 };
 
 }  // namespace dpfs::client

@@ -4,10 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 
 namespace dpfs::failpoint {
 
@@ -22,14 +23,15 @@ struct State {
   std::uint64_t hits = 0;
 };
 
-std::mutex& RegistryMutex() {
-  static std::mutex* mu = new std::mutex();
-  return *mu;
-}
+/// Process-global armed-failpoint registry. Leaked (never destroyed) so
+/// sites evaluated during static destruction stay safe.
+struct Registry {
+  Mutex mu;
+  std::map<std::string, State> states DPFS_GUARDED_BY(mu);
+};
 
-std::map<std::string, State>& Registry() {
-  static std::map<std::string, State>* registry =
-      new std::map<std::string, State>();
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
   return *registry;
 }
 
@@ -159,8 +161,9 @@ const bool g_env_parsed = [] {
 
 void Arm(const std::string& name, Spec spec) {
   if (spec.code == StatusCode::kOk) spec.code = DefaultCode(spec.action);
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  State& state = Registry()[name];
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  State& state = registry.states[name];
   const bool was_armed = state.spec.action != Action::kOff;
   const bool now_armed = spec.action != Action::kOff;
   state.spec = std::move(spec);
@@ -189,19 +192,21 @@ void Disarm(const std::string& name) {
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
   int armed = 0;
-  for (const auto& [name, state] : Registry()) {
+  for (const auto& [name, state] : registry.states) {
     if (state.spec.action != Action::kOff) ++armed;
   }
-  Registry().clear();
+  registry.states.clear();
   detail::g_armed.fetch_sub(armed, std::memory_order_relaxed);
 }
 
 std::uint64_t HitCount(const std::string& name) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  const auto it = Registry().find(name);
-  return it == Registry().end() ? 0 : it->second.hits;
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  const auto it = registry.states.find(name);
+  return it == registry.states.end() ? 0 : it->second.hits;
 }
 
 namespace detail {
@@ -209,9 +214,10 @@ namespace detail {
 std::optional<Hit> Evaluate(const char* name) {
   Hit hit;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
-    const auto it = Registry().find(name);
-    if (it == Registry().end()) return std::nullopt;
+    Registry& registry = GlobalRegistry();
+    MutexLock lock(registry.mu);
+    const auto it = registry.states.find(name);
+    if (it == registry.states.end()) return std::nullopt;
     State& state = it->second;
     if (state.spec.action == Action::kOff) return std::nullopt;
     if (state.spec.skip > 0) {

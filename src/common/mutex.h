@@ -1,0 +1,82 @@
+// Annotated mutex primitives for the thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so Clang's -Wthread-safety cannot track them. These zero-cost wrappers
+// re-expose the same primitives with the attributes attached:
+//
+//   Mutex     — std::mutex as a DPFS_CAPABILITY (same layout, same cost)
+//   MutexLock — std::lock_guard as a DPFS_SCOPED_CAPABILITY
+//   CondVar   — std::condition_variable bound to Mutex; Wait() documents
+//               (and the analysis checks) that the lock is held
+//
+// Repo invariant (enforced by tools/dpfs_lint.py): production code under
+// src/ uses these instead of raw std::mutex / std::lock_guard /
+// std::unique_lock / std::condition_variable, so every guarded member stays
+// visible to the analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dpfs {
+
+/// std::mutex with capability attributes. Lock through MutexLock; the raw
+/// lock()/unlock() surface exists for the rare manual pairing and for
+/// CondVar's internals.
+class DPFS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DPFS_ACQUIRE() { mu_.lock(); }
+  void unlock() DPFS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DPFS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock on a Mutex (std::lock_guard with the scoped attribute; early
+/// returns release correctly under the analysis).
+class DPFS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DPFS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DPFS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::condition_variable over Mutex. Wait() requires (and keeps) the lock:
+/// write waits as explicit `while (!predicate) cv.Wait(mu)` loops — a
+/// predicate lambda would be analyzed as a separate unlocked function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  void Wait(Mutex& mu) DPFS_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock unlocked-side bookkeeping so ownership stays with the
+    // caller's MutexLock.
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dpfs

@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis capability macros.
+//
+// These expand to Clang's `-Wthread-safety` attributes so lock discipline is
+// checked at compile time (the strict build turns the analysis into errors);
+// on other compilers they expand to nothing. Annotate data members with
+// DPFS_GUARDED_BY(mu_), lock-held preconditions with DPFS_REQUIRES(mu_), and
+// use the annotated dpfs::Mutex / dpfs::MutexLock from common/mutex.h —
+// std::mutex carries no capability attributes under libstdc++, so the
+// analysis cannot see it. See docs/STATIC_ANALYSIS.md for the catalog and
+// how to read the diagnostics.
+#pragma once
+
+#if defined(__clang__)
+#define DPFS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DPFS_THREAD_ANNOTATION(x)  // no-op: analysis is Clang-only
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define DPFS_CAPABILITY(x) DPFS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII guard type: acquires on construction, releases on
+/// destruction (early returns are understood).
+#define DPFS_SCOPED_CAPABILITY DPFS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define DPFS_GUARDED_BY(x) DPFS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define DPFS_PT_GUARDED_BY(x) DPFS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held on entry (and
+/// still held on exit). The Locked-suffix private-method idiom.
+#define DPFS_REQUIRES(...) \
+  DPFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities are NOT held on entry
+/// (deadlock guard for public methods that take the lock themselves).
+#define DPFS_EXCLUDES(...) DPFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires / releases the capability (lock() / unlock() shapes).
+#define DPFS_ACQUIRE(...) \
+  DPFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DPFS_RELEASE(...) \
+  DPFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; `b` is the success return value.
+#define DPFS_TRY_ACQUIRE(b, ...) \
+  DPFS_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define DPFS_RETURN_CAPABILITY(x) DPFS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for reasons the analysis
+/// cannot see (single-threaded init, external synchronization). Always pair
+/// with a comment saying why.
+#define DPFS_NO_THREAD_SAFETY_ANALYSIS \
+  DPFS_THREAD_ANNOTATION(no_thread_safety_analysis)

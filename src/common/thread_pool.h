@@ -6,13 +6,14 @@
 // ParallelFor for bulk fan-out with automatic joining.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpfs {
 
@@ -36,13 +37,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: new task or shutdown
-  std::condition_variable idle_cv_;   // signals Wait(): everything drained
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_;   // signals workers: new task or shutdown
+  CondVar idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_ DPFS_GUARDED_BY(mu_);
+  std::size_t in_flight_ DPFS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DPFS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written only before workers start
 };
 
 /// Runs fn(i) for i in [0, count) across `pool`, blocking until all complete.

@@ -157,6 +157,9 @@ Result<std::unique_ptr<Database>> Database::Open(
   std::unique_ptr<Database> db(new Database());
   DPFS_ASSIGN_OR_RETURN(db->lock_fd_, AcquireDirLock(dir, lock_wait));
   db->dir_ = dir;
+  // The database is not shared yet, but recovery touches mu_-guarded state;
+  // holding the (uncontended) lock keeps the analysis sound here.
+  MutexLock lock(db->mu_);
   const std::filesystem::path snapshot = dir / "snapshot.db";
   if (std::filesystem::exists(snapshot)) {
     DPFS_RETURN_IF_ERROR(db->LoadSnapshot(snapshot));
@@ -322,7 +325,7 @@ Status Database::LoadSnapshot(const std::filesystem::path& file) {
 }
 
 Status Database::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (in_txn_) {
     return AbortedError("cannot checkpoint inside a transaction");
   }
@@ -332,17 +335,17 @@ Status Database::Checkpoint() {
 }
 
 void Database::SetAutoCheckpoint(std::uint64_t wal_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto_checkpoint_wal_bytes_ = wal_bytes;
 }
 
 void Database::SetSyncCommits(bool sync) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (wal_.has_value()) wal_->SetSyncCommits(sync);
 }
 
 Status Database::CreateIndex(std::string_view table, std::string_view column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DPFS_ASSIGN_OR_RETURN(Table * found, FindTable(table));
   return found->CreateIndex(column);
 }
@@ -356,7 +359,7 @@ Result<ResultSet> Database::Execute(std::string_view sql) {
 }
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& statement) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Result<ResultSet> result = ExecuteLocked(statement);
   // Auto-checkpoint outside transactions once the WAL outgrows the bound.
   if (result.ok() && !in_txn_ && wal_.has_value() &&
@@ -777,7 +780,7 @@ std::string_view SqlTypeName(ValueType type) {
 }  // namespace
 
 std::vector<std::string> Database::DumpSql() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> statements;
   for (const auto& [key, table] : tables_) {
     std::string ddl = "CREATE TABLE " + table->name() + " (";
@@ -807,7 +810,7 @@ std::vector<std::string> Database::DumpSql() const {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
@@ -815,17 +818,17 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 bool Database::HasTable(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.contains(ToLower(name));
 }
 
 bool Database::in_transaction() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_txn_;
 }
 
 std::uint64_t Database::wal_size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return wal_.has_value() ? wal_->size_bytes() : 0;
 }
 

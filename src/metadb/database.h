@@ -15,12 +15,13 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "metadb/sql_ast.h"
 #include "metadb/table.h"
 #include "metadb/wal.h"
@@ -113,37 +114,48 @@ class Database {
 
   struct UndoOp;
 
-  // All Require the caller to hold mu_.
-  Result<ResultSet> ExecuteLocked(const Statement& statement);
-  Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
-  Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
-  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
-  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt);
-  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
-  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
-  Status BeginLocked();
-  Status CommitLocked();
-  Status RollbackLocked();
-  Result<Table*> FindTable(std::string_view name);
-  Status ApplyWalRecord(const WalRecord& record);
-  Status LoadSnapshot(const std::filesystem::path& file);
-  Status WriteSnapshot(const std::filesystem::path& file) const;
-  void RecordRedo(WalRecord record);
-  void RecordUndo(UndoOp op);
+  // All require the caller to hold mu_ (checked by the analysis).
+  Result<ResultSet> ExecuteLocked(const Statement& statement)
+      DPFS_REQUIRES(mu_);
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt)
+      DPFS_REQUIRES(mu_);
+  Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt)
+      DPFS_REQUIRES(mu_);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt) DPFS_REQUIRES(mu_);
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt) DPFS_REQUIRES(mu_);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt) DPFS_REQUIRES(mu_);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt) DPFS_REQUIRES(mu_);
+  Status BeginLocked() DPFS_REQUIRES(mu_);
+  Status CommitLocked() DPFS_REQUIRES(mu_);
+  Status RollbackLocked() DPFS_REQUIRES(mu_);
+  Result<Table*> FindTable(std::string_view name) DPFS_REQUIRES(mu_);
+  // Open-time only: runs on the one thread building the database, before it
+  // is shared, so no lock is held (hence the analysis opt-out).
+  Status ApplyWalRecord(const WalRecord& record)
+      DPFS_NO_THREAD_SAFETY_ANALYSIS;
+  Status LoadSnapshot(const std::filesystem::path& file)
+      DPFS_NO_THREAD_SAFETY_ANALYSIS;
+  Status WriteSnapshot(const std::filesystem::path& file) const
+      DPFS_REQUIRES(mu_);
+  void RecordRedo(WalRecord record) DPFS_REQUIRES(mu_);
+  void RecordUndo(UndoOp op) DPFS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lower name
-  std::optional<WriteAheadLog> wal_;  // nullopt for in-memory
-  int lock_fd_ = -1;                  // exclusive cross-process lock
-  std::filesystem::path dir_;
-  std::uint64_t next_txn_id_ = 1;
-  std::uint64_t auto_checkpoint_wal_bytes_ = 0;  // 0 = disabled
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      DPFS_GUARDED_BY(mu_);             // key: lower name
+  std::optional<WriteAheadLog> wal_
+      DPFS_GUARDED_BY(mu_);             // nullopt for in-memory
+  int lock_fd_ = -1;                    // exclusive cross-process lock
+  std::filesystem::path dir_;           // immutable after Open
+  std::uint64_t next_txn_id_ DPFS_GUARDED_BY(mu_) = 1;
+  std::uint64_t auto_checkpoint_wal_bytes_
+      DPFS_GUARDED_BY(mu_) = 0;         // 0 = disabled
 
   // Active transaction state (empty when not in a transaction).
-  bool in_txn_ = false;
-  bool implicit_txn_ = false;
-  std::vector<WalRecord> redo_;
-  std::vector<UndoOp> undo_;
+  bool in_txn_ DPFS_GUARDED_BY(mu_) = false;
+  bool implicit_txn_ DPFS_GUARDED_BY(mu_) = false;
+  std::vector<WalRecord> redo_ DPFS_GUARDED_BY(mu_);
+  std::vector<UndoOp> undo_ DPFS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpfs::metadb

@@ -158,12 +158,14 @@ Status TcpSocket::RecvExact(MutableByteSpan data) {
 }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
     port_ = other.port_;
   }
   return *this;
@@ -172,10 +174,12 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
 TcpListener::~TcpListener() { Close(); }
 
 void TcpListener::Close() noexcept {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // Claim the fd atomically so a Close() racing Accept()'s reader (or a
+  // second Close()) cannot double-close or observe a torn value.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
@@ -209,7 +213,11 @@ Result<TcpListener> TcpListener::Bind(std::uint16_t port) {
 }
 
 Result<TcpSocket> TcpListener::Accept() {
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  const int listen_fd = fd_.load(std::memory_order_acquire);
+  if (listen_fd < 0) {
+    return UnavailableError("accept: listener closed");
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) {
     if (errno == EINTR) return Accept();
     return UnavailableError(std::string("accept: ") + std::strerror(errno));

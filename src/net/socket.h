@@ -3,6 +3,7 @@
 // per accepted connection on the server side.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -47,6 +48,11 @@ class TcpSocket {
 };
 
 /// Listening socket bound to 127.0.0.1 on an ephemeral (or given) port.
+///
+/// Thread model: one thread blocks in Accept(); Close() may be called from
+/// any other thread to unblock it (the server's shutdown path), so the fd is
+/// an atomic — Close() atomically claims it and the claimant alone shuts it
+/// down and closes it.
 class TcpListener {
  public:
   TcpListener() = default;
@@ -64,13 +70,17 @@ class TcpListener {
   Result<TcpSocket> Accept();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] bool valid() const noexcept {
+    return fd_.load(std::memory_order_relaxed) >= 0;
+  }
 
-  /// Unblocks Accept() from another thread.
+  /// Unblocks Accept() from another thread. Idempotent and race-free: the
+  /// fd is claimed with an atomic exchange, so concurrent Close() calls
+  /// (server Stop racing a Shutdown request) close it exactly once.
   void Close() noexcept;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -14,7 +14,7 @@ SharedFd::~SharedFd() {
 
 Result<SharedFdPtr> FdCache::Acquire(const std::string& path, bool create) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(path);
     if (it != entries_.end()) {
       ++hits_;
@@ -44,7 +44,7 @@ Result<SharedFdPtr> FdCache::Acquire(const std::string& path, bool create) {
   }
   SharedFdPtr fd = std::make_shared<SharedFd>(raw);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Another thread may have raced us; keep the existing entry and let our
   // descriptor close when `fd` goes out of scope.
   const auto it = entries_.find(path);
@@ -69,7 +69,7 @@ void FdCache::TouchLocked(Entry& entry, const std::string& path) {
 }
 
 void FdCache::Invalidate(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(path);
   if (it != entries_.end()) {
     lru_.erase(it->second.lru_pos);
@@ -78,14 +78,24 @@ void FdCache::Invalidate(const std::string& path) {
 }
 
 void FdCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
 }
 
 std::size_t FdCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
+}
+
+std::uint64_t FdCache::hits() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+std::uint64_t FdCache::misses() const {
+  MutexLock lock(mu_);
+  return misses_;
 }
 
 }  // namespace dpfs::server

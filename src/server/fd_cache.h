@@ -9,10 +9,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dpfs::server {
 
@@ -47,22 +48,25 @@ class FdCache {
 
   void Clear();
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  // Counter reads take the lock: sessions serve Stats() concurrently with
+  // sessions updating the counters (was an unlocked read — a data race).
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
 
  private:
   struct Entry {
     SharedFdPtr fd;
     std::list<std::string>::iterator lru_pos;
   };
-  void TouchLocked(Entry& entry, const std::string& path);
+  void TouchLocked(Entry& entry, const std::string& path)
+      DPFS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  const std::size_t capacity_;  // immutable after construction
+  std::map<std::string, Entry> entries_ DPFS_GUARDED_BY(mu_);
+  std::list<std::string> lru_ DPFS_GUARDED_BY(mu_);  // front = most recent
+  std::uint64_t hits_ DPFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ DPFS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpfs::server

@@ -43,14 +43,14 @@ void IoServer::Stop() {
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     for (const int fd : session_fds_) {
       ::shutdown(fd, SHUT_RDWR);  // unblocks RecvExact in session threads
     }
   }
   std::vector<std::thread> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions.swap(sessions_);
   }
   for (std::thread& session : sessions) {
@@ -67,7 +67,7 @@ void IoServer::AcceptLoop() {
       return;
     }
     stats_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     session_fds_.push_back(accepted.value().fd());
     sessions_.emplace_back(
         [this, socket = std::move(accepted).value()]() mutable {

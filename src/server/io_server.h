@@ -10,11 +10,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/connection.h"
 #include "net/socket.h"
 #include "server/subfile_store.h"
@@ -74,9 +75,10 @@ class IoServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_sessions_{0};
   std::thread accept_thread_;
-  std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;
-  std::vector<int> session_fds_;  // for unblocking on Stop
+  Mutex sessions_mu_;
+  std::vector<std::thread> sessions_ DPFS_GUARDED_BY(sessions_mu_);
+  std::vector<int> session_fds_
+      DPFS_GUARDED_BY(sessions_mu_);  // for unblocking on Stop
 };
 
 }  // namespace dpfs::server

@@ -1,0 +1,2 @@
+// Seeded violation: relative include (dpfs_lint --self-test).
+#include "../common/status.h"

@@ -1,0 +1,8 @@
+// Seeded violation: Status/Result without [[nodiscard]] (dpfs_lint
+// --self-test). The real src/common/status.h carries the attribute on both.
+#pragma once
+
+class Status {};
+
+template <typename T>
+class Result {};

@@ -1,0 +1,6 @@
+// Seeded violation: raw std::mutex in production code (dpfs_lint --self-test).
+#include <mutex>
+
+static std::mutex g_raw_mutex;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_raw_mutex); }

@@ -1,0 +1,5 @@
+// Seeded violation: layout must stay pure math (dpfs_lint --self-test).
+#pragma once
+
+#include <fstream>          // layout-purity: I/O header
+#include "net/socket.h"     // layout-purity: other-subsystem dependency

@@ -1,0 +1,12 @@
+// Clean fixture: everything here is allowed; dpfs_lint --self-test fails if
+// any rule fires on this file (false-positive guard).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/plan.h"
+
+// The words "throw" and "mutex" in a comment must not trip the linter.
+inline int PureMath(int x) { return x * 2; }

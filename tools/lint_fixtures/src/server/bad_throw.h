@@ -1,0 +1,6 @@
+// Seeded violation: exception in a public API header (dpfs_lint --self-test).
+#pragma once
+
+#include <stdexcept>
+
+inline void Fail() { throw std::runtime_error("no exceptions in headers"); }

@@ -1,0 +1,9 @@
+// Seeded violation: arms a failpoint, never disarms (dpfs_lint --self-test).
+#include "common/failpoint.h"
+
+void ArmOnly() {
+  dpfs::failpoint::Spec spec;
+  spec.action = dpfs::failpoint::Action::kReturnError;
+  dpfs::failpoint::Arm("net.send_all", spec);
+  // missing: failpoint::DisarmAll() in teardown
+}
