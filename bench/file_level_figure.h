@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "bench/metrics_epilogue.h"
 #include "bench/workloads.h"
 
 namespace dpfs::bench {
@@ -59,6 +60,7 @@ inline void RunFileLevelFigure(const FileLevelConfig& config,
     }
   }
   std::printf("\n");
+  PrintMetricsEpilogue();
 }
 
 }  // namespace dpfs::bench

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/options.h"
 #include "common/strings.h"
 #include "common/rng.h"
@@ -114,5 +115,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("post-stress verification: combined and general reads agree\n");
+  // The macro bench already drove a real cluster, so the registry is hot;
+  // print it directly (no epilogue probe needed).
+  std::printf("\n--- metrics snapshot (docs/OBSERVABILITY.md) ---\n%s"
+              "--- end metrics snapshot ---\n",
+              metrics::Registry::Global().TextSnapshot().c_str());
   return 0;
 }

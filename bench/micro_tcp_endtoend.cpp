@@ -3,6 +3,9 @@
 // (planner → connection pool → framing → server → subfile store).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "common/metrics.h"
 #include "core/cluster.h"
 
 namespace {
@@ -137,4 +140,16 @@ BENCHMARK(BM_OpenFromMetadata)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the metrics snapshot the real-TCP runs filled in
+// (this bench exercises the full client→server stack, so every hot-path
+// instrument is live; docs/OBSERVABILITY.md).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf("\n--- metrics snapshot (docs/OBSERVABILITY.md) ---\n%s"
+              "--- end metrics snapshot ---\n",
+              dpfs::metrics::Registry::Global().TextSnapshot().c_str());
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/metrics_epilogue.h"
 #include "bench/workloads.h"
 
 namespace dpfs::bench {
@@ -62,6 +63,7 @@ inline void RunStripingAlgFigure(std::uint32_t compute_nodes,
                 bandwidth[1]);
   }
   std::printf("\n");
+  PrintMetricsEpilogue();
 }
 
 }  // namespace dpfs::bench

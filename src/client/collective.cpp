@@ -1,6 +1,25 @@
 #include "client/collective.h"
 
+#include "common/metrics.h"
+
 namespace dpfs::client {
+
+namespace {
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+struct CollectiveMetrics {
+  metrics::Counter& transfers = metrics::GetCounter("collective.transfers");
+  metrics::Counter& requests = metrics::GetCounter("collective.requests");
+  metrics::Counter& combined_requests =
+      metrics::GetCounter("collective.combined_requests");
+  metrics::Counter& retries = metrics::GetCounter("collective.retries");
+  metrics::Counter& peer_aborts =
+      metrics::GetCounter("collective.peer_aborts");
+};
+CollectiveMetrics& Metrics() {
+  static CollectiveMetrics m;
+  return m;
+}
+}  // namespace
 
 CollectiveFile::CollectiveFile(std::shared_ptr<FileSystem> fs,
                                std::vector<FileHandle> handles)
@@ -103,8 +122,13 @@ Status CollectiveFile::Transfer(std::uint32_t rank, ByteSpan write_data,
                                        options, &report)
                     : fs_->ReadRegion(handles_[rank], *region, read_buffer,
                                       options, &report);
+    Metrics().transfers.Add();
+    Metrics().requests.Add(report.requests);
+    Metrics().combined_requests.Add(report.combined_requests);
+    Metrics().retries.Add(report.retries + report.busy_retries);
     MutexLock lock(mu_);
     total_report_.requests += report.requests;
+    total_report_.combined_requests += report.combined_requests;
     total_report_.transfer_bytes += report.transfer_bytes;
     total_report_.useful_bytes += report.useful_bytes;
     total_report_.retries += report.retries;
@@ -123,6 +147,7 @@ Status CollectiveFile::Transfer(std::uint32_t rank, ByteSpan write_data,
 
   if (!my_status.ok()) return my_status;
   if (phase_total > 0) {
+    Metrics().peer_aborts.Add();
     return AbortedError("collective peer failed (" +
                         std::to_string(phase_total) + " rank(s))");
   }

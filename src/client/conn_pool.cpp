@@ -1,17 +1,44 @@
 #include "client/conn_pool.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace dpfs::client {
 
+namespace {
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+// acquire_us covers the whole checkout — pool lookup plus any fresh dial —
+// so reconnect storms show up as a fat tail.
+struct PoolMetrics {
+  metrics::Counter& acquires = metrics::GetCounter("conn_pool.acquires");
+  metrics::Counter& pool_hits = metrics::GetCounter("conn_pool.pool_hits");
+  metrics::Counter& dials = metrics::GetCounter("conn_pool.dials");
+  metrics::Counter& dial_failures =
+      metrics::GetCounter("conn_pool.dial_failures");
+  metrics::Counter& poisoned = metrics::GetCounter("conn_pool.poisoned");
+  metrics::Histogram& acquire_us =
+      metrics::GetHistogram("conn_pool.acquire_us");
+};
+PoolMetrics& Metrics() {
+  static PoolMetrics m;
+  return m;
+}
+}  // namespace
+
 PooledConnection::~PooledConnection() {
-  if (pool_ != nullptr && conn_ != nullptr && !poisoned_) {
-    pool_->Release(std::move(conn_));
+  if (pool_ != nullptr && conn_ != nullptr) {
+    if (poisoned_) {
+      Metrics().poisoned.Add();
+    } else {
+      pool_->Release(std::move(conn_));
+    }
   }
 }
 
 Result<PooledConnection> ConnectionPool::Acquire(
     const net::Endpoint& endpoint) {
+  Metrics().acquires.Add();
+  metrics::ScopedTimer timer(Metrics().acquire_us);
   // Simulates a refused/unreachable server before any pooled or fresh
   // connection is touched (kUnavailable by default, so callers retry).
   DPFS_FAILPOINT_RETURN("client.connect");
@@ -23,13 +50,18 @@ Result<PooledConnection> ConnectionPool::Acquire(
       std::unique_ptr<net::ServerConnection> conn =
           std::move(it->second.back());
       it->second.pop_back();
+      Metrics().pool_hits.Add();
       return PooledConnection(this, std::move(conn));
     }
   }
-  DPFS_ASSIGN_OR_RETURN(net::ServerConnection conn,
-                        net::ServerConnection::Connect(endpoint));
-  return PooledConnection(
-      this, std::make_unique<net::ServerConnection>(std::move(conn)));
+  Metrics().dials.Add();
+  auto dialed = net::ServerConnection::Connect(endpoint);
+  if (!dialed.ok()) {
+    Metrics().dial_failures.Add();
+    return dialed.status();
+  }
+  return PooledConnection(this, std::make_unique<net::ServerConnection>(
+                                    std::move(dialed).value()));
 }
 
 void ConnectionPool::Release(std::unique_ptr<net::ServerConnection> conn) {

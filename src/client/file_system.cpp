@@ -6,9 +6,33 @@
 #include <chrono>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace dpfs::client {
+
+namespace {
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+// client.* aggregates every executed plan across FileSystem instances;
+// combined_requests counts §4.2 combination actually firing (>1 brick per
+// wire request).
+struct ClientMetricsT {
+  metrics::Counter& requests = metrics::GetCounter("client.requests");
+  metrics::Counter& combined_requests =
+      metrics::GetCounter("client.combined_requests");
+  metrics::Counter& transfer_bytes =
+      metrics::GetCounter("client.transfer_bytes");
+  metrics::Counter& useful_bytes = metrics::GetCounter("client.useful_bytes");
+  metrics::Counter& retries = metrics::GetCounter("client.retries");
+  metrics::Counter& busy_retries = metrics::GetCounter("client.busy_retries");
+  metrics::Counter& failed_accesses =
+      metrics::GetCounter("client.failed_accesses");
+};
+ClientMetricsT& ClientMetrics() {
+  static ClientMetricsT m;
+  return m;
+}
+}  // namespace
 
 Result<std::shared_ptr<FileSystem>> FileSystem::Connect(
     std::shared_ptr<metadb::Database> db) {
@@ -398,17 +422,33 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
   }
   // Retry counters are reported even for failed accesses, so callers can
   // observe retry exhaustion, not just recovery.
+  const std::uint64_t retries =
+      tally.retries.load(std::memory_order_relaxed);
+  const std::uint64_t busy_retries =
+      tally.busy_retries.load(std::memory_order_relaxed);
+  ClientMetrics().retries.Add(retries);
+  ClientMetrics().busy_retries.Add(busy_retries);
   if (report != nullptr) {
-    report->retries +=
-        static_cast<std::size_t>(tally.retries.load(std::memory_order_relaxed));
-    report->busy_retries += static_cast<std::size_t>(
-        tally.busy_retries.load(std::memory_order_relaxed));
+    report->retries += static_cast<std::size_t>(retries);
+    report->busy_retries += static_cast<std::size_t>(busy_retries);
     report->backoff_ms += tally.backoff_ms.load(std::memory_order_relaxed);
   }
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    ClientMetrics().failed_accesses.Add();
+    return status;
+  }
 
+  std::size_t combined = 0;
+  for (const layout::ServerRequest& request : plan.requests) {
+    if (request.bricks.size() > 1) ++combined;
+  }
+  ClientMetrics().requests.Add(plan.num_requests());
+  ClientMetrics().combined_requests.Add(combined);
+  ClientMetrics().transfer_bytes.Add(plan.transfer_bytes());
+  ClientMetrics().useful_bytes.Add(plan.useful_bytes());
   if (report != nullptr) {
     report->requests += plan.num_requests();
+    report->combined_requests += combined;
     report->transfer_bytes += plan.transfer_bytes();
     report->useful_bytes += plan.useful_bytes();
   }

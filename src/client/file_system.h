@@ -95,6 +95,9 @@ struct FileHandle {
 /// Counters for one access, used by benchmarks and tests.
 struct IoReport {
   std::size_t requests = 0;
+  /// Of `requests`, how many carried more than one brick — i.e. how often
+  /// §4.2 request combination actually fired for this access.
+  std::size_t combined_requests = 0;
   std::uint64_t transfer_bytes = 0;
   std::uint64_t useful_bytes = 0;
   /// Retry/backoff observability (§4.2 "try again later"): attempts beyond

@@ -1,0 +1,126 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace dpfs::metrics {
+
+void Histogram::Observe(std::uint64_t value) noexcept {
+  const int bucket = std::bit_width(value);  // 0 for value 0, else log2+1.
+  buckets_[bucket < kNumBuckets ? bucket : kNumBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const noexcept {
+  Snapshot snap;
+  std::uint64_t buckets[kNumBuckets];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+
+  // Quantile = upper bound of the bucket containing the quantile rank,
+  // clamped to the observed max. Bucket i (i>0) covers [2^(i-1), 2^i - 1].
+  auto quantile = [&](double q) -> std::uint64_t {
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(snap.count - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += buckets[i];
+      if (seen > rank) {
+        const std::uint64_t upper =
+            i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+        return upper < snap.max ? upper : snap.max;
+      }
+    }
+    return snap.max;
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+Registry& Registry::Global() {
+  // Leaked: call sites cache instrument references in function-local
+  // statics, which may be read by detached threads during shutdown.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::TextSnapshot() const {
+  // One "<sort-key>" -> "<rendered line>" pair per instrument, merged and
+  // sorted by name so diffs between snapshots line up.
+  std::vector<std::pair<std::string, std::string>> lines;
+  {
+    MutexLock lock(mu_);
+    lines.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      lines.emplace_back(name,
+                         "counter " + name + " " +
+                             std::to_string(counter->value()));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      lines.emplace_back(
+          name, "gauge " + name + " " + std::to_string(gauge->value()));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      const Histogram::Snapshot s = histogram->GetSnapshot();
+      std::ostringstream line;
+      line << "histogram " << name << " count=" << s.count << " sum=" << s.sum
+           << " p50=" << s.p50 << " p95=" << s.p95 << " p99=" << s.p99
+           << " max=" << s.max;
+      lines.emplace_back(name, line.str());
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& [name, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dpfs::metrics

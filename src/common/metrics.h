@@ -1,0 +1,185 @@
+// Lock-cheap metrics for every DPFS hot path.
+//
+// The paper evaluates DPFS only end-to-end (Figs. 11-14); this registry makes
+// the *inside* of a run visible — cache hit rates, request-combination
+// effectiveness, per-opcode service times, retry totals — so bench numbers
+// and EXPERIMENTS.md claims are explainable, and subsequent perf PRs have
+// something to report against. The full metric catalog lives in
+// docs/OBSERVABILITY.md.
+//
+// Design:
+//   * Three instrument kinds: Counter (monotonic), Gauge (up/down), and
+//     Histogram (fixed power-of-two buckets with p50/p95/p99 estimates).
+//     All updates are relaxed atomics — no lock on any hot path.
+//   * Instruments live forever: Registry::Get*() interns by name and never
+//     removes, so call sites cache the returned reference (typically in a
+//     function-local static struct) and pay one map lookup per process.
+//   * `Registry::Global()` is the process-wide registry every production
+//     call site uses; tests construct their own Registry instances.
+//   * `TextSnapshot()` renders one "<kind> <name> ..." line per instrument,
+//     sorted by name — the exposition the benches print and the `kMetrics`
+//     wire opcode returns (docs/WIRE_PROTOCOL.md).
+//
+// In-process clusters (LocalCluster, tests, benches) share one Global()
+// registry across all servers and clients; in the multi-process deployment
+// each process naturally exposes only its own numbers.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace dpfs::metrics {
+
+/// Monotonic event count. Relaxed atomic increments; never decremented.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, cached bytes). May go up and down.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t delta = 1) noexcept {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket distribution. Bucket i holds values whose bit width is i
+/// (i.e. value in [2^(i-1), 2^i - 1]; value 0 lands in bucket 0), so
+/// Observe() is a bit_width plus one relaxed fetch_add. Quantiles are
+/// estimated as the upper bound of the bucket holding the quantile rank,
+/// clamped to the observed maximum — a <=2x overestimate by construction,
+/// which is plenty for "did this path get slower" questions.
+class Histogram {
+ public:
+  /// 2^40 us ~= 13 days: everything DPFS times fits below the last bound.
+  static constexpr int kNumBuckets = 41;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(std::uint64_t value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+  };
+  /// Taken with relaxed loads: concurrent Observe() calls may or may not be
+  /// included, but the snapshot never tears a single update.
+  [[nodiscard]] Snapshot GetSnapshot() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named instrument store. Get*() interns: the first call for a name creates
+/// the instrument, later calls return the same reference. Instruments are
+/// never removed, so returned references stay valid for the registry's
+/// lifetime (forever, for Global()). A name identifies one kind; asking for
+/// the same name as a different kind returns a distinct instrument (the
+/// three kinds are separate namespaces — don't do that; the catalog in
+/// docs/OBSERVABILITY.md keeps names unique).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry. Deliberately leaked so instrument references
+  /// cached in function-local statics never dangle during shutdown.
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// One line per instrument, sorted by metric name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> sum=<s> p50=<v> p95=<v> p99=<v> max=<v>
+  [[nodiscard]] std::string TextSnapshot() const;
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DPFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DPFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DPFS_GUARDED_BY(mu_);
+};
+
+/// Global-registry conveniences; cache the result, don't call per event.
+inline Counter& GetCounter(std::string_view name) {
+  return Registry::Global().GetCounter(name);
+}
+inline Gauge& GetGauge(std::string_view name) {
+  return Registry::Global().GetGauge(name);
+}
+inline Histogram& GetHistogram(std::string_view name) {
+  return Registry::Global().GetHistogram(name);
+}
+
+/// Observes elapsed wall time in microseconds on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept
+      : histogram_(histogram) {}
+  ~ScopedTimer() {
+    histogram_.Observe(
+        static_cast<std::uint64_t>(timer_.ElapsedSeconds() * 1e6));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  WallTimer timer_;
+};
+
+}  // namespace dpfs::metrics

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace dpfs {
+
+namespace {
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+// queue_depth aggregates across every pool in the process (server request
+// pools + the client dispatch pool).
+struct PoolMetrics {
+  metrics::Counter& submitted =
+      metrics::GetCounter("thread_pool.tasks_submitted");
+  metrics::Counter& completed =
+      metrics::GetCounter("thread_pool.tasks_completed");
+  metrics::Gauge& queue_depth = metrics::GetGauge("thread_pool.queue_depth");
+  metrics::Histogram& queue_wait_us =
+      metrics::GetHistogram("thread_pool.queue_wait_us");
+  metrics::Histogram& task_us = metrics::GetHistogram("thread_pool.task_us");
+};
+PoolMetrics& Metrics() {
+  static PoolMetrics m;
+  return m;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
@@ -22,9 +44,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Metrics().submitted.Add();
+  Metrics().queue_depth.Add();
   {
     MutexLock lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), std::chrono::steady_clock::now()});
   }
   work_cv_.NotifyOne();
 }
@@ -36,7 +60,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
@@ -45,7 +69,16 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    Metrics().queue_depth.Sub();
+    Metrics().queue_wait_us.Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - task.enqueued)
+            .count()));
+    {
+      metrics::ScopedTimer timer(Metrics().task_us);
+      task.fn();
+    }
+    Metrics().completed.Add();
     {
       MutexLock lock(mu_);
       --in_flight_;

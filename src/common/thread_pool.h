@@ -6,6 +6,7 @@
 // ParallelFor for bulk fan-out with automatic joining.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -35,12 +36,18 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
 
  private:
+  // Enqueue timestamp rides with the task so queue-wait latency is
+  // observable (thread_pool.queue_wait_us, docs/OBSERVABILITY.md).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
   void WorkerLoop();
 
   Mutex mu_;
   CondVar work_cv_;   // signals workers: new task or shutdown
   CondVar idle_cv_;   // signals Wait(): everything drained
-  std::deque<std::function<void()>> queue_ DPFS_GUARDED_BY(mu_);
+  std::deque<Task> queue_ DPFS_GUARDED_BY(mu_);
   std::size_t in_flight_ DPFS_GUARDED_BY(mu_) = 0;
   bool shutdown_ DPFS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;  // written only before workers start

@@ -10,6 +10,7 @@
 
 #include "common/crc32.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "metadb/sql_parser.h"
 
@@ -26,6 +27,21 @@ Result<std::size_t> FindColumn(const std::vector<std::string>& columns,
     if (EqualsIgnoreCase(columns[i], name)) return i;
   }
   return NotFoundError("result set has no column '" + std::string(name) + "'");
+}
+
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+// execute_us times the whole statement (lock wait included); commit_us
+// times CommitLocked, which is dominated by the WAL append.
+struct MetadbMetricsT {
+  metrics::Counter& statements = metrics::GetCounter("metadb.statements");
+  metrics::Counter& commits = metrics::GetCounter("metadb.commits");
+  metrics::Counter& rollbacks = metrics::GetCounter("metadb.rollbacks");
+  metrics::Histogram& execute_us = metrics::GetHistogram("metadb.execute_us");
+  metrics::Histogram& commit_us = metrics::GetHistogram("metadb.commit_us");
+};
+MetadbMetricsT& MetadbMetrics() {
+  static MetadbMetricsT m;
+  return m;
 }
 
 }  // namespace
@@ -359,6 +375,8 @@ Result<ResultSet> Database::Execute(std::string_view sql) {
 }
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& statement) {
+  MetadbMetrics().statements.Add();
+  metrics::ScopedTimer timer(MetadbMetrics().execute_us);
   MutexLock lock(mu_);
   Result<ResultSet> result = ExecuteLocked(statement);
   // Auto-checkpoint outside transactions once the WAL outgrows the bound.
@@ -399,6 +417,8 @@ Status Database::BeginLocked() {
 
 Status Database::CommitLocked() {
   if (!in_txn_) return AbortedError("COMMIT outside transaction");
+  MetadbMetrics().commits.Add();
+  metrics::ScopedTimer timer(MetadbMetrics().commit_us);
   if (wal_.has_value() && !redo_.empty()) {
     // Refused durability before any WAL byte is written: the commit fails
     // cleanly and the in-memory state rolls back.
@@ -424,6 +444,7 @@ Status Database::CommitLocked() {
 
 Status Database::RollbackLocked() {
   if (!in_txn_) return AbortedError("ROLLBACK outside transaction");
+  MetadbMetrics().rollbacks.Add();
   // Undo in reverse order.
   for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
     UndoOp& op = *it;

@@ -79,6 +79,12 @@ Result<StatsReply> ServerConnection::Stats() {
   return StatsReply::Decode(reader);
 }
 
+Result<std::string> ServerConnection::Metrics() {
+  DPFS_ASSIGN_OR_RETURN(const Bytes reply, Call(MessageType::kMetrics, {}));
+  BinaryReader reader(reply);
+  return reader.ReadString();
+}
+
 Status ServerConnection::Delete(const std::string& subfile) {
   BinaryWriter body;
   body.WriteString(subfile);

@@ -46,6 +46,8 @@ class ServerConnection {
   Result<StatReply> Stat(const std::string& subfile);
   /// Server-wide counters (ops telemetry; shell `df`).
   Result<StatsReply> Stats();
+  /// The server process's full metrics text snapshot (docs/OBSERVABILITY.md).
+  Result<std::string> Metrics();
   Status Delete(const std::string& subfile);
   Status Truncate(const std::string& subfile, std::uint64_t size);
   Status Rename(const std::string& from, const std::string& to);

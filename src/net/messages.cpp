@@ -14,6 +14,7 @@ std::string_view MessageTypeName(MessageType type) noexcept {
     case MessageType::kStats: return "stats";
     case MessageType::kRename: return "rename";
     case MessageType::kList: return "list";
+    case MessageType::kMetrics: return "metrics";
   }
   return "unknown";
 }
@@ -121,7 +122,7 @@ Bytes EncodeReply(const Status& status, ByteSpan body) {
 Result<DecodedRequest> DecodeRequest(ByteSpan payload) {
   BinaryReader reader(payload);
   DPFS_ASSIGN_OR_RETURN(const std::uint8_t type, reader.ReadU8());
-  if (type < 1 || type > 10) {
+  if (type < 1 || type > 11) {
     return ProtocolError("bad message type " + std::to_string(type));
   }
   return DecodedRequest{static_cast<MessageType>(type),

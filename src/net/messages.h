@@ -29,9 +29,10 @@ enum class MessageType : std::uint8_t {
   kDelete = 5,
   kTruncate = 6,
   kShutdown = 7,
-  kStats = 8,   // server-wide statistics (ops telemetry)
-  kRename = 9,  // rename a subfile (body: old name string, new name string)
-  kList = 10,   // list all subfiles (fsck support)
+  kStats = 8,    // server-wide statistics (fixed counter struct)
+  kRename = 9,   // rename a subfile (body: old name string, new name string)
+  kList = 10,    // list all subfiles (fsck support)
+  kMetrics = 11, // full metrics text snapshot (docs/OBSERVABILITY.md)
 };
 
 /// One entry of a kList reply.

@@ -6,7 +6,23 @@
 #include <cerrno>
 #include <filesystem>
 
+#include "common/metrics.h"
+
 namespace dpfs::server {
+
+namespace {
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+struct CacheMetrics {
+  metrics::Counter& hits = metrics::GetCounter("fd_cache.hits");
+  metrics::Counter& misses = metrics::GetCounter("fd_cache.misses");
+  metrics::Counter& evictions = metrics::GetCounter("fd_cache.evictions");
+  metrics::Gauge& open_fds = metrics::GetGauge("fd_cache.open_fds");
+};
+CacheMetrics& Metrics() {
+  static CacheMetrics m;
+  return m;
+}
+}  // namespace
 
 SharedFd::~SharedFd() {
   if (fd_ >= 0) ::close(fd_);
@@ -18,10 +34,12 @@ Result<SharedFdPtr> FdCache::Acquire(const std::string& path, bool create) {
     const auto it = entries_.find(path);
     if (it != entries_.end()) {
       ++hits_;
+      Metrics().hits.Add();
       TouchLocked(it->second, path);
       return it->second.fd;
     }
     ++misses_;
+    Metrics().misses.Add();
   }
 
   // Open outside the lock; opening is the slow part.
@@ -54,10 +72,13 @@ Result<SharedFdPtr> FdCache::Acquire(const std::string& path, bool create) {
   }
   lru_.push_front(path);
   entries_[path] = Entry{fd, lru_.begin()};
+  Metrics().open_fds.Add();
   while (entries_.size() > capacity_) {
     const std::string& victim = lru_.back();
     entries_.erase(victim);
     lru_.pop_back();
+    Metrics().evictions.Add();
+    Metrics().open_fds.Sub();
   }
   return fd;
 }
@@ -74,11 +95,13 @@ void FdCache::Invalidate(const std::string& path) {
   if (it != entries_.end()) {
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
+    Metrics().open_fds.Sub();
   }
 }
 
 void FdCache::Clear() {
   MutexLock lock(mu_);
+  Metrics().open_fds.Sub(static_cast<std::int64_t>(entries_.size()));
   entries_.clear();
   lru_.clear();
 }

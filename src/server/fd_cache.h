@@ -37,6 +37,9 @@ class FdCache {
   /// `capacity` open descriptors are kept; least-recently-used beyond that
   /// are closed (once unreferenced).
   explicit FdCache(std::size_t capacity = 128) : capacity_(capacity) {}
+  ~FdCache() { Clear(); }  // keeps the fd_cache.open_fds gauge honest
+  FdCache(const FdCache&) = delete;
+  FdCache& operator=(const FdCache&) = delete;
 
   /// Returns an fd for `path` opened read/write. With `create`, missing
   /// files (and parent directories) are created; without it, a missing file

@@ -6,10 +6,41 @@
 
 #include "common/failpoint.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "net/frame.h"
 #include "net/messages.h"
 
 namespace dpfs::server {
+
+namespace {
+// Per-opcode request counters and service-time histograms, indexed by the
+// numeric MessageType (1..kMetrics). Resolved once; names follow
+// docs/OBSERVABILITY.md (io_server.requests.read, ...).
+constexpr int kMaxOpcode = static_cast<int>(net::MessageType::kMetrics);
+
+struct OpMetrics {
+  metrics::Counter* requests[kMaxOpcode + 1] = {};
+  metrics::Histogram* service_time_us[kMaxOpcode + 1] = {};
+  metrics::Counter& bad_requests =
+      metrics::GetCounter("io_server.bad_requests");
+  metrics::Counter& busy_rejects =
+      metrics::GetCounter("io_server.busy_rejects");
+
+  OpMetrics() {
+    for (int op = 1; op <= kMaxOpcode; ++op) {
+      const auto name = std::string(
+          net::MessageTypeName(static_cast<net::MessageType>(op)));
+      requests[op] = &metrics::GetCounter("io_server.requests." + name);
+      service_time_us[op] =
+          &metrics::GetHistogram("io_server.service_time_us." + name);
+    }
+  }
+};
+OpMetrics& Metrics() {
+  static OpMetrics m;
+  return m;
+}
+}  // namespace
 
 Result<std::unique_ptr<IoServer>> IoServer::Start(ServerOptions options) {
   std::error_code ec;
@@ -99,6 +130,7 @@ void IoServer::Session(net::TcpSocket socket) {
     // §4.2's overloaded server: answer one request with "busy" so the
     // client backs off and retries, then drop the session.
     stats_.sessions_rejected_busy.fetch_add(1, std::memory_order_relaxed);
+    Metrics().busy_rejects.Add();
     if (net::RecvFrame(socket, frame).ok()) {
       (void)net::SendFrame(
           socket, net::EncodeReply(
@@ -143,11 +175,19 @@ Bytes IoServer::HandleRequest(ByteSpan frame) {
   const Result<net::DecodedRequest> decoded = net::DecodeRequest(frame);
   if (!decoded.ok()) {
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    Metrics().bad_requests.Add();
     return net::EncodeReply(decoded.status(), {});
   }
+  const net::MessageType type = decoded.value().type;
   BinaryReader reader(decoded.value().body);
+  const int op = static_cast<int>(type);
+  Metrics().requests[op]->Add();
+  metrics::ScopedTimer timer(*Metrics().service_time_us[op]);
+  return Dispatch(type, reader);
+}
 
-  switch (decoded.value().type) {
+Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
+  switch (type) {
     case net::MessageType::kPing:
       return net::EncodeReply(Status::Ok(), {});
 
@@ -250,6 +290,15 @@ Bytes IoServer::HandleRequest(ByteSpan frame) {
       stats.stored_bytes = stored.ok() ? stored.value() : 0;
       BinaryWriter body;
       stats.Encode(body);
+      return net::EncodeReply(Status::Ok(), body.buffer());
+    }
+
+    case net::MessageType::kMetrics: {
+      // The full text exposition of the process-wide registry (every
+      // component, not just this server's counters); in the multi-process
+      // deployment each dpfsd answers with its own process's snapshot.
+      BinaryWriter body;
+      body.WriteString(metrics::Registry::Global().TextSnapshot());
       return net::EncodeReply(Status::Ok(), body.buffer());
     }
   }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -63,8 +64,10 @@ class IoServer {
 
   void AcceptLoop();
   void Session(net::TcpSocket socket);
-  /// Dispatches one decoded request; returns the reply payload.
+  /// Decodes one request frame, counts/times it per opcode, and dispatches.
   Bytes HandleRequest(ByteSpan frame);
+  /// The per-opcode service switch; returns the reply payload.
+  Bytes Dispatch(net::MessageType type, BinaryReader& reader);
 
   ServerOptions options_;
   SubfileStore store_;

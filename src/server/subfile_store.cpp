@@ -7,9 +7,29 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace dpfs::server {
+
+namespace {
+// Global-registry instruments, resolved once (docs/OBSERVABILITY.md).
+// bytes_read counts bytes returned to clients (zero-filled holes included);
+// bytes_written counts payload bytes put to disk.
+struct StoreMetrics {
+  metrics::Counter& reads = metrics::GetCounter("subfile_store.reads");
+  metrics::Counter& writes = metrics::GetCounter("subfile_store.writes");
+  metrics::Counter& bytes_read =
+      metrics::GetCounter("subfile_store.bytes_read");
+  metrics::Counter& bytes_written =
+      metrics::GetCounter("subfile_store.bytes_written");
+  metrics::Counter& fsyncs = metrics::GetCounter("subfile_store.fsyncs");
+};
+StoreMetrics& Metrics() {
+  static StoreMetrics m;
+  return m;
+}
+}  // namespace
 
 Result<std::filesystem::path> SubfileStore::ResolvePath(
     const std::string& subfile) const {
@@ -29,11 +49,13 @@ Result<Bytes> SubfileStore::ReadFragments(
   std::uint64_t total = 0;
   for (const net::ReadFragment& fragment : fragments) total += fragment.length;
   Bytes out(total, 0);
+  Metrics().reads.Add();
 
   const Result<SharedFdPtr> fd = fd_cache_.Acquire(path.string(), false);
   if (!fd.ok()) {
     if (fd.status().code() == StatusCode::kNotFound) {
       // A never-written subfile is all holes; zeroes are correct.
+      Metrics().bytes_read.Add(total);
       return out;
     }
     return fd.status();
@@ -56,6 +78,7 @@ Result<Bytes> SubfileStore::ReadFragments(
     }
     cursor += fragment.length;
   }
+  Metrics().bytes_read.Add(total);
   return out;
 }
 
@@ -66,6 +89,7 @@ Status SubfileStore::WriteFragments(
                         ResolvePath(subfile));
   DPFS_ASSIGN_OR_RETURN(const SharedFdPtr fd,
                         fd_cache_.Acquire(path.string(), true));
+  Metrics().writes.Add();
 
   for (const net::WriteFragment& fragment : fragments) {
     std::uint64_t written = 0;
@@ -80,9 +104,13 @@ Status SubfileStore::WriteFragments(
       }
       written += static_cast<std::uint64_t>(n);
     }
+    Metrics().bytes_written.Add(fragment.data.size());
   }
-  if (sync && ::fsync(fd->get()) != 0) {
-    return IoErrnoError("fsync subfile", path.string());
+  if (sync) {
+    Metrics().fsyncs.Add();
+    if (::fsync(fd->get()) != 0) {
+      return IoErrnoError("fsync subfile", path.string());
+    }
   }
   return Status::Ok();
 }

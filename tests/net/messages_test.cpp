@@ -62,6 +62,15 @@ TEST(EnvelopeTest, BadTypeRejected) {
   EXPECT_FALSE(DecodeRequest(empty).ok());
 }
 
+TEST(EnvelopeTest, FirstTypePastTheRangeRejected) {
+  // One past kMetrics: keeps the DecodeRequest range check honest when a
+  // new opcode is added (bump the check, then extend this test).
+  Bytes frame = {12};
+  EXPECT_FALSE(DecodeRequest(frame).ok());
+  Bytes zero = {0};
+  EXPECT_FALSE(DecodeRequest(zero).ok());
+}
+
 TEST(EnvelopeTest, OkReplyRoundTrip) {
   const Bytes body = {1, 2};
   const Bytes frame = EncodeReply(Status::Ok(), body);
@@ -81,7 +90,8 @@ TEST(EnvelopeTest, AllMessageTypesDecodable) {
   for (const MessageType type :
        {MessageType::kPing, MessageType::kRead, MessageType::kWrite,
         MessageType::kStat, MessageType::kDelete, MessageType::kTruncate,
-        MessageType::kShutdown}) {
+        MessageType::kShutdown, MessageType::kStats, MessageType::kRename,
+        MessageType::kList, MessageType::kMetrics}) {
     const Bytes frame = EncodeRequest(type, {});
     EXPECT_EQ(DecodeRequest(frame).value().type, type);
     EXPECT_NE(MessageTypeName(type), "unknown");

@@ -280,6 +280,43 @@ TEST_F(ProtocolFuzzTest, StopJoinsAllSessionsAfterFaultStorm) {
   server_->Stop();  // joins every session thread or the test times out
 }
 
+TEST_F(ProtocolFuzzTest, MetricsOpcodeReturnsSnapshotWithLiveCounters) {
+  // kMetrics returns the process-wide text snapshot; after real traffic the
+  // server-side per-opcode counters must appear with nonzero values.
+  net::ServerConnection conn =
+      net::ServerConnection::Connect(server_->endpoint()).value();
+  std::vector<net::WriteFragment> writes;
+  writes.push_back({0, Bytes{1, 2, 3}});
+  ASSERT_TRUE(conn.Write("/m", std::move(writes)).ok());
+  ASSERT_TRUE(conn.Read("/m", {{0, 3}}).ok());
+
+  const Result<std::string> snapshot = conn.Metrics();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NE(snapshot.value().find("counter io_server.requests.write "),
+            std::string::npos);
+  EXPECT_NE(snapshot.value().find("counter io_server.requests.read "),
+            std::string::npos);
+  EXPECT_NE(snapshot.value().find("histogram io_server.service_time_us.read "),
+            std::string::npos);
+  EXPECT_NE(snapshot.value().find("subfile_store.bytes_written 3"),
+            std::string::npos);
+}
+
+TEST_F(ProtocolFuzzTest, MetricsOpcodeIgnoresTrailingBodyBytes) {
+  // The request body is empty by contract; extra bytes must not confuse the
+  // handler or wedge the session.
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  BinaryWriter payload;
+  payload.WriteU8(static_cast<std::uint8_t>(net::MessageType::kMetrics));
+  payload.WriteU32(0xABCD);  // junk the handler never reads
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  EXPECT_TRUE(net::DecodeReply(reply).value().status.ok());
+  ExpectServerAlive();
+}
+
 TEST_F(ProtocolFuzzTest, InterleavedGoodAndBadClients) {
   // A well-behaved client keeps working while another session misbehaves.
   net::ServerConnection good =

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""doc_lint: the documentation-consistency linter.
+
+Docs rot silently: a file gets renamed, a doc keeps pointing at the old
+name, and the next reader chases a ghost. This linter makes doc drift a
+test failure (ctest `doc_lint`), checking every tracked markdown file:
+
+  broken-link   every relative markdown link target ([text](path) where
+                path is not http(s)/mailto/#anchor) must resolve on disk,
+                relative to the linking document's directory.
+  stale-path    every repo path a doc mentions (src/..., tests/...,
+                bench/..., tools/..., examples/..., docs/...) must exist —
+                either exactly, or as a directory, or with a standard
+                suffix appended (e.g. `src/common/metrics` + .h/.cpp covers
+                the "metrics.{h,cpp}" brace shorthand). Mentions containing
+                glob characters are skipped.
+
+Scanned documents: README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md,
+CLAUDE.md, CHANGES.md, and docs/*.md.
+
+Usage:
+  tools/doc_lint.py [--root DIR]   lint the repo (default: repo root)
+  tools/doc_lint.py --self-test    run against the seeded-violation
+                                   fixtures in tools/doc_lint_fixtures and
+                                   fail unless every expected violation
+                                   fires
+
+Exit status: 0 clean, 1 violations (printed one per line as
+"path:line: rule: message").
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+TOP_LEVEL_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                  "CLAUDE.md", "CHANGES.md")
+FIXTURE_DIR_NAME = "doc_lint_fixtures"
+
+# [text](target) — target captured up to the closing paren. Images
+# (![alt](target)) match too, which is what we want.
+MARKDOWN_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# A repo path: one of the source trees, then at least one path character.
+# The lookbehind keeps `build/bench/...` from matching its `bench/` tail.
+REPO_PATH_RE = re.compile(
+    r"(?<![\w/\-.])(?:src|tests|bench|tools|examples|docs)/[\w./\-]+"
+)
+
+# Suffixes tried when a bare mention doesn't exist as written; covers the
+# `metrics.{h,cpp}` brace shorthand and extensionless tool references.
+ACCEPTED_SUFFIXES = ("", ".h", ".cpp", ".py", ".sh", ".md")
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def iter_docs(root: Path):
+    for name in TOP_LEVEL_DOCS:
+        path = root / name
+        if path.is_file():
+            yield path
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def path_exists(root: Path, mention: str) -> bool:
+    mention = mention.rstrip("/").rstrip(".,:;")
+    if not mention:
+        return True
+    for suffix in ACCEPTED_SUFFIXES:
+        if (root / (mention + suffix)).exists():
+            return True
+    return False
+
+
+def lint_doc(path: Path, root: Path) -> list[Violation]:
+    rel = path.relative_to(root)
+    text = path.read_text(encoding="utf-8", errors="replace")
+    out: list[Violation] = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in MARKDOWN_LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = target.split("#", 1)[0]  # drop the anchor
+            if not resolved:
+                continue
+            if not (path.parent / resolved).exists():
+                out.append(Violation(
+                    rel, lineno, "broken-link",
+                    f"link target '{target}' does not resolve (relative to "
+                    f"{rel.parent.as_posix()}/)"))
+
+        for match in REPO_PATH_RE.finditer(line):
+            mention = match.group(0)
+            tail = line[match.end():match.end() + 1]
+            if tail in ("*", "?", "{", "["):
+                continue  # glob / brace shorthand — not a literal path
+            if any(ch in mention for ch in "*?[]{}"):
+                continue
+            if not path_exists(root, mention):
+                out.append(Violation(
+                    rel, lineno, "stale-path",
+                    f"mentions '{mention}', which does not exist in the "
+                    "repo (renamed or deleted?)"))
+
+    return out
+
+
+def run_lint(root: Path) -> list[Violation]:
+    violations: list[Violation] = []
+    for path in iter_docs(root):
+        violations.extend(lint_doc(path, root))
+    return violations
+
+
+# --- self-test --------------------------------------------------------------
+
+ALL_RULES = frozenset({"broken-link", "stale-path"})
+
+# rule -> fixture doc expected to trigger it (paths inside
+# doc_lint_fixtures/).
+EXPECTED_SELF_TEST = {
+    "broken-link": "README.md",
+    "stale-path": "docs/bad_paths.md",
+}
+
+
+def run_self_test(fixtures: Path) -> int:
+    violations = run_lint(fixtures)
+    found = {(v.rule, v.path.as_posix()) for v in violations}
+    failures = []
+    for rule in sorted(ALL_RULES - set(EXPECTED_SELF_TEST)):
+        failures.append(f"self-test: rule '{rule}' has no seeded fixture")
+    for v in violations:
+        if v.rule not in ALL_RULES:
+            failures.append(f"self-test: rule '{v.rule}' missing from "
+                            "ALL_RULES")
+    for rule, doc in EXPECTED_SELF_TEST.items():
+        if (rule, doc) not in found:
+            failures.append(f"self-test: rule '{rule}' did not fire on "
+                            f"{doc}")
+    # The clean fixture references real files and external links; any
+    # violation on it is a false positive.
+    for v in violations:
+        if v.path.as_posix() == "docs/good.md":
+            failures.append(f"self-test: false positive on clean fixture: "
+                            f"{v}")
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        return 1
+    print(f"self-test OK: {len(EXPECTED_SELF_TEST)} violation classes "
+          "caught, clean fixture clean")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the seeded fixtures and verify every "
+                             "violation class is caught")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test(
+            Path(__file__).resolve().parent / FIXTURE_DIR_NAME)
+
+    violations = run_lint(args.root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"doc_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("doc_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,2 @@
+// Exists so the clean doc fixture's path references resolve.
+#pragma once
