@@ -15,6 +15,7 @@
 // visible to the analysis.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -70,6 +71,19 @@ class CondVar {
     std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
     cv_.wait(adopted);
     adopted.release();
+  }
+
+  /// Wait() with a timeout: returns false if `timeout` elapsed without a
+  /// notification (spurious wakeups return true — re-check the predicate
+  /// either way, in the same explicit while loop as Wait). Periodic
+  /// background work (the io_server metrics dump) uses this as an
+  /// interruptible sleep.
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout)
+      DPFS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(adopted, timeout);
+    adopted.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() noexcept { cv_.notify_one(); }

@@ -36,11 +36,13 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
                         client::FileSystem::Connect(cluster->db_));
 
   cluster->max_sessions_ = options.max_sessions;
+  cluster->engine_ = options.engine;
   for (std::uint32_t i = 0; i < options.num_servers; ++i) {
     server::ServerOptions server_options;
     server_options.root_dir =
         cluster->root_ / ("server" + std::to_string(i));
     server_options.max_sessions = options.max_sessions;
+    server_options.engine = options.engine;
     DPFS_ASSIGN_OR_RETURN(std::unique_ptr<server::IoServer> server,
                           server::IoServer::Start(std::move(server_options)));
 
@@ -86,6 +88,7 @@ Status LocalCluster::RestartServer(std::size_t index) {
   server_options.root_dir = root_ / ("server" + std::to_string(index));
   server_options.port = endpoint.port;  // keep the registered endpoint valid
   server_options.max_sessions = max_sessions_;
+  server_options.engine = engine_;
   DPFS_ASSIGN_OR_RETURN(servers_[index],
                         server::IoServer::Start(std::move(server_options)));
   return Status::Ok();

@@ -34,6 +34,9 @@ struct ClusterOptions {
   /// Concurrent session cap per server (0 = unlimited); see
   /// ServerOptions::max_sessions.
   std::size_t max_sessions = 0;
+  /// Connection-handling engine for every server in the cluster (the
+  /// DPFS_SERVER_ENGINE env var still overrides; see ServerOptions::engine).
+  server::ServerEngine engine = server::ServerEngine::kThreadPerConnection;
 };
 
 class LocalCluster {
@@ -74,6 +77,7 @@ class LocalCluster {
   std::optional<TempDir> owned_root_;
   std::filesystem::path root_;
   std::size_t max_sessions_ = 0;
+  server::ServerEngine engine_ = server::ServerEngine::kThreadPerConnection;
   std::vector<std::unique_ptr<server::IoServer>> servers_;
   std::shared_ptr<metadb::Database> db_;
   std::shared_ptr<client::FileSystem> fs_;

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <filesystem>
+#include <vector>
 
 #include "common/metrics.h"
 
@@ -62,23 +63,31 @@ Result<SharedFdPtr> FdCache::Acquire(const std::string& path, bool create) {
   }
   SharedFdPtr fd = std::make_shared<SharedFd>(raw);
 
-  MutexLock lock(mu_);
-  // Another thread may have raced us; keep the existing entry and let our
-  // descriptor close when `fd` goes out of scope.
-  const auto it = entries_.find(path);
-  if (it != entries_.end()) {
-    TouchLocked(it->second, path);
-    return it->second.fd;
-  }
-  lru_.push_front(path);
-  entries_[path] = Entry{fd, lru_.begin()};
-  Metrics().open_fds.Add();
-  while (entries_.size() > capacity_) {
-    const std::string& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
-    Metrics().evictions.Add();
-    Metrics().open_fds.Sub();
+  // Evicted descriptors are parked here so their close() (a syscall, and
+  // potentially the last ref) runs after the lock is released — nothing
+  // serialized behind mu_ waits on the kernel.
+  std::vector<SharedFdPtr> retired;
+  {
+    MutexLock lock(mu_);
+    // Another thread may have raced us; keep the existing entry and let our
+    // descriptor close when `fd` goes out of scope.
+    const auto it = entries_.find(path);
+    if (it != entries_.end()) {
+      TouchLocked(it->second, path);
+      return it->second.fd;
+    }
+    lru_.push_front(path);
+    entries_[path] = Entry{fd, lru_.begin()};
+    Metrics().open_fds.Add();
+    while (entries_.size() > capacity_) {
+      const std::string& victim = lru_.back();
+      const auto victim_it = entries_.find(victim);
+      retired.push_back(std::move(victim_it->second.fd));
+      entries_.erase(victim_it);
+      lru_.pop_back();
+      Metrics().evictions.Add();
+      Metrics().open_fds.Sub();
+    }
   }
   return fd;
 }
@@ -90,9 +99,11 @@ void FdCache::TouchLocked(Entry& entry, const std::string& path) {
 }
 
 void FdCache::Invalidate(const std::string& path) {
+  SharedFdPtr retired;  // closes after the lock is released
   MutexLock lock(mu_);
   const auto it = entries_.find(path);
   if (it != entries_.end()) {
+    retired = std::move(it->second.fd);
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
     Metrics().open_fds.Sub();
@@ -100,9 +111,10 @@ void FdCache::Invalidate(const std::string& path) {
 }
 
 void FdCache::Clear() {
+  std::map<std::string, Entry> retired;  // closes unlocked
   MutexLock lock(mu_);
   Metrics().open_fds.Sub(static_cast<std::int64_t>(entries_.size()));
-  entries_.clear();
+  retired.swap(entries_);
   lru_.clear();
 }
 

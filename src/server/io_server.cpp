@@ -3,12 +3,16 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
 
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "net/frame.h"
 #include "net/messages.h"
+#include "server/event_loop.h"
 
 namespace dpfs::server {
 
@@ -25,6 +29,10 @@ struct OpMetrics {
       metrics::GetCounter("io_server.bad_requests");
   metrics::Counter& busy_rejects =
       metrics::GetCounter("io_server.busy_rejects");
+  metrics::Gauge& inflight =
+      metrics::GetGauge("io_server.inflight_sessions");
+  metrics::Counter& coalesced_fragments =
+      metrics::GetCounter("io_server.coalesced_fragments");
 
   OpMetrics() {
     for (int op = 1; op <= kMaxOpcode; ++op) {
@@ -40,6 +48,41 @@ OpMetrics& Metrics() {
   static OpMetrics m;
   return m;
 }
+
+/// DPFS_SERVER_ENGINE=thread|event forces every IoServer in the process onto
+/// one engine — how CI runs the full suite against the reactor.
+ServerEngine ApplyEngineOverride(ServerEngine configured) {
+  const char* env = std::getenv("DPFS_SERVER_ENGINE");
+  if (env == nullptr) return configured;
+  const std::string_view value(env);
+  if (value == "event") return ServerEngine::kEventLoop;
+  if (value == "thread") return ServerEngine::kThreadPerConnection;
+  if (!value.empty()) {
+    DPFS_LOG_WARN << "DPFS_SERVER_ENGINE='" << value
+                  << "' is not 'thread' or 'event'; ignoring";
+  }
+  return configured;
+}
+
+/// Atomic (tmp + rename) text-snapshot dump; partial files never appear at
+/// the published path.
+void DumpSnapshot(const std::filesystem::path& path) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      DPFS_LOG_WARN << "metrics dump: cannot open " << tmp.string();
+      return;
+    }
+    out << metrics::Registry::Global().TextSnapshot();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    DPFS_LOG_WARN << "metrics dump: rename to " << path.string() << ": "
+                  << ec.message();
+  }
+}
 }  // namespace
 
 Result<std::unique_ptr<IoServer>> IoServer::Start(ServerOptions options) {
@@ -51,11 +94,32 @@ Result<std::unique_ptr<IoServer>> IoServer::Start(ServerOptions options) {
   }
   DPFS_ASSIGN_OR_RETURN(net::TcpListener listener,
                         net::TcpListener::Bind(options.port));
+  options.engine = ApplyEngineOverride(options.engine);
   std::unique_ptr<IoServer> server(
       new IoServer(std::move(options), std::move(listener)));
-  server->accept_thread_ = std::thread([raw = server.get()] {
-    raw->AcceptLoop();
-  });
+  if (server->options_.engine == ServerEngine::kEventLoop) {
+    EventLoop::Options loop_options;
+    loop_options.max_sessions = server->options_.max_sessions;
+    // The reactor owns the listener from here; endpoint_ was captured in
+    // the constructor, and the moved-from listener_ is a safe no-op Close.
+    Result<std::unique_ptr<EventLoop>> loop = EventLoop::Start(
+        std::move(server->listener_),
+        [raw = server.get()](ByteSpan frame) {
+          return raw->HandleRequest(frame);
+        },
+        &server->stats_, loop_options);
+    if (!loop.ok()) return loop.status();
+    server->event_loop_ = std::move(loop).value();
+  } else {
+    server->accept_thread_ = std::thread([raw = server.get()] {
+      raw->AcceptLoop();
+    });
+  }
+  if (server->options_.metrics_dump_interval.count() > 0) {
+    server->dump_thread_ = std::thread([raw = server.get()] {
+      raw->MetricsDumpLoop();
+    });
+  }
   return server;
 }
 
@@ -71,6 +135,15 @@ void IoServer::Stop() {
   if (stopping_.exchange(true)) {
     // Already stopping; still join if the first caller was another thread.
   }
+  if (dump_thread_.joinable()) {
+    {
+      MutexLock lock(dump_mu_);
+      dump_stop_ = true;
+    }
+    dump_cv_.NotifyAll();
+    dump_thread_.join();
+  }
+  if (event_loop_) event_loop_->Stop();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
@@ -139,6 +212,14 @@ void IoServer::Session(net::TcpSocket socket) {
     return;
   }
 
+  // Serving for real from here: show up in the inflight_sessions gauge
+  // (rejected-busy sessions above deliberately don't).
+  Metrics().inflight.Add(1);
+  struct InflightGuard {
+    metrics::Gauge& gauge;
+    ~InflightGuard() { gauge.Sub(1); }
+  } inflight_guard{Metrics().inflight};
+
   while (!stopping_.load(std::memory_order_relaxed)) {
     const Status received = net::RecvFrame(socket, frame);
     if (!received.ok()) {
@@ -192,9 +273,18 @@ Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
       return net::EncodeReply(Status::Ok(), {});
 
     case net::MessageType::kRead: {
-      const Result<net::ReadRequest> request =
-          net::ReadRequest::Decode(reader);
+      Result<net::ReadRequest> request = net::ReadRequest::Decode(reader);
       if (!request.ok()) return net::EncodeReply(request.status(), {});
+      if (options_.engine == ServerEngine::kEventLoop) {
+        // Server-side request batching (docs/ASYNC_SERVER.md): adjacent
+        // bricks collapse to one store op; reply bytes are unchanged, so
+        // this stays inside the opt-in engine.
+        const std::size_t before = request.value().fragments.size();
+        request.value().fragments =
+            CoalesceAdjacentReads(std::move(request.value().fragments));
+        Metrics().coalesced_fragments.Add(
+            before - request.value().fragments.size());
+      }
       Result<Bytes> data =
           store_.ReadFragments(request.value().subfile,
                                request.value().fragments);
@@ -208,10 +298,16 @@ Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
     }
 
     case net::MessageType::kWrite: {
-      const Result<net::WriteRequest> request =
-          net::WriteRequest::Decode(reader);
+      Result<net::WriteRequest> request = net::WriteRequest::Decode(reader);
       if (!request.ok()) return net::EncodeReply(request.status(), {});
       const std::uint64_t payload = request.value().total_bytes();
+      if (options_.engine == ServerEngine::kEventLoop) {
+        const std::size_t before = request.value().fragments.size();
+        request.value().fragments =
+            CoalesceAdjacentWrites(std::move(request.value().fragments));
+        Metrics().coalesced_fragments.Add(
+            before - request.value().fragments.size());
+      }
       const Status written = store_.WriteFragments(request.value().subfile,
                                                    request.value().fragments,
                                                    request.value().sync);
@@ -272,7 +368,7 @@ Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
 
     case net::MessageType::kShutdown:
       stopping_.store(true, std::memory_order_relaxed);
-      listener_.Close();
+      StopAcceptingAsync();
       return net::EncodeReply(Status::Ok(), {});
 
     case net::MessageType::kStats: {
@@ -303,6 +399,34 @@ Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
     }
   }
   return net::EncodeReply(ProtocolError("unhandled message type"), {});
+}
+
+void IoServer::StopAcceptingAsync() {
+  if (event_loop_) {
+    // Runs on the loop thread itself (kShutdown is serviced there), so only
+    // signal; the reactor flushes the shutdown reply during its drain and
+    // the eventual Stop() joins.
+    event_loop_->SignalStop();
+  } else {
+    listener_.Close();  // unblocks the accept thread
+  }
+}
+
+void IoServer::MetricsDumpLoop() {
+  const std::filesystem::path path = options_.metrics_dump_path.empty()
+                                         ? options_.root_dir / "metrics.txt"
+                                         : options_.metrics_dump_path;
+  {
+    MutexLock lock(dump_mu_);
+    while (!dump_stop_) {
+      if (dump_cv_.WaitFor(dump_mu_, options_.metrics_dump_interval)) {
+        continue;  // notified: re-check dump_stop_
+      }
+      DumpSnapshot(path);
+    }
+  }
+  // Final snapshot on shutdown so even a short run leaves one behind.
+  DumpSnapshot(path);
 }
 
 }  // namespace dpfs::server

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -23,6 +24,16 @@
 
 namespace dpfs::server {
 
+class EventLoop;
+
+/// Connection-handling engine. The paper's model (one thread per accepted
+/// connection, §2) is the default; the epoll reactor with request batching
+/// is the opt-in extension (docs/ASYNC_SERVER.md).
+enum class ServerEngine : std::uint8_t {
+  kThreadPerConnection,
+  kEventLoop,
+};
+
 struct ServerOptions {
   std::filesystem::path root_dir;  // subfile storage root
   std::uint16_t port = 0;          // 0 = ephemeral
@@ -30,6 +41,16 @@ struct ServerOptions {
   /// reply and are dropped, and the client "has to try again later" (§4.2).
   /// 0 = unlimited.
   std::size_t max_sessions = 0;
+  /// Engine selection; the DPFS_SERVER_ENGINE env var ("thread" | "event")
+  /// overrides it process-wide so the whole test suite can be forced onto
+  /// either engine without code changes.
+  ServerEngine engine = ServerEngine::kThreadPerConnection;
+  /// > 0: a background thread writes the process-wide metrics text snapshot
+  /// to `metrics_dump_path` every interval (atomic tmp+rename), so long
+  /// runs are observable without a DPFS client (docs/OBSERVABILITY.md).
+  std::chrono::milliseconds metrics_dump_interval{0};
+  /// Snapshot target; empty = root_dir / "metrics.txt".
+  std::filesystem::path metrics_dump_path;
 };
 
 /// Monotonic counters exposed for tests and the shell's `df`.
@@ -54,6 +75,10 @@ class IoServer {
   [[nodiscard]] net::Endpoint endpoint() const noexcept { return endpoint_; }
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] SubfileStore& store() noexcept { return store_; }
+  /// The engine actually running (options + DPFS_SERVER_ENGINE override).
+  [[nodiscard]] ServerEngine engine() const noexcept {
+    return options_.engine;
+  }
 
   /// Stops accepting, unblocks in-flight sessions, joins all threads.
   /// Idempotent.
@@ -68,6 +93,9 @@ class IoServer {
   Bytes HandleRequest(ByteSpan frame);
   /// The per-opcode service switch; returns the reply payload.
   Bytes Dispatch(net::MessageType type, BinaryReader& reader);
+  /// kShutdown's engine-appropriate "stop taking connections" signal.
+  void StopAcceptingAsync();
+  void MetricsDumpLoop();
 
   ServerOptions options_;
   SubfileStore store_;
@@ -82,6 +110,13 @@ class IoServer {
   std::vector<std::thread> sessions_ DPFS_GUARDED_BY(sessions_mu_);
   std::vector<int> session_fds_
       DPFS_GUARDED_BY(sessions_mu_);  // for unblocking on Stop
+
+  std::unique_ptr<EventLoop> event_loop_;  // engine == kEventLoop only
+
+  std::thread dump_thread_;  // metrics_dump_interval > 0 only
+  Mutex dump_mu_;
+  CondVar dump_cv_;
+  bool dump_stop_ DPFS_GUARDED_BY(dump_mu_) = false;
 };
 
 }  // namespace dpfs::server

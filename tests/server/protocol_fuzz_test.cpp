@@ -1,7 +1,8 @@
 // Wire-protocol robustness: a live server must survive malformed frames,
 // garbage bytes, truncated messages, and abrupt disconnects — replying with
 // errors where it can and dropping the session where it cannot, but never
-// crashing or wedging.
+// crashing or wedging. The whole suite runs against both engines (the
+// thread-per-connection default and the epoll reactor).
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -13,16 +14,20 @@
 #include "common/temp_dir.h"
 #include "net/connection.h"
 #include "net/frame.h"
+#include "net/messages.h"
 #include "server/io_server.h"
 
 namespace dpfs::server {
 namespace {
 
-class ProtocolFuzzTest : public ::testing::Test {
+class ProtocolFuzzTest : public ::testing::TestWithParam<ServerEngine> {
  protected:
-  ProtocolFuzzTest() : dir_(TempDir::Create("dpfs-fuzz").value()) {
+  ProtocolFuzzTest() : dir_(TempDir::Create("dpfs-fuzz").value()) {}
+
+  void SetUp() override {
     ServerOptions options;
     options.root_dir = dir_.path();
+    options.engine = GetParam();
     server_ = IoServer::Start(std::move(options)).value();
   }
 
@@ -49,7 +54,7 @@ class ProtocolFuzzTest : public ::testing::Test {
   std::unique_ptr<IoServer> server_;
 };
 
-TEST_F(ProtocolFuzzTest, GarbageBytesInsteadOfFrame) {
+TEST_P(ProtocolFuzzTest, GarbageBytesInsteadOfFrame) {
   net::TcpSocket socket =
       net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
   const Bytes garbage = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
@@ -58,7 +63,7 @@ TEST_F(ProtocolFuzzTest, GarbageBytesInsteadOfFrame) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, FrameWithAbsurdLength) {
+TEST_P(ProtocolFuzzTest, FrameWithAbsurdLength) {
   net::TcpSocket socket =
       net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
   BinaryWriter writer;
@@ -69,7 +74,7 @@ TEST_F(ProtocolFuzzTest, FrameWithAbsurdLength) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, ValidFrameBadMessageTypeGetsErrorReply) {
+TEST_P(ProtocolFuzzTest, ValidFrameBadMessageTypeGetsErrorReply) {
   net::TcpSocket socket =
       net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
   const Bytes payload = {0x7F};  // not a MessageType
@@ -81,7 +86,7 @@ TEST_F(ProtocolFuzzTest, ValidFrameBadMessageTypeGetsErrorReply) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, TruncatedRequestBodyGetsErrorReply) {
+TEST_P(ProtocolFuzzTest, TruncatedRequestBodyGetsErrorReply) {
   net::TcpSocket socket =
       net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
   // kRead with a body that claims a subfile string longer than the frame.
@@ -95,7 +100,7 @@ TEST_F(ProtocolFuzzTest, TruncatedRequestBodyGetsErrorReply) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, MidFrameDisconnect) {
+TEST_P(ProtocolFuzzTest, MidFrameDisconnect) {
   net::TcpSocket socket =
       net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
   BinaryWriter writer;
@@ -107,7 +112,7 @@ TEST_F(ProtocolFuzzTest, MidFrameDisconnect) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, RandomFrameStorm) {
+TEST_P(ProtocolFuzzTest, RandomFrameStorm) {
   SplitMix64 rng(12345);
   for (int trial = 0; trial < 40; ++trial) {
     Result<net::TcpSocket> socket =
@@ -135,7 +140,7 @@ TEST_F(ProtocolFuzzTest, RandomFrameStorm) {
   EXPECT_GE(server_->stats().sessions_accepted.load(), 40u);
 }
 
-TEST_F(ProtocolFuzzTest, FailpointSendCutsFrameAndServerCountsTheError) {
+TEST_P(ProtocolFuzzTest, FailpointSendCutsFrameAndServerCountsTheError) {
   // net.send_all kDisconnect severs the client's stream after `arg` bytes —
   // a deterministic mid-frame disconnect instead of the hand-rolled one
   // above. The server sees a truncated frame (kProtocolError, not a clean
@@ -161,7 +166,7 @@ TEST_F(ProtocolFuzzTest, FailpointSendCutsFrameAndServerCountsTheError) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, FailpointCutInsidePayloadAlsoCounts) {
+TEST_P(ProtocolFuzzTest, FailpointCutInsidePayloadAlsoCounts) {
   // Cut inside the payload (header fully delivered) — the server is waiting
   // on the body when the stream dies.
   const std::uint64_t errors_before = server_->stats().errors.load();
@@ -185,7 +190,7 @@ TEST_F(ProtocolFuzzTest, FailpointCutInsidePayloadAlsoCounts) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, OversizedLengthJustPastTheCapDropsSession) {
+TEST_P(ProtocolFuzzTest, OversizedLengthJustPastTheCapDropsSession) {
   net::TcpSocket socket =
       net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
   BinaryWriter writer;
@@ -198,7 +203,7 @@ TEST_F(ProtocolFuzzTest, OversizedLengthJustPastTheCapDropsSession) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, ServerDropsReplyMidSessionClientSeesUnavailable) {
+TEST_P(ProtocolFuzzTest, ServerDropsReplyMidSessionClientSeesUnavailable) {
   // server.before_reply kDisconnect: the request was handled but the reply
   // never leaves. The client observes a connection that died at a frame
   // boundary — kUnavailable, the retryable "fate unknown" outcome.
@@ -217,7 +222,7 @@ TEST_F(ProtocolFuzzTest, ServerDropsReplyMidSessionClientSeesUnavailable) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, ServerErrorReplyFailpointKeepsSessionUsable) {
+TEST_P(ProtocolFuzzTest, ServerErrorReplyFailpointKeepsSessionUsable) {
   // server.before_reply kReturnError swaps the real reply for an error
   // envelope; unlike the disconnect, the session survives.
   net::ServerConnection conn =
@@ -237,7 +242,7 @@ TEST_F(ProtocolFuzzTest, ServerErrorReplyFailpointKeepsSessionUsable) {
   EXPECT_TRUE(conn.Ping().ok());
 }
 
-TEST_F(ProtocolFuzzTest, StopJoinsAllSessionsAfterFaultStorm) {
+TEST_P(ProtocolFuzzTest, StopJoinsAllSessionsAfterFaultStorm) {
   // A storm of misbehaving sessions — truncated frames, dropped replies —
   // must leave no wedged session thread behind: Stop() joins everything
   // (the test would hang past its timeout on a leak).
@@ -280,7 +285,7 @@ TEST_F(ProtocolFuzzTest, StopJoinsAllSessionsAfterFaultStorm) {
   server_->Stop();  // joins every session thread or the test times out
 }
 
-TEST_F(ProtocolFuzzTest, MetricsOpcodeReturnsSnapshotWithLiveCounters) {
+TEST_P(ProtocolFuzzTest, MetricsOpcodeReturnsSnapshotWithLiveCounters) {
   // kMetrics returns the process-wide text snapshot; after real traffic the
   // server-side per-opcode counters must appear with nonzero values.
   net::ServerConnection conn =
@@ -302,7 +307,7 @@ TEST_F(ProtocolFuzzTest, MetricsOpcodeReturnsSnapshotWithLiveCounters) {
             std::string::npos);
 }
 
-TEST_F(ProtocolFuzzTest, MetricsOpcodeIgnoresTrailingBodyBytes) {
+TEST_P(ProtocolFuzzTest, MetricsOpcodeIgnoresTrailingBodyBytes) {
   // The request body is empty by contract; extra bytes must not confuse the
   // handler or wedge the session.
   net::TcpSocket socket =
@@ -317,7 +322,7 @@ TEST_F(ProtocolFuzzTest, MetricsOpcodeIgnoresTrailingBodyBytes) {
   ExpectServerAlive();
 }
 
-TEST_F(ProtocolFuzzTest, InterleavedGoodAndBadClients) {
+TEST_P(ProtocolFuzzTest, InterleavedGoodAndBadClients) {
   // A well-behaved client keeps working while another session misbehaves.
   net::ServerConnection good =
       net::ServerConnection::Connect(server_->endpoint()).value();
@@ -333,6 +338,66 @@ TEST_F(ProtocolFuzzTest, InterleavedGoodAndBadClients) {
   bad.Close();
   EXPECT_TRUE(good.Ping().ok());
 }
+
+TEST_P(ProtocolFuzzTest, ByteAtATimeDelivery) {
+  // TCP may deliver a frame in arbitrarily small pieces; one byte per
+  // segment is the worst case. Both engines must reassemble it.
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  const Bytes frame =
+      net::EncodeFrame(net::EncodeRequest(net::MessageType::kPing, {}))
+          .value();
+  for (const std::uint8_t byte : frame) {
+    ASSERT_TRUE(socket.SendAll({&byte, 1}).ok());
+  }
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  EXPECT_TRUE(net::DecodeReply(reply).value().status.ok());
+  ExpectServerAlive();
+}
+
+TEST_P(ProtocolFuzzTest, TwoFramesSplitAtEveryBoundary) {
+  // Two back-to-back ping frames, split into two sends at every possible
+  // byte position — covering splits inside the header, inside the payload,
+  // and exactly on the frame boundary. Each split must produce exactly two
+  // in-order replies.
+  const Bytes one =
+      net::EncodeFrame(net::EncodeRequest(net::MessageType::kPing, {}))
+          .value();
+  Bytes wire = one;
+  wire.insert(wire.end(), one.begin(), one.end());
+
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    net::TcpSocket socket =
+        net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port)
+            .value();
+    if (split > 0) {
+      ASSERT_TRUE(socket.SendAll(ByteSpan(wire).first(split)).ok());
+    }
+    if (split < wire.size()) {
+      // Give the server a chance to consume the prefix as its own segment.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ASSERT_TRUE(socket.SendAll(ByteSpan(wire).subspan(split)).ok());
+    }
+    for (int i = 0; i < 2; ++i) {
+      Bytes reply;
+      ASSERT_TRUE(net::RecvFrame(socket, reply).ok())
+          << "split=" << split << " reply " << i;
+      EXPECT_TRUE(net::DecodeReply(reply).value().status.ok());
+    }
+  }
+  ExpectServerAlive();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ProtocolFuzzTest,
+    ::testing::Values(ServerEngine::kThreadPerConnection,
+                      ServerEngine::kEventLoop),
+    [](const ::testing::TestParamInfo<ServerEngine>& param_info) {
+      return param_info.param == ServerEngine::kEventLoop
+                 ? "EventLoop"
+                 : "ThreadPerConnection";
+    });
 
 }  // namespace
 }  // namespace dpfs::server

@@ -3,7 +3,8 @@
 //
 //   dpfsd --root /var/dpfs [--port 7070] [--name host.example]
 //         [--metadb /shared/dpfs-meta] [--capacity 536870912]
-//         [--performance 1]
+//         [--performance 1] [--engine thread|event]
+//         [--metrics-dump-ms 0] [--metrics-dump-path FILE]
 //
 // With --metadb, the server registers itself in the DPFS_SERVER table so
 // clients can find it (re-registering replaces a stale row). Runs until
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dpfsd --root DIR [--port N] [--name NAME]\n"
                  "             [--metadb DIR] [--capacity BYTES] "
-                 "[--performance N] [--max-sessions N]\n");
+                 "[--performance N] [--max-sessions N]\n"
+                 "             [--engine thread|event] [--metrics-dump-ms N] "
+                 "[--metrics-dump-path FILE]\n");
     return 2;
   }
 
@@ -62,6 +65,16 @@ int main(int argc, char** argv) {
   server_options.port = static_cast<std::uint16_t>(opts.GetInt("port", 0));
   server_options.max_sessions =
       static_cast<std::size_t>(opts.GetInt("max-sessions", 0));
+  const std::string engine = opts.GetString("engine", "thread");
+  if (engine == "event") {
+    server_options.engine = server::ServerEngine::kEventLoop;
+  } else if (engine != "thread") {
+    std::fprintf(stderr, "dpfsd: --engine must be 'thread' or 'event'\n");
+    return 2;
+  }
+  server_options.metrics_dump_interval =
+      std::chrono::milliseconds(opts.GetInt("metrics-dump-ms", 0));
+  server_options.metrics_dump_path = opts.GetString("metrics-dump-path", "");
 
   Result<std::unique_ptr<server::IoServer>> started =
       server::IoServer::Start(std::move(server_options));
