@@ -27,6 +27,12 @@ struct ClientMetricsT {
   metrics::Counter& busy_retries = metrics::GetCounter("client.busy_retries");
   metrics::Counter& failed_accesses =
       metrics::GetCounter("client.failed_accesses");
+  // Metadata (file-record) cache effectiveness, aggregated across
+  // instances; per-instance numbers stay on metadata_cache_stats().
+  metrics::Counter& metadata_cache_hits =
+      metrics::GetCounter("client.metadata_cache.hits");
+  metrics::Counter& metadata_cache_misses =
+      metrics::GetCounter("client.metadata_cache.misses");
 };
 ClientMetricsT& ClientMetrics() {
   static ClientMetricsT m;
@@ -36,6 +42,13 @@ ClientMetricsT& ClientMetrics() {
 
 Result<std::shared_ptr<FileSystem>> FileSystem::Connect(
     std::shared_ptr<metadb::Database> db) {
+  DPFS_ASSIGN_OR_RETURN(std::unique_ptr<MetadataManager> metadata,
+                        MetadataManager::Attach(std::move(db)));
+  return std::shared_ptr<FileSystem>(new FileSystem(std::move(metadata)));
+}
+
+Result<std::shared_ptr<FileSystem>> FileSystem::Connect(
+    std::shared_ptr<metadb::ShardedDatabase> db) {
   DPFS_ASSIGN_OR_RETURN(std::unique_ptr<MetadataManager> metadata,
                         MetadataManager::Attach(std::move(db)));
   return std::shared_ptr<FileSystem>(new FileSystem(std::move(metadata)));
@@ -159,12 +172,14 @@ Result<FileHandle> FileSystem::Open(const std::string& path) {
     const auto it = record_cache_.find(normalized);
     if (it != record_cache_.end()) {
       ++cache_hits_;
+      ClientMetrics().metadata_cache_hits.Add();
       FileHandle handle;
       handle.record = it->second;
       DPFS_ASSIGN_OR_RETURN(handle.map, handle.record.meta.MakeBrickMap());
       return handle;
     }
     ++cache_misses_;
+    ClientMetrics().metadata_cache_misses.Add();
   }
   DPFS_ASSIGN_OR_RETURN(FileRecord record, metadata_->LookupFile(normalized));
   DPFS_ASSIGN_OR_RETURN(layout::BrickMap map, record.meta.MakeBrickMap());
@@ -312,14 +327,17 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
 
 Result<FileSystem::FsckReport> FileSystem::Fsck(bool repair) {
   FsckReport report;
-  // Expected file set from DPFS_FILE_ATTR.
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet attr,
-      metadata_->db().Execute("SELECT filename FROM DPFS_FILE_ATTR"));
+  // Expected file set from DPFS_FILE_ATTR, unioned across every shard.
+  metadb::ShardedDatabase& db = metadata_->sharded_db();
   std::set<std::string> expected;
-  for (std::size_t row = 0; row < attr.size(); ++row) {
-    DPFS_ASSIGN_OR_RETURN(std::string name, attr.GetText(row, "filename"));
-    expected.insert(std::move(name));
+  for (std::size_t shard = 0; shard < db.num_shards(); ++shard) {
+    DPFS_ASSIGN_OR_RETURN(
+        const metadb::ResultSet attr,
+        db.shard(shard).Execute("SELECT filename FROM DPFS_FILE_ATTR"));
+    for (std::size_t row = 0; row < attr.size(); ++row) {
+      DPFS_ASSIGN_OR_RETURN(std::string name, attr.GetText(row, "filename"));
+      expected.insert(std::move(name));
+    }
   }
   report.files_checked = expected.size();
 

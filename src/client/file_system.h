@@ -114,6 +114,10 @@ class FileSystem {
   /// Binds to (and initializes if needed) the metadata database.
   static Result<std::shared_ptr<FileSystem>> Connect(
       std::shared_ptr<metadb::Database> db);
+  /// Sharded variant (`metadb_shards` extension): same semantics, metadata
+  /// rows are spread across the facade's path-hash shards.
+  static Result<std::shared_ptr<FileSystem>> Connect(
+      std::shared_ptr<metadb::ShardedDatabase> db);
 
   [[nodiscard]] MetadataManager& metadata() noexcept { return *metadata_; }
 

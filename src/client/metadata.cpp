@@ -1,13 +1,37 @@
 #include "client/metadata.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
+#include "metadb/predicate.h"
+#include "metadb/sql_ast.h"
 
 namespace dpfs::client {
 namespace {
 
-/// SQL string literal with '' escaping.
+constexpr const char* kServerTable = "DPFS_SERVER";
+constexpr const char* kDistTable = "DPFS_FILE_DISTRIBUTION";
+constexpr const char* kDirTable = "DPFS_DIRECTORY";
+constexpr const char* kAttrTable = "DPFS_FILE_ATTR";
+constexpr const char* kAccessTable = "DPFS_ACCESS_LOG";
+constexpr const char* kIntentTable = "DPFS_INTENT";
+
+/// Separator between serialized statements in a rename intent payload;
+/// ASCII record separator, which cannot appear in a normalized path.
+constexpr char kPayloadSep = '\x1e';
+
+/// Fires between the shard commits of a cross-shard mutation
+/// (docs/FAULT_INJECTION.md, site `metadb.shard_commit`): the home shard has
+/// committed its transaction + intent record, follower shards may or may not
+/// have applied. The chaos test kills the protocol here and asserts the
+/// repair pass in Attach rolls the mutation forward.
+#define DPFS_SHARD_COMMIT_GATE() DPFS_FAILPOINT_RETURN("metadb.shard_commit")
+
+/// SQL string literal with '' escaping (intent payloads only; the hot paths
+/// below bypass SQL entirely).
 std::string Quote(std::string_view text) {
   std::string out = "'";
   for (const char c : text) {
@@ -16,6 +40,25 @@ std::string Quote(std::string_view text) {
   }
   out += "'";
   return out;
+}
+
+std::string ValueSqlLiteral(const metadb::Value& value) {
+  switch (value.type()) {
+    case metadb::ValueType::kNull:
+      return "NULL";
+    case metadb::ValueType::kInt:
+      return std::to_string(value.AsInt());
+    case metadb::ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.AsDouble());
+      std::string text = buf;
+      if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+      return text;
+    }
+    case metadb::ValueType::kText:
+      return Quote(value.AsText());
+  }
+  return "NULL";
 }
 
 std::string EncodeShape(const layout::Shape& shape) {
@@ -52,23 +95,191 @@ std::string EncodeNameList(const std::vector<std::string>& names) {
   return JoinStrings(names, ",");
 }
 
+// ---------------------------------------------------------------------------
+// Hot statement cache: the manager issues ~10 fixed parameterized statement
+// shapes; their ASTs are built once and cloned per call (a SelectStmt copy
+// shares the immutable ExprPtr nodes), so the steady-state metadata path
+// never touches the SQL lexer/parser. The win shows up in metadb.execute_us.
+
+metadb::SelectStmt MakeSelect(const char* table,
+                              std::vector<std::string> columns,
+                              std::optional<metadb::OrderBy> order = {}) {
+  metadb::SelectStmt stmt;
+  stmt.table = table;
+  stmt.columns = std::move(columns);
+  stmt.order_by = std::move(order);
+  return stmt;
+}
+
+struct HotStatements {
+  metadb::ExprPtr filename_col = metadb::MakeColumn("filename");
+  metadb::ExprPtr main_dir_col = metadb::MakeColumn("main_dir");
+  metadb::ExprPtr server_name_col = metadb::MakeColumn("server_name");
+  metadb::ExprPtr intent_src_col = metadb::MakeColumn("src");
+
+  metadb::SelectStmt attr_all = MakeSelect(kAttrTable, {});
+  metadb::SelectStmt attr_exists = MakeSelect(kAttrTable, {"filename"});
+  metadb::SelectStmt attr_size =
+      MakeSelect(kAttrTable, {"size", "filelevel", "brickbytes"});
+  metadb::SelectStmt dist_by_file =
+      MakeSelect(kDistTable, {"server", "server_index", "bricklist"},
+                 metadb::OrderBy{"server_index", false});
+  metadb::SelectStmt dist_all = MakeSelect(kDistTable, {});
+  metadb::SelectStmt access_all = MakeSelect(kAccessTable, {});
+  metadb::SelectStmt access_by_file =
+      MakeSelect(kAccessTable, {"requests", "transfer", "useful"});
+  metadb::SelectStmt server_by_name = MakeSelect(kServerTable, {});
+  metadb::SelectStmt servers_ordered =
+      MakeSelect(kServerTable, {}, metadb::OrderBy{"server_name", false});
+  metadb::SelectStmt dir_exists = MakeSelect(kDirTable, {"main_dir"});
+  metadb::SelectStmt dir_lists = MakeSelect(kDirTable, {"sub_dirs", "files"});
+  metadb::SelectStmt dir_files = MakeSelect(kDirTable, {"files"});
+  metadb::SelectStmt dir_subdirs = MakeSelect(kDirTable, {"sub_dirs"});
+  metadb::SelectStmt intent_all = MakeSelect(kIntentTable, {});
+};
+
+const HotStatements& Hot() {
+  static const HotStatements hot;
+  return hot;
+}
+
+Result<metadb::ResultSet> SelectEq(metadb::Database& db,
+                                   const metadb::SelectStmt& tpl,
+                                   const metadb::ExprPtr& column,
+                                   std::string_view key) {
+  metadb::SelectStmt stmt = tpl;
+  stmt.where = metadb::MakeCompare(metadb::CompareOp::kEq, column,
+                                   metadb::MakeLiteral(std::string(key)));
+  return db.ExecuteStatement(std::move(stmt));
+}
+
+Result<metadb::ResultSet> SelectAll(metadb::Database& db,
+                                    const metadb::SelectStmt& tpl) {
+  return db.ExecuteStatement(tpl);
+}
+
+Status InsertRow(metadb::Database& db, const char* table,
+                 std::vector<metadb::Value> row) {
+  metadb::InsertStmt stmt;
+  stmt.table = table;
+  stmt.rows.push_back(std::move(row));
+  return db.ExecuteStatement(std::move(stmt)).status();
+}
+
+Result<metadb::ResultSet> DeleteEq(metadb::Database& db, const char* table,
+                                   const metadb::ExprPtr& column,
+                                   std::string_view key) {
+  metadb::DeleteStmt stmt;
+  stmt.table = table;
+  stmt.where = metadb::MakeCompare(metadb::CompareOp::kEq, column,
+                                   metadb::MakeLiteral(std::string(key)));
+  return db.ExecuteStatement(std::move(stmt));
+}
+
+Result<metadb::ResultSet> UpdateEq(
+    metadb::Database& db, const char* table,
+    std::vector<std::pair<std::string, metadb::Value>> assignments,
+    const metadb::ExprPtr& column, std::string_view key) {
+  metadb::UpdateStmt stmt;
+  stmt.table = table;
+  stmt.assignments = std::move(assignments);
+  stmt.where = metadb::MakeCompare(metadb::CompareOp::kEq, column,
+                                   metadb::MakeLiteral(std::string(key)));
+  return db.ExecuteStatement(std::move(stmt));
+}
+
 /// RAII transaction guard: rolls back unless Commit() succeeded.
 class Transaction {
  public:
   explicit Transaction(metadb::Database& db) : db_(db) {}
-  Status Begin() { return db_.Execute("BEGIN").status(); }
+  Status Begin() {
+    return db_.ExecuteStatement(metadb::BeginStmt{}).status();
+  }
   Status Commit() {
     committed_ = true;
-    return db_.Execute("COMMIT").status();
+    return db_.ExecuteStatement(metadb::CommitStmt{}).status();
   }
   ~Transaction() {
-    if (!committed_) (void)db_.Execute("ROLLBACK");
+    if (!committed_) (void)db_.ExecuteStatement(metadb::RollbackStmt{});
   }
 
  private:
   metadb::Database& db_;
   bool committed_ = false;
 };
+
+Result<ServerInfo> ServerFromRow(const metadb::ResultSet& result,
+                                 std::size_t row) {
+  ServerInfo server;
+  DPFS_ASSIGN_OR_RETURN(server.name, result.GetText(row, "server_name"));
+  DPFS_ASSIGN_OR_RETURN(server.endpoint.host, result.GetText(row, "host"));
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t port, result.GetInt(row, "port"));
+  server.endpoint.port = static_cast<std::uint16_t>(port);
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t capacity,
+                        result.GetInt(row, "capacity"));
+  server.capacity_bytes = static_cast<std::uint64_t>(capacity);
+  DPFS_ASSIGN_OR_RETURN(const std::int64_t performance,
+                        result.GetInt(row, "performance"));
+  server.performance = static_cast<std::uint32_t>(performance);
+  return server;
+}
+
+Result<ServerInfo> ServerByName(metadb::Database& db,
+                                const std::string& name) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      SelectEq(db, Hot().server_by_name, Hot().server_name_col, name));
+  if (result.empty()) return NotFoundError("no server '" + name + "'");
+  return ServerFromRow(result, 0);
+}
+
+Result<bool> FileExistsIn(metadb::Database& db, const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      SelectEq(db, Hot().attr_exists, Hot().filename_col, path));
+  return !result.empty();
+}
+
+Result<bool> DirExistsIn(metadb::Database& db, const std::string& path) {
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet result,
+      SelectEq(db, Hot().dir_exists, Hot().main_dir_col, path));
+  return !result.empty();
+}
+
+/// Serializes a file's rows on its (old) home shard as INSERT statements
+/// with the filename already rewritten to `dst` — the rename intent payload
+/// applied on the destination home shard.
+Result<std::string> BuildRenamePayload(metadb::Database& db,
+                                       const std::string& src,
+                                       const std::string& dst) {
+  const HotStatements& hot = Hot();
+  struct TableSelect {
+    const char* table;
+    const metadb::SelectStmt* all;
+  };
+  const TableSelect tables[] = {{kAttrTable, &hot.attr_all},
+                                {kDistTable, &hot.dist_all},
+                                {kAccessTable, &hot.access_all}};
+  std::vector<std::string> statements;
+  for (const TableSelect& t : tables) {
+    DPFS_ASSIGN_OR_RETURN(const metadb::ResultSet rows,
+                          SelectEq(db, *t.all, hot.filename_col, src));
+    for (const metadb::Row& row : rows.rows) {
+      std::string sql = "INSERT INTO ";
+      sql += t.table;
+      sql += " VALUES (";
+      for (std::size_t col = 0; col < row.size(); ++col) {
+        if (col > 0) sql += ", ";
+        // Column 0 is `filename` in all three tables.
+        sql += col == 0 ? Quote(dst) : ValueSqlLiteral(row[col]);
+      }
+      sql += ")";
+      statements.push_back(std::move(sql));
+    }
+  }
+  return JoinStrings(statements, std::string(1, kPayloadSep));
+}
 
 }  // namespace
 
@@ -96,12 +307,65 @@ Result<layout::BrickMap> FileMeta::MakeBrickMap() const {
   return InternalError("bad file level in metadata");
 }
 
+// ---------------------------------------------------------------------------
+// Shard locking
+
+/// Locks the transaction mutex of every involved shard in ascending index
+/// order (a total order, so concurrent multi-shard mutations cannot
+/// deadlock) and releases in reverse. Manual lock()/unlock() because the
+/// shard set is dynamic; the annotations cannot track a runtime-indexed
+/// mutex vector.
+class MetadataManager::ShardLocks {
+ public:
+  ShardLocks(MetadataManager& manager, std::vector<std::size_t> shards)
+      DPFS_NO_THREAD_SAFETY_ANALYSIS : manager_(manager),
+                                       shards_(std::move(shards)) {
+    std::sort(shards_.begin(), shards_.end());
+    shards_.erase(std::unique(shards_.begin(), shards_.end()),
+                  shards_.end());
+    for (const std::size_t shard : shards_) {
+      manager_.shard_mu_[shard]->lock();
+    }
+  }
+  ~ShardLocks() DPFS_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      manager_.shard_mu_[*it]->unlock();
+    }
+  }
+  ShardLocks(const ShardLocks&) = delete;
+  ShardLocks& operator=(const ShardLocks&) = delete;
+
+ private:
+  MetadataManager& manager_;
+  std::vector<std::size_t> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Attach / schema
+
+MetadataManager::MetadataManager(std::shared_ptr<metadb::ShardedDatabase> db)
+    : db_(std::move(db)) {
+  shard_mu_.reserve(db_->num_shards());
+  for (std::size_t i = 0; i < db_->num_shards(); ++i) {
+    shard_mu_.push_back(std::make_unique<Mutex>());
+  }
+}
+
 Result<std::unique_ptr<MetadataManager>> MetadataManager::Attach(
-    std::shared_ptr<metadb::Database> db) {
+    std::shared_ptr<metadb::ShardedDatabase> db) {
   std::unique_ptr<MetadataManager> manager(
       new MetadataManager(std::move(db)));
   DPFS_RETURN_IF_ERROR(manager->EnsureTables());
+  if (manager->db_->num_shards() > 1) {
+    DPFS_RETURN_IF_ERROR(manager->RepairIntents());
+  }
   return manager;
+}
+
+Result<std::unique_ptr<MetadataManager>> MetadataManager::Attach(
+    std::shared_ptr<metadb::Database> db) {
+  return Attach(std::shared_ptr<metadb::ShardedDatabase>(
+      metadb::ShardedDatabase::Adopt(std::move(db))));
 }
 
 Status MetadataManager::EnsureTables() {
@@ -122,77 +386,213 @@ Status MetadataManager::EnsureTables() {
       "  filename TEXT, direction TEXT, requests INT,"
       "  transfer INT, useful INT)",
   };
-  for (const char* ddl : kDdl) {
-    DPFS_RETURN_IF_ERROR(db_->Execute(ddl).status());
-  }
-  // Distribution rows are keyed by filename (one row per server per file);
-  // index them so DPFS-Open's lookup is a probe, not a scan. Same for the
-  // access log's per-file summaries.
-  DPFS_RETURN_IF_ERROR(
-      db_->CreateIndex("DPFS_FILE_DISTRIBUTION", "filename"));
-  DPFS_RETURN_IF_ERROR(db_->CreateIndex("DPFS_ACCESS_LOG", "filename"));
+  // Pending cross-shard mutations (docs/METADATA_SCHEMA.md "Sharding");
+  // only exists on sharded databases so the single-shard on-disk layout
+  // stays byte-identical to the unsharded engine.
+  static constexpr const char* kIntentDdl =
+      "CREATE TABLE IF NOT EXISTS DPFS_INTENT ("
+      "  src TEXT PRIMARY KEY, op TEXT, dst TEXT, payload TEXT)";
 
-  // The root directory always exists.
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet root,
-      db_->Execute("SELECT main_dir FROM DPFS_DIRECTORY WHERE main_dir = '/'"));
-  if (root.empty()) {
-    DPFS_RETURN_IF_ERROR(
-        db_->Execute(
-               "INSERT INTO DPFS_DIRECTORY VALUES ('/', '', '')")
-            .status());
+  for (std::size_t i = 0; i < db_->num_shards(); ++i) {
+    metadb::Database& shard = Shard(i);
+    for (const char* ddl : kDdl) {
+      DPFS_RETURN_IF_ERROR(shard.Execute(ddl).status());
+    }
+    if (db_->num_shards() > 1) {
+      DPFS_RETURN_IF_ERROR(shard.Execute(kIntentDdl).status());
+    }
+    // Distribution rows are keyed by filename (one row per server per
+    // file); index them so DPFS-Open's lookup is a probe, not a scan. Same
+    // for the access log's per-file summaries.
+    DPFS_RETURN_IF_ERROR(shard.CreateIndex(kDistTable, "filename"));
+    DPFS_RETURN_IF_ERROR(shard.CreateIndex(kAccessTable, "filename"));
+  }
+
+  // The root directory always exists (on its home shard).
+  metadb::Database& root_shard = Shard(ShardOf("/"));
+  DPFS_ASSIGN_OR_RETURN(const bool root_exists,
+                        DirExistsIn(root_shard, "/"));
+  if (!root_exists) {
+    DPFS_RETURN_IF_ERROR(InsertRow(root_shard, kDirTable, {"/", "", ""}));
   }
   return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------
-// Servers
+// Cross-shard intent protocol
 
-Status MetadataManager::RegisterServer(const ServerInfo& server) {
-  const std::string sql =
-      "INSERT INTO DPFS_SERVER VALUES (" + Quote(server.name) + ", " +
-      Quote(server.endpoint.host) + ", " +
-      std::to_string(server.endpoint.port) + ", " +
-      std::to_string(server.capacity_bytes) + ", " +
-      std::to_string(server.performance) + ")";
-  return db_->Execute(sql).status();
+Status MetadataManager::UpsertIntent(metadb::Database& home,
+                                     const std::string& op,
+                                     const std::string& src,
+                                     const std::string& dst,
+                                     const std::string& payload) {
+  // Delete-then-insert: a later mutation of the same path supersedes any
+  // stale intent row (the PK is `src`).
+  DPFS_RETURN_IF_ERROR(
+      DeleteEq(home, kIntentTable, Hot().intent_src_col, src).status());
+  return InsertRow(home, kIntentTable, {src, op, dst, payload});
 }
 
-Status MetadataManager::UnregisterServer(const std::string& name) {
+Status MetadataManager::DeleteIntent(metadb::Database& home,
+                                     const std::string& src) {
+  return DeleteEq(home, kIntentTable, Hot().intent_src_col, src).status();
+}
+
+Status MetadataManager::LinkName(metadb::Database& db, const std::string& dir,
+                                 const std::string& name, bool file) {
+  const HotStatements& hot = Hot();
+  const char* column = file ? "files" : "sub_dirs";
   DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet result,
-      db_->Execute("DELETE FROM DPFS_SERVER WHERE server_name = " +
-                   Quote(name)));
-  if (result.affected_rows == 0) {
-    return NotFoundError("no server '" + name + "'");
+      const metadb::ResultSet row,
+      SelectEq(db, file ? hot.dir_files : hot.dir_subdirs, hot.main_dir_col,
+               dir));
+  if (row.empty()) return Status::Ok();
+  DPFS_ASSIGN_OR_RETURN(const std::string list, row.GetText(0, column));
+  std::vector<std::string> names = DecodeNameList(list);
+  if (std::find(names.begin(), names.end(), name) != names.end()) {
+    return Status::Ok();
+  }
+  names.push_back(name);
+  return UpdateEq(db, kDirTable, {{column, EncodeNameList(names)}},
+                  hot.main_dir_col, dir)
+      .status();
+}
+
+Status MetadataManager::UnlinkName(metadb::Database& db,
+                                   const std::string& dir,
+                                   const std::string& name, bool file) {
+  const HotStatements& hot = Hot();
+  const char* column = file ? "files" : "sub_dirs";
+  DPFS_ASSIGN_OR_RETURN(
+      const metadb::ResultSet row,
+      SelectEq(db, file ? hot.dir_files : hot.dir_subdirs, hot.main_dir_col,
+               dir));
+  if (row.empty()) return Status::Ok();
+  DPFS_ASSIGN_OR_RETURN(const std::string list, row.GetText(0, column));
+  std::vector<std::string> names = DecodeNameList(list);
+  const auto end = std::remove(names.begin(), names.end(), name);
+  if (end == names.end()) return Status::Ok();
+  names.erase(end, names.end());
+  return UpdateEq(db, kDirTable, {{column, EncodeNameList(names)}},
+                  hot.main_dir_col, dir)
+      .status();
+}
+
+Status MetadataManager::ApplyRenamePayload(metadb::Database& db,
+                                           const std::string& dst,
+                                           const std::string& payload) {
+  const HotStatements& hot = Hot();
+  Transaction txn(db);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+  // Idempotent: clear any rows a partial earlier application left behind,
+  // then re-insert from the payload.
+  DPFS_RETURN_IF_ERROR(
+      DeleteEq(db, kAttrTable, hot.filename_col, dst).status());
+  DPFS_RETURN_IF_ERROR(
+      DeleteEq(db, kDistTable, hot.filename_col, dst).status());
+  DPFS_RETURN_IF_ERROR(
+      DeleteEq(db, kAccessTable, hot.filename_col, dst).status());
+  for (const std::string& sql : SplitString(payload, kPayloadSep)) {
+    if (sql.empty()) continue;
+    DPFS_RETURN_IF_ERROR(db.Execute(sql).status());
+  }
+  return txn.Commit();
+}
+
+Status MetadataManager::ApplyIntent(const std::string& op,
+                                    const std::string& src,
+                                    const std::string& dst,
+                                    const std::string& payload) {
+  const auto [src_parent, src_name] = SplitPath(src);
+  metadb::Database& src_dir_shard = Shard(ShardOf(src_parent));
+  if (op == "create") return LinkName(src_dir_shard, src_parent, src_name, true);
+  if (op == "delete") {
+    return UnlinkName(src_dir_shard, src_parent, src_name, true);
+  }
+  if (op == "mkdir") return LinkName(src_dir_shard, src_parent, src_name, false);
+  if (op == "rmdir") {
+    return UnlinkName(src_dir_shard, src_parent, src_name, false);
+  }
+  if (op == "rename") {
+    if (!payload.empty()) {
+      DPFS_RETURN_IF_ERROR(ApplyRenamePayload(Shard(ShardOf(dst)), dst,
+                                              payload));
+    }
+    DPFS_RETURN_IF_ERROR(UnlinkName(src_dir_shard, src_parent, src_name, true));
+    const auto [dst_parent, dst_name] = SplitPath(dst);
+    return LinkName(Shard(ShardOf(dst_parent)), dst_parent, dst_name, true);
+  }
+  return InternalError("unknown intent op '" + op + "'");
+}
+
+Status MetadataManager::RepairIntents() {
+  for (std::size_t i = 0; i < db_->num_shards(); ++i) {
+    metadb::Database& shard = Shard(i);
+    DPFS_ASSIGN_OR_RETURN(const metadb::ResultSet intents,
+                          SelectAll(shard, Hot().intent_all));
+    for (std::size_t row = 0; row < intents.size(); ++row) {
+      DPFS_ASSIGN_OR_RETURN(const std::string op, intents.GetText(row, "op"));
+      DPFS_ASSIGN_OR_RETURN(const std::string src,
+                            intents.GetText(row, "src"));
+      DPFS_ASSIGN_OR_RETURN(const std::string dst,
+                            intents.GetText(row, "dst"));
+      DPFS_ASSIGN_OR_RETURN(const std::string payload,
+                            intents.GetText(row, "payload"));
+      DPFS_RETURN_IF_ERROR(ApplyIntent(op, src, dst, payload));
+      DPFS_RETURN_IF_ERROR(DeleteIntent(shard, src));
+    }
   }
   return Status::Ok();
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// Servers (replicated to every shard — lookups stay single-shard)
 
-Result<ServerInfo> ServerFromRow(const metadb::ResultSet& result,
-                                 std::size_t row) {
-  ServerInfo server;
-  DPFS_ASSIGN_OR_RETURN(server.name, result.GetText(row, "server_name"));
-  DPFS_ASSIGN_OR_RETURN(server.endpoint.host, result.GetText(row, "host"));
-  DPFS_ASSIGN_OR_RETURN(const std::int64_t port, result.GetInt(row, "port"));
-  server.endpoint.port = static_cast<std::uint16_t>(port);
-  DPFS_ASSIGN_OR_RETURN(const std::int64_t capacity,
-                        result.GetInt(row, "capacity"));
-  server.capacity_bytes = static_cast<std::uint64_t>(capacity);
-  DPFS_ASSIGN_OR_RETURN(const std::int64_t performance,
-                        result.GetInt(row, "performance"));
-  server.performance = static_cast<std::uint32_t>(performance);
-  return server;
+Status MetadataManager::RegisterServer(const ServerInfo& server) {
+  std::vector<std::size_t> all(db_->num_shards());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  ShardLocks locks(*this, std::move(all));
+
+  const auto row = [&server]() -> std::vector<metadb::Value> {
+    return {server.name, server.endpoint.host,
+            static_cast<std::int64_t>(server.endpoint.port),
+            static_cast<std::int64_t>(server.capacity_bytes),
+            static_cast<std::int64_t>(server.performance)};
+  };
+  // Shard 0 keeps the unsharded contract: a duplicate name is a primary-key
+  // error. The replicas upsert — re-registration repair must be idempotent.
+  DPFS_RETURN_IF_ERROR(InsertRow(Shard(0), kServerTable, row()));
+  for (std::size_t i = 1; i < db_->num_shards(); ++i) {
+    DPFS_RETURN_IF_ERROR(
+        DeleteEq(Shard(i), kServerTable, Hot().server_name_col, server.name)
+            .status());
+    DPFS_RETURN_IF_ERROR(InsertRow(Shard(i), kServerTable, row()));
+  }
+  return Status::Ok();
 }
 
-}  // namespace
+Status MetadataManager::UnregisterServer(const std::string& name) {
+  std::vector<std::size_t> all(db_->num_shards());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  ShardLocks locks(*this, std::move(all));
 
-Result<std::vector<ServerInfo>> MetadataManager::ListServers() {
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet result,
-      db_->Execute("SELECT * FROM DPFS_SERVER ORDER BY server_name"));
+      DeleteEq(Shard(0), kServerTable, Hot().server_name_col, name));
+  if (result.affected_rows == 0) {
+    return NotFoundError("no server '" + name + "'");
+  }
+  for (std::size_t i = 1; i < db_->num_shards(); ++i) {
+    DPFS_RETURN_IF_ERROR(
+        DeleteEq(Shard(i), kServerTable, Hot().server_name_col, name)
+            .status());
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ServerInfo>> MetadataManager::ListServers() {
+  DPFS_ASSIGN_OR_RETURN(const metadb::ResultSet result,
+                        SelectAll(Shard(0), Hot().servers_ordered));
   std::vector<ServerInfo> servers;
   servers.reserve(result.size());
   for (std::size_t row = 0; row < result.size(); ++row) {
@@ -203,29 +603,24 @@ Result<std::vector<ServerInfo>> MetadataManager::ListServers() {
 }
 
 Result<ServerInfo> MetadataManager::LookupServer(const std::string& name) {
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet result,
-      db_->Execute("SELECT * FROM DPFS_SERVER WHERE server_name = " +
-                   Quote(name)));
-  if (result.empty()) return NotFoundError("no server '" + name + "'");
-  return ServerFromRow(result, 0);
+  return ServerByName(Shard(0), name);
 }
 
 // ---------------------------------------------------------------------------
-// Access log (extension)
+// Access log (extension; rows co-locate on the file's home shard)
 
 Status MetadataManager::LogAccess(const std::string& path, bool is_write,
                                   std::uint64_t requests,
                                   std::uint64_t transfer_bytes,
                                   std::uint64_t useful_bytes) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
-  return db_
-      ->Execute("INSERT INTO DPFS_ACCESS_LOG VALUES (" + Quote(normalized) +
-                ", " + (is_write ? "'write'" : "'read'") + ", " +
-                std::to_string(requests) + ", " +
-                std::to_string(transfer_bytes) + ", " +
-                std::to_string(useful_bytes) + ")")
-      .status();
+  const std::size_t home = ShardOf(normalized);
+  ShardLocks locks(*this, {home});
+  return InsertRow(Shard(home), kAccessTable,
+                   {normalized, is_write ? "write" : "read",
+                    static_cast<std::int64_t>(requests),
+                    static_cast<std::int64_t>(transfer_bytes),
+                    static_cast<std::int64_t>(useful_bytes)});
 }
 
 Result<MetadataManager::AccessSummary> MetadataManager::SummarizeAccess(
@@ -233,9 +628,8 @@ Result<MetadataManager::AccessSummary> MetadataManager::SummarizeAccess(
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet rows,
-      db_->Execute("SELECT requests, transfer, useful FROM DPFS_ACCESS_LOG "
-                   "WHERE filename = " +
-                   Quote(normalized)));
+      SelectEq(Shard(ShardOf(normalized)), Hot().access_by_file,
+               Hot().filename_col, normalized));
   AccessSummary summary;
   summary.accesses = rows.size();
   for (std::size_t row = 0; row < rows.size(); ++row) {
@@ -254,9 +648,9 @@ Result<MetadataManager::AccessSummary> MetadataManager::SummarizeAccess(
 
 Status MetadataManager::ClearAccessLog(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
-  return db_
-      ->Execute("DELETE FROM DPFS_ACCESS_LOG WHERE filename = " +
-                Quote(normalized))
+  const std::size_t home = ShardOf(normalized);
+  ShardLocks locks(*this, {home});
+  return DeleteEq(Shard(home), kAccessTable, Hot().filename_col, normalized)
       .status();
 }
 
@@ -265,20 +659,12 @@ Status MetadataManager::ClearAccessLog(const std::string& path) {
 
 Result<bool> MetadataManager::DirectoryExists(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet result,
-      db_->Execute("SELECT main_dir FROM DPFS_DIRECTORY WHERE main_dir = " +
-                   Quote(normalized)));
-  return !result.empty();
+  return DirExistsIn(Shard(ShardOf(normalized)), normalized);
 }
 
 Result<bool> MetadataManager::FileExists(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet result,
-      db_->Execute("SELECT filename FROM DPFS_FILE_ATTR WHERE filename = " +
-                   Quote(normalized)));
-  return !result.empty();
+  return FileExistsIn(Shard(ShardOf(normalized)), normalized);
 }
 
 Status MetadataManager::MakeDirectory(const std::string& path) {
@@ -286,41 +672,52 @@ Status MetadataManager::MakeDirectory(const std::string& path) {
   if (normalized == "/") return AlreadyExistsError("'/' already exists");
   const auto [parent, name] = SplitPath(normalized);
 
-  DPFS_ASSIGN_OR_RETURN(const bool parent_exists, DirectoryExists(parent));
+  const std::size_t home = ShardOf(normalized);
+  const std::size_t parent_shard = ShardOf(parent);
+  ShardLocks locks(*this, {home, parent_shard});
+
+  DPFS_ASSIGN_OR_RETURN(const bool parent_exists,
+                        DirExistsIn(Shard(parent_shard), parent));
   if (!parent_exists) {
     return NotFoundError("parent directory '" + parent + "' does not exist");
   }
-  DPFS_ASSIGN_OR_RETURN(const bool exists, DirectoryExists(normalized));
+  DPFS_ASSIGN_OR_RETURN(const bool exists,
+                        DirExistsIn(Shard(home), normalized));
   if (exists) {
     return AlreadyExistsError("directory '" + normalized + "' exists");
   }
-  DPFS_ASSIGN_OR_RETURN(const bool file_exists, FileExists(normalized));
+  DPFS_ASSIGN_OR_RETURN(const bool file_exists,
+                        FileExistsIn(Shard(home), normalized));
   if (file_exists) {
     return AlreadyExistsError("'" + normalized + "' exists as a file");
   }
 
-  // §5: update the parent row's sub-dirs and insert a new row.
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet parent_row,
-      db_->Execute("SELECT sub_dirs FROM DPFS_DIRECTORY WHERE main_dir = " +
-                   Quote(parent)));
-  DPFS_ASSIGN_OR_RETURN(const std::string sub_dirs,
-                        parent_row.GetText(0, "sub_dirs"));
-  std::vector<std::string> names = DecodeNameList(sub_dirs);
-  names.push_back(name);
+  if (home == parent_shard) {
+    // §5: update the parent row's sub-dirs and insert a new row.
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(LinkName(Shard(parent_shard), parent, name, false));
+    DPFS_RETURN_IF_ERROR(
+        InsertRow(Shard(home), kDirTable, {normalized, "", ""}));
+    return txn.Commit();
+  }
 
-  Transaction txn(*db_);
-  DPFS_RETURN_IF_ERROR(txn.Begin());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("UPDATE DPFS_DIRECTORY SET sub_dirs = " +
-                   Quote(EncodeNameList(names)) + " WHERE main_dir = " +
-                   Quote(parent))
-          .status());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("INSERT INTO DPFS_DIRECTORY VALUES (" + Quote(normalized) +
-                   ", '', '')")
-          .status());
-  return txn.Commit();
+  // Cross-shard: the directory's own row + intent commit on its home shard
+  // first, then the parent link; a crash in between rolls forward on the
+  // next Attach.
+  {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(
+        InsertRow(Shard(home), kDirTable, {normalized, "", ""}));
+    DPFS_RETURN_IF_ERROR(
+        UpsertIntent(Shard(home), "mkdir", normalized, "", ""));
+    DPFS_RETURN_IF_ERROR(txn.Commit());
+  }
+  DPFS_SHARD_COMMIT_GATE();
+  DPFS_RETURN_IF_ERROR(LinkName(Shard(parent_shard), parent, name, false));
+  DPFS_SHARD_COMMIT_GATE();
+  return DeleteIntent(Shard(home), normalized);
 }
 
 Result<MetadataManager::Listing> MetadataManager::ListDirectory(
@@ -328,9 +725,8 @@ Result<MetadataManager::Listing> MetadataManager::ListDirectory(
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet result,
-      db_->Execute("SELECT sub_dirs, files FROM DPFS_DIRECTORY "
-                   "WHERE main_dir = " +
-                   Quote(normalized)));
+      SelectEq(Shard(ShardOf(normalized)), Hot().dir_lists,
+               Hot().main_dir_col, normalized));
   if (result.empty()) {
     return NotFoundError("no such directory '" + normalized + "'");
   }
@@ -351,6 +747,8 @@ Status MetadataManager::RemoveDirectory(const std::string& path,
   if (normalized == "/") {
     return InvalidArgumentError("cannot remove the root directory");
   }
+  // Recursive deletion runs as an unlocked pre-pass: each child op takes
+  // its own shard locks (the mutexes are not reentrant).
   DPFS_ASSIGN_OR_RETURN(const Listing listing, ListDirectory(normalized));
   if (!recursive && (!listing.directories.empty() || !listing.files.empty())) {
     return InvalidArgumentError("directory '" + normalized +
@@ -366,68 +764,57 @@ Status MetadataManager::RemoveDirectory(const std::string& path,
   }
 
   const auto [parent, name] = SplitPath(normalized);
+  const std::size_t home = ShardOf(normalized);
+  const std::size_t parent_shard = ShardOf(parent);
+  ShardLocks locks(*this, {home, parent_shard});
+
+  // Re-validate under the locks: the directory must still exist and be
+  // empty (a concurrent create may have raced the unlocked pre-pass).
   DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet parent_row,
-      db_->Execute("SELECT sub_dirs FROM DPFS_DIRECTORY WHERE main_dir = " +
-                   Quote(parent)));
-  if (parent_row.empty()) {
-    return InternalError("parent row missing for '" + normalized + "'");
+      const metadb::ResultSet row,
+      SelectEq(Shard(home), Hot().dir_lists, Hot().main_dir_col,
+               normalized));
+  if (row.empty()) {
+    return NotFoundError("no such directory '" + normalized + "'");
   }
   DPFS_ASSIGN_OR_RETURN(const std::string sub_dirs,
-                        parent_row.GetText(0, "sub_dirs"));
-  std::vector<std::string> names = DecodeNameList(sub_dirs);
-  names.erase(std::remove(names.begin(), names.end(), name), names.end());
-
-  Transaction txn(*db_);
-  DPFS_RETURN_IF_ERROR(txn.Begin());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("UPDATE DPFS_DIRECTORY SET sub_dirs = " +
-                   Quote(EncodeNameList(names)) + " WHERE main_dir = " +
-                   Quote(parent))
-          .status());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("DELETE FROM DPFS_DIRECTORY WHERE main_dir = " +
-                   Quote(normalized))
-          .status());
-  return txn.Commit();
-}
-
-Status MetadataManager::LinkFileIntoDirectory(const std::string& parent,
-                                              const std::string& name) {
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet parent_row,
-      db_->Execute("SELECT files FROM DPFS_DIRECTORY WHERE main_dir = " +
-                   Quote(parent)));
-  if (parent_row.empty()) {
-    return NotFoundError("parent directory '" + parent + "' does not exist");
+                        row.GetText(0, "sub_dirs"));
+  DPFS_ASSIGN_OR_RETURN(const std::string files, row.GetText(0, "files"));
+  if (!DecodeNameList(sub_dirs).empty() || !DecodeNameList(files).empty()) {
+    return InvalidArgumentError("directory '" + normalized +
+                                "' is not empty");
   }
-  DPFS_ASSIGN_OR_RETURN(const std::string files,
-                        parent_row.GetText(0, "files"));
-  std::vector<std::string> names = DecodeNameList(files);
-  names.push_back(name);
-  return db_
-      ->Execute("UPDATE DPFS_DIRECTORY SET files = " +
-                Quote(EncodeNameList(names)) + " WHERE main_dir = " +
-                Quote(parent))
-      .status();
-}
 
-Status MetadataManager::UnlinkFileFromDirectory(const std::string& parent,
-                                                const std::string& name) {
-  DPFS_ASSIGN_OR_RETURN(
-      const metadb::ResultSet parent_row,
-      db_->Execute("SELECT files FROM DPFS_DIRECTORY WHERE main_dir = " +
-                   Quote(parent)));
-  if (parent_row.empty()) return Status::Ok();
-  DPFS_ASSIGN_OR_RETURN(const std::string files,
-                        parent_row.GetText(0, "files"));
-  std::vector<std::string> names = DecodeNameList(files);
-  names.erase(std::remove(names.begin(), names.end(), name), names.end());
-  return db_
-      ->Execute("UPDATE DPFS_DIRECTORY SET files = " +
-                Quote(EncodeNameList(names)) + " WHERE main_dir = " +
-                Quote(parent))
-      .status();
+  DPFS_ASSIGN_OR_RETURN(const bool parent_exists,
+                        DirExistsIn(Shard(parent_shard), parent));
+  if (!parent_exists) {
+    return InternalError("parent row missing for '" + normalized + "'");
+  }
+
+  if (home == parent_shard) {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(UnlinkName(Shard(parent_shard), parent, name, false));
+    DPFS_RETURN_IF_ERROR(
+        DeleteEq(Shard(home), kDirTable, Hot().main_dir_col, normalized)
+            .status());
+    return txn.Commit();
+  }
+
+  {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(
+        DeleteEq(Shard(home), kDirTable, Hot().main_dir_col, normalized)
+            .status());
+    DPFS_RETURN_IF_ERROR(
+        UpsertIntent(Shard(home), "rmdir", normalized, "", ""));
+    DPFS_RETURN_IF_ERROR(txn.Commit());
+  }
+  DPFS_SHARD_COMMIT_GATE();
+  DPFS_RETURN_IF_ERROR(UnlinkName(Shard(parent_shard), parent, name, false));
+  DPFS_SHARD_COMMIT_GATE();
+  return DeleteIntent(Shard(home), normalized);
 }
 
 // ---------------------------------------------------------------------------
@@ -440,11 +827,18 @@ Status MetadataManager::CreateFile(
                         NormalizePath(meta.path));
   const auto [parent, name] = SplitPath(normalized);
   if (name.empty()) return InvalidArgumentError("file path must name a file");
-  DPFS_ASSIGN_OR_RETURN(const bool parent_exists, DirectoryExists(parent));
+
+  const std::size_t home = ShardOf(normalized);
+  const std::size_t parent_shard = ShardOf(parent);
+  ShardLocks locks(*this, {home, parent_shard});
+
+  DPFS_ASSIGN_OR_RETURN(const bool parent_exists,
+                        DirExistsIn(Shard(parent_shard), parent));
   if (!parent_exists) {
     return NotFoundError("parent directory '" + parent + "' does not exist");
   }
-  DPFS_ASSIGN_OR_RETURN(const bool exists, FileExists(normalized));
+  DPFS_ASSIGN_OR_RETURN(const bool exists,
+                        FileExistsIn(Shard(home), normalized));
   if (exists) {
     return AlreadyExistsError("file '" + normalized + "' exists");
   }
@@ -453,46 +847,64 @@ Status MetadataManager::CreateFile(
         "server name count does not match distribution");
   }
 
-  Transaction txn(*db_);
-  DPFS_RETURN_IF_ERROR(txn.Begin());
+  std::vector<metadb::Value> attr_row = {
+      normalized,
+      meta.owner,
+      static_cast<std::int64_t>(meta.permission),
+      static_cast<std::int64_t>(meta.size_bytes),
+      std::string(layout::FileLevelName(meta.level)),
+      static_cast<std::int64_t>(meta.element_size),
+      static_cast<std::int64_t>(meta.array_shape.size()),
+      EncodeShape(meta.array_shape),
+      static_cast<std::int64_t>(meta.brick_bytes),
+      EncodeShape(meta.brick_shape),
+      meta.pattern.has_value() ? metadb::Value(meta.pattern->ToString())
+                               : metadb::Value::Null(),
+      EncodeShape(meta.chunk_grid)};
 
-  const std::string pattern_sql =
-      meta.pattern.has_value() ? Quote(meta.pattern->ToString()) : "NULL";
-  const std::string sql_attr =
-      "INSERT INTO DPFS_FILE_ATTR VALUES (" + Quote(normalized) + ", " +
-      Quote(meta.owner) + ", " + std::to_string(meta.permission) + ", " +
-      std::to_string(meta.size_bytes) + ", " +
-      Quote(std::string(layout::FileLevelName(meta.level))) + ", " +
-      std::to_string(meta.element_size) + ", " +
-      std::to_string(meta.array_shape.size()) + ", " +
-      Quote(EncodeShape(meta.array_shape)) + ", " +
-      std::to_string(meta.brick_bytes) + ", " +
-      Quote(EncodeShape(meta.brick_shape)) + ", " + pattern_sql + ", " +
-      Quote(EncodeShape(meta.chunk_grid)) + ")";
-  DPFS_RETURN_IF_ERROR(db_->Execute(sql_attr).status());
+  const auto insert_file_rows = [&]() -> Status {
+    DPFS_RETURN_IF_ERROR(
+        InsertRow(Shard(home), kAttrTable, std::move(attr_row)));
+    for (std::uint32_t server = 0; server < distribution.num_servers();
+         ++server) {
+      DPFS_RETURN_IF_ERROR(InsertRow(
+          Shard(home), kDistTable,
+          {normalized, server_names[server],
+           static_cast<std::int64_t>(server),
+           layout::BrickDistribution::EncodeBrickList(
+               distribution.bricks_on(server))}));
+    }
+    return Status::Ok();
+  };
 
-  for (std::uint32_t server = 0; server < distribution.num_servers();
-       ++server) {
-    const std::string sql_dist =
-        "INSERT INTO DPFS_FILE_DISTRIBUTION VALUES (" + Quote(normalized) +
-        ", " + Quote(server_names[server]) + ", " + std::to_string(server) +
-        ", " +
-        Quote(layout::BrickDistribution::EncodeBrickList(
-            distribution.bricks_on(server))) +
-        ")";
-    DPFS_RETURN_IF_ERROR(db_->Execute(sql_dist).status());
+  if (home == parent_shard) {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(insert_file_rows());
+    DPFS_RETURN_IF_ERROR(LinkName(Shard(parent_shard), parent, name, true));
+    return txn.Commit();
   }
 
-  DPFS_RETURN_IF_ERROR(LinkFileIntoDirectory(parent, name));
-  return txn.Commit();
+  {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(insert_file_rows());
+    DPFS_RETURN_IF_ERROR(
+        UpsertIntent(Shard(home), "create", normalized, "", ""));
+    DPFS_RETURN_IF_ERROR(txn.Commit());
+  }
+  DPFS_SHARD_COMMIT_GATE();
+  DPFS_RETURN_IF_ERROR(LinkName(Shard(parent_shard), parent, name, true));
+  DPFS_SHARD_COMMIT_GATE();
+  return DeleteIntent(Shard(home), normalized);
 }
 
 Result<FileRecord> MetadataManager::LookupFile(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  metadb::Database& home = Shard(ShardOf(normalized));
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet attr,
-      db_->Execute("SELECT * FROM DPFS_FILE_ATTR WHERE filename = " +
-                   Quote(normalized)));
+      SelectEq(home, Hot().attr_all, Hot().filename_col, normalized));
   if (attr.empty()) {
     return NotFoundError("no such file '" + normalized + "'");
   }
@@ -529,13 +941,11 @@ Result<FileRecord> MetadataManager::LookupFile(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string grid, attr.GetText(0, "grid"));
   DPFS_ASSIGN_OR_RETURN(meta.chunk_grid, DecodeShape(grid));
 
-  // Distribution rows, ordered by server_index.
+  // Distribution rows, ordered by server_index; DPFS_SERVER is replicated,
+  // so the joined server rows come from the same (home) shard.
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet dist,
-      db_->Execute(
-          "SELECT server, server_index, bricklist FROM DPFS_FILE_DISTRIBUTION "
-          "WHERE filename = " +
-          Quote(normalized) + " ORDER BY server_index"));
+      SelectEq(home, Hot().dist_by_file, Hot().filename_col, normalized));
   if (dist.empty()) {
     return DataLossError("file '" + normalized +
                          "' has no distribution rows");
@@ -551,7 +961,7 @@ Result<FileRecord> MetadataManager::LookupFile(const std::string& path) {
     DPFS_ASSIGN_OR_RETURN(const std::string server_name,
                           dist.GetText(row, "server"));
     DPFS_ASSIGN_OR_RETURN(record.servers[index],
-                          LookupServer(server_name));
+                          ServerByName(home, server_name));
     DPFS_ASSIGN_OR_RETURN(const std::string bricklist,
                           dist.GetText(row, "bricklist"));
     DPFS_ASSIGN_OR_RETURN(
@@ -568,14 +978,14 @@ Result<FileRecord> MetadataManager::LookupFile(const std::string& path) {
 Status MetadataManager::UpdateFileSize(const std::string& path,
                                        std::uint64_t size_bytes) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  const std::size_t home = ShardOf(normalized);
+  ShardLocks locks(*this, {home});
   // A file's brick count is fixed at creation (the bricklists are already
   // placed); the logical size may only move within the striped capacity.
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet attr,
-      db_->Execute(
-          "SELECT size, filelevel, brickbytes FROM DPFS_FILE_ATTR "
-          "WHERE filename = " +
-          Quote(normalized)));
+      SelectEq(Shard(home), Hot().attr_size, Hot().filename_col,
+               normalized));
   if (attr.empty()) return NotFoundError("no such file '" + normalized + "'");
   DPFS_ASSIGN_OR_RETURN(const std::string level, attr.GetText(0, "filelevel"));
   if (level == "linear") {
@@ -594,9 +1004,9 @@ Status MetadataManager::UpdateFileSize(const std::string& path,
   }
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet result,
-      db_->Execute("UPDATE DPFS_FILE_ATTR SET size = " +
-                   std::to_string(size_bytes) + " WHERE filename = " +
-                   Quote(normalized)));
+      UpdateEq(Shard(home), kAttrTable,
+               {{"size", static_cast<std::int64_t>(size_bytes)}},
+               Hot().filename_col, normalized));
   if (result.affected_rows == 0) {
     return NotFoundError("no such file '" + normalized + "'");
   }
@@ -606,11 +1016,13 @@ Status MetadataManager::UpdateFileSize(const std::string& path,
 Status MetadataManager::SetPermission(const std::string& path,
                                       std::uint32_t permission) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  const std::size_t home = ShardOf(normalized);
+  ShardLocks locks(*this, {home});
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet result,
-      db_->Execute("UPDATE DPFS_FILE_ATTR SET permission = " +
-                   std::to_string(permission) + " WHERE filename = " +
-                   Quote(normalized)));
+      UpdateEq(Shard(home), kAttrTable,
+               {{"permission", static_cast<std::int64_t>(permission)}},
+               Hot().filename_col, normalized));
   if (result.affected_rows == 0) {
     return NotFoundError("no such file '" + normalized + "'");
   }
@@ -620,10 +1032,12 @@ Status MetadataManager::SetPermission(const std::string& path,
 Status MetadataManager::SetOwner(const std::string& path,
                                  const std::string& owner) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  const std::size_t home = ShardOf(normalized);
+  ShardLocks locks(*this, {home});
   DPFS_ASSIGN_OR_RETURN(
       const metadb::ResultSet result,
-      db_->Execute("UPDATE DPFS_FILE_ATTR SET owner = " + Quote(owner) +
-                   " WHERE filename = " + Quote(normalized)));
+      UpdateEq(Shard(home), kAttrTable, {{"owner", owner}},
+               Hot().filename_col, normalized));
   if (result.affected_rows == 0) {
     return NotFoundError("no such file '" + normalized + "'");
   }
@@ -635,65 +1049,151 @@ Status MetadataManager::RenameFile(const std::string& from,
   DPFS_ASSIGN_OR_RETURN(const std::string src, NormalizePath(from));
   DPFS_ASSIGN_OR_RETURN(const std::string dst, NormalizePath(to));
   if (src == dst) return Status::Ok();
-  DPFS_ASSIGN_OR_RETURN(const bool src_exists, FileExists(src));
-  if (!src_exists) return NotFoundError("no such file '" + src + "'");
-  DPFS_ASSIGN_OR_RETURN(const bool dst_exists, FileExists(dst));
-  if (dst_exists) return AlreadyExistsError("file '" + dst + "' exists");
-  DPFS_ASSIGN_OR_RETURN(const bool dst_is_dir, DirectoryExists(dst));
-  if (dst_is_dir) return AlreadyExistsError("'" + dst + "' is a directory");
   const auto [src_parent, src_name] = SplitPath(src);
   const auto [dst_parent, dst_name] = SplitPath(dst);
+
+  const std::size_t hs = ShardOf(src);        // source rows' home
+  const std::size_t hd = ShardOf(dst);        // destination rows' home
+  const std::size_t ds = ShardOf(src_parent);  // source directory row
+  const std::size_t dd = ShardOf(dst_parent);  // destination directory row
+  ShardLocks locks(*this, {hs, hd, ds, dd});
+
+  DPFS_ASSIGN_OR_RETURN(const bool src_exists, FileExistsIn(Shard(hs), src));
+  if (!src_exists) return NotFoundError("no such file '" + src + "'");
+  DPFS_ASSIGN_OR_RETURN(const bool dst_exists, FileExistsIn(Shard(hd), dst));
+  if (dst_exists) return AlreadyExistsError("file '" + dst + "' exists");
+  DPFS_ASSIGN_OR_RETURN(const bool dst_is_dir, DirExistsIn(Shard(hd), dst));
+  if (dst_is_dir) return AlreadyExistsError("'" + dst + "' is a directory");
   if (dst_name.empty()) {
     return InvalidArgumentError("rename target must name a file");
   }
   DPFS_ASSIGN_OR_RETURN(const bool parent_exists,
-                        DirectoryExists(dst_parent));
+                        DirExistsIn(Shard(dd), dst_parent));
   if (!parent_exists) {
     return NotFoundError("target directory '" + dst_parent +
                          "' does not exist");
   }
 
-  Transaction txn(*db_);
-  DPFS_RETURN_IF_ERROR(txn.Begin());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("UPDATE DPFS_FILE_ATTR SET filename = " + Quote(dst) +
-                   " WHERE filename = " + Quote(src))
-          .status());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("UPDATE DPFS_FILE_DISTRIBUTION SET filename = " +
-                   Quote(dst) + " WHERE filename = " + Quote(src))
-          .status());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("UPDATE DPFS_ACCESS_LOG SET filename = " + Quote(dst) +
-                   " WHERE filename = " + Quote(src))
-          .status());
-  DPFS_RETURN_IF_ERROR(UnlinkFileFromDirectory(src_parent, src_name));
-  DPFS_RETURN_IF_ERROR(LinkFileIntoDirectory(dst_parent, dst_name));
-  return txn.Commit();
+  const auto rename_rows_on = [&](metadb::Database& db) -> Status {
+    DPFS_RETURN_IF_ERROR(UpdateEq(db, kAttrTable, {{"filename", dst}},
+                                  Hot().filename_col, src)
+                             .status());
+    DPFS_RETURN_IF_ERROR(UpdateEq(db, kDistTable, {{"filename", dst}},
+                                  Hot().filename_col, src)
+                             .status());
+    return UpdateEq(db, kAccessTable, {{"filename", dst}},
+                    Hot().filename_col, src)
+        .status();
+  };
+
+  if (hs == hd && hs == ds && hs == dd) {
+    Transaction txn(Shard(hs));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(rename_rows_on(Shard(hs)));
+    DPFS_RETURN_IF_ERROR(UnlinkName(Shard(ds), src_parent, src_name, true));
+    DPFS_RETURN_IF_ERROR(LinkName(Shard(dd), dst_parent, dst_name, true));
+    return txn.Commit();
+  }
+
+  // Cross-shard rename. When the file's home shard moves (hs != hd) the
+  // rows travel inside the intent payload: the home transaction deletes
+  // them and persists their serialized form, the destination shard
+  // re-inserts them. Directory link/unlink roles on the home shard fold
+  // into the same transaction; the rest replay on their own shards.
+  std::string payload;
+  if (hs != hd) {
+    DPFS_ASSIGN_OR_RETURN(payload, BuildRenamePayload(Shard(hs), src, dst));
+  }
+  {
+    Transaction txn(Shard(hs));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    if (hs == hd) {
+      DPFS_RETURN_IF_ERROR(rename_rows_on(Shard(hs)));
+    } else {
+      DPFS_RETURN_IF_ERROR(
+          DeleteEq(Shard(hs), kAttrTable, Hot().filename_col, src).status());
+      DPFS_RETURN_IF_ERROR(
+          DeleteEq(Shard(hs), kDistTable, Hot().filename_col, src).status());
+      DPFS_RETURN_IF_ERROR(
+          DeleteEq(Shard(hs), kAccessTable, Hot().filename_col, src)
+              .status());
+    }
+    if (ds == hs) {
+      DPFS_RETURN_IF_ERROR(UnlinkName(Shard(hs), src_parent, src_name, true));
+    }
+    if (dd == hs) {
+      DPFS_RETURN_IF_ERROR(LinkName(Shard(hs), dst_parent, dst_name, true));
+    }
+    DPFS_RETURN_IF_ERROR(
+        UpsertIntent(Shard(hs), "rename", src, dst, payload));
+    DPFS_RETURN_IF_ERROR(txn.Commit());
+  }
+
+  std::vector<std::size_t> followers = {hd, ds, dd};
+  std::sort(followers.begin(), followers.end());
+  followers.erase(std::unique(followers.begin(), followers.end()),
+                  followers.end());
+  for (const std::size_t shard : followers) {
+    if (shard == hs) continue;
+    DPFS_SHARD_COMMIT_GATE();
+    if (shard == hd && hs != hd) {
+      DPFS_RETURN_IF_ERROR(ApplyRenamePayload(Shard(shard), dst, payload));
+    }
+    if (shard == ds) {
+      DPFS_RETURN_IF_ERROR(
+          UnlinkName(Shard(shard), src_parent, src_name, true));
+    }
+    if (shard == dd) {
+      DPFS_RETURN_IF_ERROR(LinkName(Shard(shard), dst_parent, dst_name, true));
+    }
+  }
+  DPFS_SHARD_COMMIT_GATE();
+  return DeleteIntent(Shard(hs), src);
 }
 
 Status MetadataManager::DeleteFile(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
-  DPFS_ASSIGN_OR_RETURN(const bool exists, FileExists(normalized));
-  if (!exists) return NotFoundError("no such file '" + normalized + "'");
   const auto [parent, name] = SplitPath(normalized);
+  const std::size_t home = ShardOf(normalized);
+  const std::size_t parent_shard = ShardOf(parent);
+  ShardLocks locks(*this, {home, parent_shard});
 
-  Transaction txn(*db_);
-  DPFS_RETURN_IF_ERROR(txn.Begin());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("DELETE FROM DPFS_FILE_ATTR WHERE filename = " +
-                   Quote(normalized))
-          .status());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("DELETE FROM DPFS_FILE_DISTRIBUTION WHERE filename = " +
-                   Quote(normalized))
-          .status());
-  DPFS_RETURN_IF_ERROR(
-      db_->Execute("DELETE FROM DPFS_ACCESS_LOG WHERE filename = " +
-                   Quote(normalized))
-          .status());
-  DPFS_RETURN_IF_ERROR(UnlinkFileFromDirectory(parent, name));
-  return txn.Commit();
+  DPFS_ASSIGN_OR_RETURN(const bool exists,
+                        FileExistsIn(Shard(home), normalized));
+  if (!exists) return NotFoundError("no such file '" + normalized + "'");
+
+  const auto delete_file_rows = [&]() -> Status {
+    DPFS_RETURN_IF_ERROR(
+        DeleteEq(Shard(home), kAttrTable, Hot().filename_col, normalized)
+            .status());
+    DPFS_RETURN_IF_ERROR(
+        DeleteEq(Shard(home), kDistTable, Hot().filename_col, normalized)
+            .status());
+    return DeleteEq(Shard(home), kAccessTable, Hot().filename_col,
+                    normalized)
+        .status();
+  };
+
+  if (home == parent_shard) {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(delete_file_rows());
+    DPFS_RETURN_IF_ERROR(UnlinkName(Shard(parent_shard), parent, name, true));
+    return txn.Commit();
+  }
+
+  {
+    Transaction txn(Shard(home));
+    DPFS_RETURN_IF_ERROR(txn.Begin());
+    DPFS_RETURN_IF_ERROR(delete_file_rows());
+    DPFS_RETURN_IF_ERROR(
+        UpsertIntent(Shard(home), "delete", normalized, "", ""));
+    DPFS_RETURN_IF_ERROR(txn.Commit());
+  }
+  DPFS_SHARD_COMMIT_GATE();
+  DPFS_RETURN_IF_ERROR(UnlinkName(Shard(parent_shard), parent, name, true));
+  DPFS_SHARD_COMMIT_GATE();
+  return DeleteIntent(Shard(home), normalized);
 }
 
 }  // namespace dpfs::client

@@ -13,19 +13,40 @@
 // All multi-row mutations (file creation touches three tables) run inside a
 // database transaction, which is the paper's argument for using a database
 // in the first place.
+//
+// Sharding (extension, docs/METADATA_SCHEMA.md "Sharding"): the manager
+// runs on a metadb::ShardedDatabase. A file's DPFS_FILE_ATTR,
+// DPFS_FILE_DISTRIBUTION, and DPFS_ACCESS_LOG rows co-locate on its
+// path-hash home shard; a directory's DPFS_DIRECTORY row lives on the
+// directory's own shard; DPFS_SERVER is tiny and read-mostly, so it is
+// replicated to every shard on register (lookups stay single-shard).
+// Mutations spanning shards commit in ascending shard order behind a
+// persisted intent record on the home shard; a crash between shard commits
+// is rolled forward by the idempotent repair pass in Attach. If a
+// cross-shard mutation fails mid-protocol *without* a crash (failpoint,
+// disk error), the error is surfaced and the pending intent likewise waits
+// for the next Attach.
+//
+// Thread safety: reads take no manager-level lock (each shard's SELECT path
+// is reader-shared); mutations serialize per involved shard via the
+// manager's shard transaction mutexes, acquired in ascending index order.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "layout/brick_map.h"
 #include "layout/hpf.h"
 #include "layout/placement.h"
 #include "metadb/database.h"
+#include "metadb/sharded_database.h"
 #include "net/connection.h"
 
 namespace dpfs::client {
@@ -65,7 +86,12 @@ struct FileRecord {
 
 class MetadataManager {
  public:
-  /// Wraps an open database, creating the four tables if missing.
+  /// Wraps an open (possibly sharded) database: creates the DPFS tables on
+  /// every shard if missing, then rolls forward any cross-shard intent
+  /// records a crash left behind.
+  static Result<std::unique_ptr<MetadataManager>> Attach(
+      std::shared_ptr<metadb::ShardedDatabase> db);
+  /// Single-database compatibility shim: adopts `db` as a 1-shard facade.
   static Result<std::unique_ptr<MetadataManager>> Attach(
       std::shared_ptr<metadb::Database> db);
 
@@ -125,18 +151,54 @@ class MetadataManager {
   };
   Result<Listing> ListDirectory(const std::string& path);
 
-  [[nodiscard]] metadb::Database& db() noexcept { return *db_; }
+  /// Shard 0 — the whole database when unsharded. Compatibility accessor
+  /// for single-shard consumers (the shell's `sql` command, tests);
+  /// cross-shard consumers iterate sharded_db() instead.
+  [[nodiscard]] metadb::Database& db() noexcept { return db_->shard(0); }
+  [[nodiscard]] metadb::ShardedDatabase& sharded_db() noexcept { return *db_; }
 
  private:
-  explicit MetadataManager(std::shared_ptr<metadb::Database> db)
-      : db_(std::move(db)) {}
-  Status EnsureTables();
-  Status LinkFileIntoDirectory(const std::string& parent,
-                               const std::string& name);
-  Status UnlinkFileFromDirectory(const std::string& parent,
-                                 const std::string& name);
+  class ShardLocks;
 
-  std::shared_ptr<metadb::Database> db_;
+  explicit MetadataManager(std::shared_ptr<metadb::ShardedDatabase> db);
+
+  [[nodiscard]] std::size_t ShardOf(std::string_view path) const {
+    return db_->ShardForPath(path);
+  }
+  [[nodiscard]] metadb::Database& Shard(std::size_t index) {
+    return db_->shard(index);
+  }
+
+  Status EnsureTables();
+  /// Rolls forward every pending cross-shard intent (idempotent; called
+  /// from Attach before the manager is shared, so it takes no locks).
+  Status RepairIntents();
+  Status ApplyIntent(const std::string& op, const std::string& src,
+                     const std::string& dst, const std::string& payload);
+
+  /// Directory-list edits, idempotent so the repair pass can re-run them:
+  /// link is add-if-absent, unlink is remove-if-present; a missing
+  /// directory row is a silent no-op (the row's mutation already committed
+  /// or the directory is gone). `file` selects the files vs sub_dirs column.
+  Status LinkName(metadb::Database& db, const std::string& dir,
+                  const std::string& name, bool file);
+  Status UnlinkName(metadb::Database& db, const std::string& dir,
+                    const std::string& name, bool file);
+
+  Status UpsertIntent(metadb::Database& home, const std::string& op,
+                      const std::string& src, const std::string& dst,
+                      const std::string& payload);
+  Status DeleteIntent(metadb::Database& home, const std::string& src);
+  /// Moves a renamed file's rows onto the destination home shard:
+  /// delete-then-insert from the intent payload, idempotent.
+  Status ApplyRenamePayload(metadb::Database& db, const std::string& dst,
+                            const std::string& payload);
+
+  std::shared_ptr<metadb::ShardedDatabase> db_;
+  /// One transaction mutex per shard: Database allows a single open
+  /// transaction, so writers to a shard must not interleave statements.
+  /// Locked in ascending shard order (total order => no deadlock).
+  std::vector<std::unique_ptr<Mutex>> shard_mu_;
 };
 
 }  // namespace dpfs::client

@@ -4,20 +4,24 @@
 // so Clang's -Wthread-safety cannot track them. These zero-cost wrappers
 // re-expose the same primitives with the attributes attached:
 //
-//   Mutex     — std::mutex as a DPFS_CAPABILITY (same layout, same cost)
-//   MutexLock — std::lock_guard as a DPFS_SCOPED_CAPABILITY
-//   CondVar   — std::condition_variable bound to Mutex; Wait() documents
-//               (and the analysis checks) that the lock is held
+//   Mutex       — std::mutex as a DPFS_CAPABILITY (same layout, same cost)
+//   MutexLock   — std::lock_guard as a DPFS_SCOPED_CAPABILITY
+//   CondVar     — std::condition_variable bound to Mutex; Wait() documents
+//                 (and the analysis checks) that the lock is held
+//   SharedMutex — std::shared_mutex; exclusive writers, concurrent readers
+//   WriterMutexLock / ReaderMutexLock — RAII guards for SharedMutex
 //
 // Repo invariant (enforced by tools/dpfs_lint.py): production code under
-// src/ uses these instead of raw std::mutex / std::lock_guard /
-// std::unique_lock / std::condition_variable, so every guarded member stays
-// visible to the analysis.
+// src/ uses these instead of raw std::mutex / std::shared_mutex /
+// std::lock_guard / std::unique_lock / std::shared_lock /
+// std::condition_variable, so every guarded member stays visible to the
+// analysis.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.h"
 
@@ -52,6 +56,55 @@ class DPFS_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// std::shared_mutex with capability attributes: one writer or many
+/// readers. Members readable under either mode are still declared
+/// DPFS_GUARDED_BY(mu_) — the analysis allows reads under a shared hold and
+/// writes only under the exclusive hold. Lock through WriterMutexLock /
+/// ReaderMutexLock.
+class DPFS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DPFS_ACQUIRE() { mu_.lock(); }
+  void unlock() DPFS_RELEASE() { mu_.unlock(); }
+  void lock_shared() DPFS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() DPFS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class DPFS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) DPFS_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() DPFS_RELEASE() { mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class DPFS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) DPFS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() DPFS_RELEASE_GENERIC() { mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 /// std::condition_variable over Mutex. Wait() requires (and keeps) the lock:

@@ -35,6 +35,12 @@
 #define DPFS_REQUIRES(...) \
   DPFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
 
+/// Shared-mode precondition: at least reader access to the capability is
+/// held on entry (exclusive access satisfies it too). The Shared-suffix
+/// private-method idiom for read paths under a SharedMutex.
+#define DPFS_REQUIRES_SHARED(...) \
+  DPFS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
 /// Function precondition: the listed capabilities are NOT held on entry
 /// (deadlock guard for public methods that take the lock themselves).
 #define DPFS_EXCLUDES(...) DPFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
@@ -44,6 +50,18 @@
   DPFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 #define DPFS_RELEASE(...) \
   DPFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared-mode acquire / release (lock_shared() / unlock_shared() shapes).
+#define DPFS_ACQUIRE_SHARED(...) \
+  DPFS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define DPFS_RELEASE_SHARED(...) \
+  DPFS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Release for scoped guards that may hold the capability in either mode
+/// (a ReaderMutexLock destructor releases shared; the analysis accepts the
+/// generic form for both).
+#define DPFS_RELEASE_GENERIC(...) \
+  DPFS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
 
 /// Function attempts the acquisition; `b` is the success return value.
 #define DPFS_TRY_ACQUIRE(b, ...) \

@@ -26,14 +26,19 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
   }
 
   if (options.durable_metadata) {
-    DPFS_ASSIGN_OR_RETURN(std::unique_ptr<metadb::Database> db,
-                          metadb::Database::Open(cluster->root_ / "metadb"));
-    cluster->db_ = std::move(db);
+    DPFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<metadb::ShardedDatabase> db,
+        metadb::ShardedDatabase::Open(cluster->root_ / "metadb",
+                                      options.metadb_shards));
+    cluster->sharded_db_ = std::move(db);
   } else {
-    cluster->db_ = metadb::Database::OpenInMemory();
+    DPFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<metadb::ShardedDatabase> db,
+        metadb::ShardedDatabase::OpenInMemory(options.metadb_shards));
+    cluster->sharded_db_ = std::move(db);
   }
   DPFS_ASSIGN_OR_RETURN(cluster->fs_,
-                        client::FileSystem::Connect(cluster->db_));
+                        client::FileSystem::Connect(cluster->sharded_db_));
 
   cluster->max_sessions_ = options.max_sessions;
   cluster->engine_ = options.engine;

@@ -31,6 +31,9 @@ struct ClusterOptions {
   std::filesystem::path root_dir;
   /// Persist metadata on disk (WAL + snapshot) instead of in memory.
   bool durable_metadata = false;
+  /// Path-hash metadata shards (`metadb_shards` extension). 1 = the paper's
+  /// single database with a byte-identical on-disk layout.
+  std::size_t metadb_shards = 1;
   /// Concurrent session cap per server (0 = unlimited); see
   /// ServerOptions::max_sessions.
   std::size_t max_sessions = 0;
@@ -50,8 +53,14 @@ class LocalCluster {
   [[nodiscard]] std::shared_ptr<client::FileSystem> fs() const noexcept {
     return fs_;
   }
+  /// Shard 0 — the whole database when metadb_shards == 1. Cross-shard
+  /// consumers use sharded_db().
   [[nodiscard]] std::shared_ptr<metadb::Database> db() const noexcept {
-    return db_;
+    return sharded_db_->shard_ptr(0);
+  }
+  [[nodiscard]] const std::shared_ptr<metadb::ShardedDatabase>& sharded_db()
+      const noexcept {
+    return sharded_db_;
   }
   [[nodiscard]] std::size_t num_servers() const noexcept {
     return servers_.size();
@@ -79,7 +88,7 @@ class LocalCluster {
   std::size_t max_sessions_ = 0;
   server::ServerEngine engine_ = server::ServerEngine::kThreadPerConnection;
   std::vector<std::unique_ptr<server::IoServer>> servers_;
-  std::shared_ptr<metadb::Database> db_;
+  std::shared_ptr<metadb::ShardedDatabase> sharded_db_;
   std::shared_ptr<client::FileSystem> fs_;
 };
 

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <thread>
 #include <cstdio>
+#include <ctime>
 
 #include "common/crc32.h"
 #include "common/failpoint.h"
@@ -141,6 +142,9 @@ struct Database::UndoOp {
 namespace {
 
 /// Acquires an exclusive flock on <dir>/lock, polling until `wait` elapses.
+/// The holder records "pid=<pid> since=<unix-seconds>" in the lock file so a
+/// timed-out contender can name it — a bare "locked by another process" made
+/// the ASan-widened deployment startup race needlessly hard to debug.
 Result<int> AcquireDirLock(const std::filesystem::path& dir,
                            std::chrono::milliseconds wait) {
   const std::string lock_path = (dir / "lock").string();
@@ -148,15 +152,34 @@ Result<int> AcquireDirLock(const std::filesystem::path& dir,
   if (fd < 0) return IoErrnoError("open db lock", lock_path);
   const auto deadline = std::chrono::steady_clock::now() + wait;
   while (true) {
-    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) return fd;
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0) {
+      char owner[64];
+      const int n =
+          std::snprintf(owner, sizeof(owner), "pid=%ld since=%lld\n",
+                        static_cast<long>(::getpid()),
+                        static_cast<long long>(::time(nullptr)));
+      if (n > 0) {
+        (void)::ftruncate(fd, 0);
+        (void)::pwrite(fd, owner, static_cast<std::size_t>(n), 0);
+      }
+      return fd;
+    }
     if (errno != EWOULDBLOCK && errno != EINTR) {
       ::close(fd);
       return IoErrnoError("lock db", lock_path);
     }
     if (std::chrono::steady_clock::now() >= deadline) {
+      char owner[64];
+      const ssize_t n = ::pread(fd, owner, sizeof(owner) - 1, 0);
       ::close(fd);
-      return UnavailableError("database '" + dir.string() +
-                              "' is locked by another process");
+      std::string holder;
+      if (n > 0) {
+        owner[n] = '\0';
+        holder = std::string(TrimWhitespace(owner));
+      }
+      return UnavailableError(
+          "database '" + dir.string() + "' is locked by another process" +
+          (holder.empty() ? "" : " (holder: " + holder + ")"));
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
@@ -175,7 +198,7 @@ Result<std::unique_ptr<Database>> Database::Open(
   db->dir_ = dir;
   // The database is not shared yet, but recovery touches mu_-guarded state;
   // holding the (uncontended) lock keeps the analysis sound here.
-  MutexLock lock(db->mu_);
+  WriterMutexLock lock(db->mu_);
   const std::filesystem::path snapshot = dir / "snapshot.db";
   if (std::filesystem::exists(snapshot)) {
     DPFS_RETURN_IF_ERROR(db->LoadSnapshot(snapshot));
@@ -341,7 +364,7 @@ Status Database::LoadSnapshot(const std::filesystem::path& file) {
 }
 
 Status Database::Checkpoint() {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (in_txn_) {
     return AbortedError("cannot checkpoint inside a transaction");
   }
@@ -351,17 +374,23 @@ Status Database::Checkpoint() {
 }
 
 void Database::SetAutoCheckpoint(std::uint64_t wal_bytes) {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto_checkpoint_wal_bytes_ = wal_bytes;
 }
 
 void Database::SetSyncCommits(bool sync) {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (wal_.has_value()) wal_->SetSyncCommits(sync);
 }
 
+void Database::SetMetricsShard(std::size_t shard) {
+  const std::string label = "{shard=" + std::to_string(shard) + "}";
+  shard_statements_ = &metrics::GetCounter("metadb.statements" + label);
+  shard_execute_us_ = &metrics::GetHistogram("metadb.execute_us" + label);
+}
+
 Status Database::CreateIndex(std::string_view table, std::string_view column) {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   DPFS_ASSIGN_OR_RETURN(Table * found, FindTable(table));
   return found->CreateIndex(column);
 }
@@ -376,8 +405,22 @@ Result<ResultSet> Database::Execute(std::string_view sql) {
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& statement) {
   MetadbMetrics().statements.Add();
+  if (shard_statements_ != nullptr) shard_statements_->Add();
   metrics::ScopedTimer timer(MetadbMetrics().execute_us);
-  MutexLock lock(mu_);
+  std::optional<metrics::ScopedTimer> shard_timer;
+  if (shard_execute_us_ != nullptr) shard_timer.emplace(*shard_execute_us_);
+
+  // Reader fast path: a SELECT mutates nothing (its auto-commit records no
+  // redo/undo and cannot grow the WAL), so concurrent lookups share mu_
+  // instead of serializing. SELECTs inside an explicit transaction see the
+  // same state either way: statements from other threads could always
+  // interleave between this transaction's statements.
+  if (const auto* select = std::get_if<SelectStmt>(&statement)) {
+    ReaderMutexLock lock(mu_);
+    return ExecuteSelect(*select);
+  }
+
+  WriterMutexLock lock(mu_);
   Result<ResultSet> result = ExecuteLocked(statement);
   // Auto-checkpoint outside transactions once the WAL outgrows the bound.
   if (result.ok() && !in_txn_ && wal_.has_value() &&
@@ -392,6 +435,14 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& statement) {
 }
 
 Result<Table*> Database::FindTable(std::string_view name) {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return NotFoundError("no such table '" + std::string(name) + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::FindTable(std::string_view name) const {
   const auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return NotFoundError("no such table '" + std::string(name) + "'");
@@ -629,8 +680,8 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
   return result;
 }
 
-Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) {
-  DPFS_ASSIGN_OR_RETURN(Table * table, FindTable(stmt.table));
+Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) const {
+  DPFS_ASSIGN_OR_RETURN(const Table* table, FindTable(stmt.table));
   const Schema& schema = table->schema();
   DPFS_ASSIGN_OR_RETURN(auto matches, table->Scan(stmt.where.get()));
 
@@ -801,7 +852,7 @@ std::string_view SqlTypeName(ValueType type) {
 }  // namespace
 
 std::vector<std::string> Database::DumpSql() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> statements;
   for (const auto& [key, table] : tables_) {
     std::string ddl = "CREATE TABLE " + table->name() + " (";
@@ -831,7 +882,7 @@ std::vector<std::string> Database::DumpSql() const {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
@@ -839,17 +890,17 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 bool Database::HasTable(std::string_view name) const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return tables_.contains(ToLower(name));
 }
 
 bool Database::in_transaction() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return in_txn_;
 }
 
 std::uint64_t Database::wal_size_bytes() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return wal_.has_value() ? wal_->size_bytes() : 0;
 }
 

@@ -6,9 +6,11 @@
 //     in-memory undo and WAL-backed redo,
 //   * crash recovery (snapshot + committed-WAL replay, torn tails discarded),
 //   * checkpointing (snapshot rewrite + WAL truncation).
-// All entry points are thread-safe behind a single writer lock — metadata
-// traffic in DPFS is tiny compared to data traffic, exactly the property the
-// paper exploits by pushing metadata to a database.
+// All entry points are thread-safe behind one reader/writer lock: mutations
+// (and transaction control) hold it exclusively; plain SELECTs outside the
+// auto-checkpoint path run under a shared hold, so concurrent lookups no
+// longer serialize. For metadata scaling beyond one writer, see
+// metadb/sharded_database.h.
 #pragma once
 
 #include <chrono>
@@ -25,6 +27,11 @@
 #include "metadb/sql_ast.h"
 #include "metadb/table.h"
 #include "metadb/wal.h"
+
+namespace dpfs::metrics {
+class Counter;
+class Histogram;
+}  // namespace dpfs::metrics
 
 namespace dpfs::metadb {
 
@@ -109,6 +116,13 @@ class Database {
   [[nodiscard]] bool in_transaction() const;
   [[nodiscard]] std::uint64_t wal_size_bytes() const;
 
+  /// Tags this database as shard `shard` of a ShardedDatabase: statement
+  /// count and execute latency are additionally recorded under
+  /// `metadb.statements{shard=N}` / `metadb.execute_us{shard=N}` so per-shard
+  /// load imbalance is visible (docs/OBSERVABILITY.md). Call once, before
+  /// the database is shared across threads.
+  void SetMetricsShard(std::size_t shard);
+
  private:
   Database() = default;
 
@@ -122,13 +136,18 @@ class Database {
   Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt)
       DPFS_REQUIRES(mu_);
   Result<ResultSet> ExecuteInsert(const InsertStmt& stmt) DPFS_REQUIRES(mu_);
-  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt) DPFS_REQUIRES(mu_);
+  // SELECT mutates nothing, so a shared (reader) hold suffices — the
+  // exclusive hold inside ExecuteLocked satisfies it too.
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt) const
+      DPFS_REQUIRES_SHARED(mu_);
   Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt) DPFS_REQUIRES(mu_);
   Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt) DPFS_REQUIRES(mu_);
   Status BeginLocked() DPFS_REQUIRES(mu_);
   Status CommitLocked() DPFS_REQUIRES(mu_);
   Status RollbackLocked() DPFS_REQUIRES(mu_);
   Result<Table*> FindTable(std::string_view name) DPFS_REQUIRES(mu_);
+  Result<const Table*> FindTable(std::string_view name) const
+      DPFS_REQUIRES_SHARED(mu_);
   // Open-time only: runs on the one thread building the database, before it
   // is shared, so no lock is held (hence the analysis opt-out).
   Status ApplyWalRecord(const WalRecord& record)
@@ -140,7 +159,7 @@ class Database {
   void RecordRedo(WalRecord record) DPFS_REQUIRES(mu_);
   void RecordUndo(UndoOp op) DPFS_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_
       DPFS_GUARDED_BY(mu_);             // key: lower name
   std::optional<WriteAheadLog> wal_
@@ -150,6 +169,11 @@ class Database {
   std::uint64_t next_txn_id_ DPFS_GUARDED_BY(mu_) = 1;
   std::uint64_t auto_checkpoint_wal_bytes_
       DPFS_GUARDED_BY(mu_) = 0;         // 0 = disabled
+
+  // Per-shard labeled instruments (null when not part of a ShardedDatabase).
+  // Set once before the database is shared, then read-only — no lock.
+  metrics::Counter* shard_statements_ = nullptr;
+  metrics::Histogram* shard_execute_us_ = nullptr;
 
   // Active transaction state (empty when not in a transaction).
   bool in_txn_ DPFS_GUARDED_BY(mu_) = false;

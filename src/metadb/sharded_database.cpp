@@ -1,0 +1,171 @@
+#include "metadb/sharded_database.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+
+namespace dpfs::metadb {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::filesystem::path ShardDir(const std::filesystem::path& dir,
+                               std::size_t index) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "shard-%02zu", index);
+  return dir / name;
+}
+
+/// Reads "<dir>/shards" ("shards=<N>"); 0 means no manifest.
+Result<std::size_t> ReadManifest(const std::filesystem::path& dir) {
+  const std::filesystem::path file = dir / "shards";
+  std::FILE* in = std::fopen(file.string().c_str(), "rb");
+  if (in == nullptr) return static_cast<std::size_t>(0);
+  char buf[64];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, in);
+  std::fclose(in);
+  buf[n] = '\0';
+  const std::string_view text = TrimWhitespace(buf);
+  constexpr std::string_view kPrefix = "shards=";
+  unsigned long long count = 0;
+  if (text.substr(0, kPrefix.size()) != kPrefix ||
+      std::sscanf(text.data() + kPrefix.size(), "%llu", &count) != 1 ||
+      count == 0) {
+    return DataLossError("bad shard manifest '" + file.string() + "': " +
+                         std::string(text));
+  }
+  return static_cast<std::size_t>(count);
+}
+
+Status WriteManifest(const std::filesystem::path& dir, std::size_t count) {
+  const std::filesystem::path file = dir / "shards";
+  std::FILE* out = std::fopen(file.string().c_str(), "wb");
+  if (out == nullptr) return IoErrnoError("write shard manifest", file.string());
+  const std::string line = "shards=" + std::to_string(count) + "\n";
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), out) == line.size() &&
+      std::fflush(out) == 0;
+  std::fclose(out);
+  if (!ok) return IoErrnoError("write shard manifest", file.string());
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint64_t ShardedDatabase::HashPath(std::string_view path) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  for (const char c : path) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Open(
+    const std::filesystem::path& dir, std::size_t num_shards,
+    std::chrono::milliseconds lock_wait) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return InvalidArgumentError("metadb_shards must be in [1, " +
+                                std::to_string(kMaxShards) + "], got " +
+                                std::to_string(num_shards));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return IoError("create db dir '" + dir.string() + "': " + ec.message());
+  }
+
+  DPFS_ASSIGN_OR_RETURN(const std::size_t manifest_shards, ReadManifest(dir));
+  if (num_shards == 1) {
+    if (manifest_shards > 1) {
+      return InvalidArgumentError(
+          "database '" + dir.string() + "' is sharded (" +
+          std::to_string(manifest_shards) +
+          " shards); opening it with metadb_shards=1 requires an explicit "
+          "migration (DumpSql replay)");
+    }
+    // Plain single database: byte-identical layout, no manifest.
+    DPFS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(dir, lock_wait));
+    std::vector<std::shared_ptr<Database>> shards;
+    shards.push_back(std::move(db));
+    return std::unique_ptr<ShardedDatabase>(
+        new ShardedDatabase(std::move(shards)));
+  }
+
+  if (manifest_shards == 0) {
+    // Fresh sharded database — unless the dir already holds unsharded state.
+    if (std::filesystem::exists(dir / "snapshot.db") ||
+        std::filesystem::exists(dir / "wal.log")) {
+      return InvalidArgumentError(
+          "database '" + dir.string() +
+          "' holds an unsharded snapshot/WAL; opening it with metadb_shards=" +
+          std::to_string(num_shards) +
+          " requires an explicit migration (DumpSql replay)");
+    }
+    DPFS_RETURN_IF_ERROR(WriteManifest(dir, num_shards));
+  } else if (manifest_shards != num_shards) {
+    return InvalidArgumentError(
+        "database '" + dir.string() + "' has " +
+        std::to_string(manifest_shards) + " shards but metadb_shards=" +
+        std::to_string(num_shards) +
+        " was requested; resharding requires an explicit migration");
+  }
+
+  std::vector<std::shared_ptr<Database>> shards;
+  shards.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    DPFS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(ShardDir(dir, i), lock_wait));
+    db->SetMetricsShard(i);
+    shards.push_back(std::move(db));
+  }
+  return std::unique_ptr<ShardedDatabase>(
+      new ShardedDatabase(std::move(shards)));
+}
+
+Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::OpenInMemory(
+    std::size_t num_shards) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return InvalidArgumentError("metadb_shards must be in [1, " +
+                                std::to_string(kMaxShards) + "], got " +
+                                std::to_string(num_shards));
+  }
+  std::vector<std::shared_ptr<Database>> shards;
+  shards.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    std::shared_ptr<Database> db = Database::OpenInMemory();
+    if (num_shards > 1) db->SetMetricsShard(i);
+    shards.push_back(std::move(db));
+  }
+  return std::unique_ptr<ShardedDatabase>(
+      new ShardedDatabase(std::move(shards)));
+}
+
+std::unique_ptr<ShardedDatabase> ShardedDatabase::Adopt(
+    std::shared_ptr<Database> db) {
+  std::vector<std::shared_ptr<Database>> shards;
+  shards.push_back(std::move(db));
+  return std::unique_ptr<ShardedDatabase>(
+      new ShardedDatabase(std::move(shards)));
+}
+
+void ShardedDatabase::SetAutoCheckpoint(std::uint64_t wal_bytes) {
+  for (const auto& shard : shards_) shard->SetAutoCheckpoint(wal_bytes);
+}
+
+void ShardedDatabase::SetSyncCommits(bool sync) {
+  for (const auto& shard : shards_) shard->SetSyncCommits(sync);
+}
+
+Status ShardedDatabase::Checkpoint() {
+  for (const auto& shard : shards_) {
+    DPFS_RETURN_IF_ERROR(shard->Checkpoint());
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpfs::metadb

@@ -6,6 +6,8 @@
 //
 // The metadata directory is the one the dpfsd daemons registered into; the
 // CLI discovers the I/O servers from the DPFS_SERVER table.
+// --metadb-shards must match the deployment's shard count (1 = the default
+// unsharded layout; a mismatch fails fast instead of guessing).
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -19,17 +21,19 @@ int main(int argc, char** argv) {
   const Options opts = Options::Parse(argc, argv).value();
   if (!opts.Has("metadb")) {
     std::fprintf(stderr,
-                 "usage: dpfs --metadb DIR [--c COMMAND]\n");
+                 "usage: dpfs --metadb DIR [--metadb-shards N] [--c COMMAND]\n");
     return 2;
   }
 
-  Result<std::unique_ptr<metadb::Database>> db =
-      metadb::Database::Open(opts.GetString("metadb", ""));
+  Result<std::unique_ptr<metadb::ShardedDatabase>> db =
+      metadb::ShardedDatabase::Open(
+          opts.GetString("metadb", ""),
+          static_cast<std::size_t>(opts.GetInt("metadb-shards", 1)));
   if (!db.ok()) {
     std::fprintf(stderr, "dpfs: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  std::shared_ptr<metadb::Database> shared = std::move(db).value();
+  std::shared_ptr<metadb::ShardedDatabase> shared = std::move(db).value();
   Result<std::shared_ptr<client::FileSystem>> fs =
       client::FileSystem::Connect(shared);
   if (!fs.ok()) {

@@ -57,8 +57,9 @@ LAYOUT_ALLOWED_PREFIXES = ("layout/", "common/status.h", "common/strings.h",
                           "common/bytes.h")
 
 RAW_MUTEX_TOKENS = re.compile(
-    r"std::(recursive_|timed_|recursive_timed_)?mutex\b|std::lock_guard\b|"
-    r"std::unique_lock\b|std::scoped_lock\b|std::condition_variable\b"
+    r"std::(recursive_|timed_|recursive_timed_|shared_|shared_timed_)?mutex\b|"
+    r"std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b|"
+    r"std::shared_lock\b|std::condition_variable\b"
 )
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?:"([^"]+)"|<([^>]+)>)')

@@ -2,7 +2,8 @@
 // Program" that runs on each storage workstation).
 //
 //   dpfsd --root /var/dpfs [--port 7070] [--name host.example]
-//         [--metadb /shared/dpfs-meta] [--capacity 536870912]
+//         [--metadb /shared/dpfs-meta] [--metadb-shards 1]
+//         [--capacity 536870912]
 //         [--performance 1] [--engine thread|event]
 //         [--metrics-dump-ms 0] [--metrics-dump-path FILE]
 //
@@ -28,11 +29,13 @@ std::atomic<bool> g_stop{false};
 void HandleSignal(int) { g_stop.store(true); }
 
 dpfs::Status RegisterSelf(const std::string& metadb_dir,
+                          std::size_t metadb_shards,
                           const dpfs::client::ServerInfo& info) {
   using namespace dpfs;
-  DPFS_ASSIGN_OR_RETURN(std::unique_ptr<metadb::Database> db,
-                        metadb::Database::Open(metadb_dir));
-  std::shared_ptr<metadb::Database> shared = std::move(db);
+  DPFS_ASSIGN_OR_RETURN(std::unique_ptr<metadb::ShardedDatabase> db,
+                        metadb::ShardedDatabase::Open(metadb_dir,
+                                                      metadb_shards));
+  std::shared_ptr<metadb::ShardedDatabase> shared = std::move(db);
   DPFS_ASSIGN_OR_RETURN(auto metadata,
                         client::MetadataManager::Attach(shared));
   // Replace any stale registration for this name (e.g. after a restart on a
@@ -53,8 +56,8 @@ int main(int argc, char** argv) {
   if (!opts.Has("root")) {
     std::fprintf(stderr,
                  "usage: dpfsd --root DIR [--port N] [--name NAME]\n"
-                 "             [--metadb DIR] [--capacity BYTES] "
-                 "[--performance N] [--max-sessions N]\n"
+                 "             [--metadb DIR] [--metadb-shards N] "
+                 "[--capacity BYTES] [--performance N] [--max-sessions N]\n"
                  "             [--engine thread|event] [--metrics-dump-ms N] "
                  "[--metrics-dump-path FILE]\n");
     return 2;
@@ -96,8 +99,9 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(opts.GetInt("capacity", 1ll << 30));
     info.performance =
         static_cast<std::uint32_t>(opts.GetInt("performance", 1));
-    const Status registered =
-        RegisterSelf(opts.GetString("metadb", ""), info);
+    const Status registered = RegisterSelf(
+        opts.GetString("metadb", ""),
+        static_cast<std::size_t>(opts.GetInt("metadb-shards", 1)), info);
     if (!registered.ok()) {
       std::fprintf(stderr, "dpfsd: registration failed: %s\n",
                    registered.ToString().c_str());

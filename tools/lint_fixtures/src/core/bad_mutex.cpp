@@ -1,6 +1,10 @@
 // Seeded violation: raw std::mutex in production code (dpfs_lint --self-test).
 #include <mutex>
+#include <shared_mutex>
 
 static std::mutex g_raw_mutex;
+static std::shared_mutex g_raw_shared_mutex;
 
 void Touch() { std::lock_guard<std::mutex> lock(g_raw_mutex); }
+
+void Read() { std::shared_lock<std::shared_mutex> lock(g_raw_shared_mutex); }
