@@ -75,14 +75,16 @@ int main(int argc, char** argv) {
               read_timer.ElapsedMillis(),
               restored == data ? "contents verified" : "MISMATCH");
 
-  // 4. Peek at the metadata the way the paper's Fig 10 shows it.
+  // 4. Peek at the metadata the way the paper's Fig 10 shows it (embedded
+  // metadata only — a remote-metadata client has no local database).
+  dpfs::client::MetadataManager& meta = *fs->embedded_metadata();
   const auto attrs =
-      fs->metadata().db().Execute("SELECT filename, size, filelevel "
-                                  "FROM DPFS_FILE_ATTR");
+      meta.db().Execute("SELECT filename, size, filelevel "
+                        "FROM DPFS_FILE_ATTR");
   if (attrs.ok()) {
     std::printf("\nDPFS_FILE_ATTR:\n%s", attrs.value().ToString().c_str());
   }
-  const auto dist = fs->metadata().db().Execute(
+  const auto dist = meta.db().Execute(
       "SELECT server, bricklist FROM DPFS_FILE_DISTRIBUTION "
       "WHERE filename = '/demo.bin' ORDER BY server LIMIT 2");
   if (dist.ok()) {

@@ -54,6 +54,13 @@ Result<std::shared_ptr<FileSystem>> FileSystem::Connect(
   return std::shared_ptr<FileSystem>(new FileSystem(std::move(metadata)));
 }
 
+Result<std::shared_ptr<FileSystem>> FileSystem::ConnectRemote(
+    const net::Endpoint& endpoint, RemoteMetadataOptions options) {
+  DPFS_ASSIGN_OR_RETURN(std::unique_ptr<RemoteMetadataManager> metadata,
+                        RemoteMetadataManager::Connect(endpoint, options));
+  return std::shared_ptr<FileSystem>(new FileSystem(std::move(metadata)));
+}
+
 // ---------------------------------------------------------------------------
 // Create / Open / Remove
 
@@ -158,7 +165,7 @@ Result<FileHandle> FileSystem::Create(const std::string& path,
   handle.record.servers = std::move(servers);
   handle.record.distribution = std::move(distribution);
   handle.map = std::move(map);
-  {
+  if (remote_ == nullptr) {
     MutexLock lock(cache_mu_);
     record_cache_[handle.record.meta.path] = handle.record;
   }
@@ -167,6 +174,18 @@ Result<FileHandle> FileSystem::Create(const std::string& path,
 
 Result<FileHandle> FileSystem::Open(const std::string& path) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized, NormalizePath(path));
+  if (remote_ != nullptr) {
+    // Remote mode: the RemoteMetadataManager owns record caching (TTL +
+    // invalidate-on-own-write) so staleness is bounded even when *other*
+    // processes mutate the namespace; a second instance-level cache here
+    // would reintroduce the unbounded window.
+    DPFS_ASSIGN_OR_RETURN(FileRecord record, metadata_->LookupFile(normalized));
+    DPFS_ASSIGN_OR_RETURN(layout::BrickMap map, record.meta.MakeBrickMap());
+    FileHandle handle;
+    handle.record = std::move(record);
+    handle.map = std::move(map);
+    return handle;
+  }
   {
     MutexLock lock(cache_mu_);
     const auto it = record_cache_.find(normalized);
@@ -326,9 +345,14 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<FileSystem::FsckReport> FileSystem::Fsck(bool repair) {
+  if (embedded_ == nullptr) {
+    return UnimplementedError(
+        "fsck reads DPFS_FILE_ATTR directly and needs embedded metadata; "
+        "run it on the host that owns the metadata database");
+  }
   FsckReport report;
   // Expected file set from DPFS_FILE_ATTR, unioned across every shard.
-  metadb::ShardedDatabase& db = metadata_->sharded_db();
+  metadb::ShardedDatabase& db = embedded_->sharded_db();
   std::set<std::string> expected;
   for (std::size_t shard = 0; shard < db.num_shards(); ++shard) {
     DPFS_ASSIGN_OR_RETURN(
@@ -370,11 +394,19 @@ Result<FileSystem::FsckReport> FileSystem::Fsck(bool repair) {
 }
 
 void FileSystem::InvalidateMetadataCache() {
+  if (remote_ != nullptr) {
+    remote_->InvalidateCache();
+    return;
+  }
   MutexLock lock(cache_mu_);
   record_cache_.clear();
 }
 
 void FileSystem::InvalidateMetadataCache(const std::string& path) {
+  if (remote_ != nullptr) {
+    remote_->InvalidateCache(path);
+    return;
+  }
   const Result<std::string> normalized = NormalizePath(path);
   if (!normalized.ok()) return;
   MutexLock lock(cache_mu_);
@@ -382,6 +414,10 @@ void FileSystem::InvalidateMetadataCache(const std::string& path) {
 }
 
 FileSystem::CacheStats FileSystem::metadata_cache_stats() const {
+  if (remote_ != nullptr) {
+    const RemoteMetadataManager::CacheStats stats = remote_->cache_stats();
+    return CacheStats{stats.hits, stats.misses};
+  }
   MutexLock lock(cache_mu_);
   return CacheStats{cache_hits_, cache_misses_};
 }

@@ -22,6 +22,7 @@
 #include "client/conn_pool.h"
 #include "client/datatype.h"
 #include "client/metadata.h"
+#include "client/remote_metadata.h"
 #include "common/bytes.h"
 #include "common/mutex.h"
 #include "common/status.h"
@@ -118,8 +119,21 @@ class FileSystem {
   /// rows are spread across the facade's path-hash shards.
   static Result<std::shared_ptr<FileSystem>> Connect(
       std::shared_ptr<metadb::ShardedDatabase> db);
+  /// Remote variant (`metadata_endpoint` extension): namespace operations
+  /// go to a dpfs-metad service instead of an embedded database, so many
+  /// client processes share one mutable namespace. Record caching moves to
+  /// the RemoteMetadataManager (TTL + invalidate-on-own-write); embedded
+  /// connects are byte-identical to before this extension existed.
+  static Result<std::shared_ptr<FileSystem>> ConnectRemote(
+      const net::Endpoint& endpoint, RemoteMetadataOptions options = {});
 
-  [[nodiscard]] MetadataManager& metadata() noexcept { return *metadata_; }
+  [[nodiscard]] MetadataService& metadata() noexcept { return *metadata_; }
+  /// The embedded manager, or nullptr when connected to a remote metad.
+  /// Consumers that reach past the namespace API into the database itself
+  /// (the shell's `sql` command, fsck, tests) must run embedded.
+  [[nodiscard]] MetadataManager* embedded_metadata() noexcept {
+    return embedded_;
+  }
 
   // --- lifecycle (§6 API) -------------------------------------------------
   Result<FileHandle> Create(const std::string& path,
@@ -222,7 +236,11 @@ class FileSystem {
 
  private:
   explicit FileSystem(std::unique_ptr<MetadataManager> metadata)
-      : metadata_(std::move(metadata)) {}
+      : metadata_(std::move(metadata)),
+        embedded_(static_cast<MetadataManager*>(metadata_.get())) {}
+  explicit FileSystem(std::unique_ptr<RemoteMetadataManager> metadata)
+      : metadata_(std::move(metadata)),
+        remote_(static_cast<RemoteMetadataManager*>(metadata_.get())) {}
 
   using RunsByBrick =
       std::unordered_map<layout::BrickId, std::vector<layout::BrickRun>>;
@@ -253,7 +271,10 @@ class FileSystem {
                        const IoOptions& options);
   ThreadPool& DispatchPool();
 
-  std::unique_ptr<MetadataManager> metadata_;
+  std::unique_ptr<MetadataService> metadata_;
+  /// Exactly one of these aliases metadata_ (the other is nullptr).
+  MetadataManager* embedded_ = nullptr;
+  RemoteMetadataManager* remote_ = nullptr;
   ConnectionPool pool_;
   std::unique_ptr<BrickCache> brick_cache_;
   std::atomic<bool> access_logging_{false};

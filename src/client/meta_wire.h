@@ -1,0 +1,171 @@
+// Body codecs for the metadata-service opcodes (net::MessageType::kMeta*).
+//
+// The envelope ([u8 type][body] / [u8 status][message][body]) belongs to
+// net/messages.h; the bodies are defined here, in the client layer, because
+// they are expressed in terms of FileMeta/FileRecord/ServerInfo — types net
+// must not depend on (net sits below layout in the build graph).
+//
+// Every struct round-trips: Decode(Encode(x)) == x field-for-field. The
+// round-trip suite (tests/client/meta_wire_test.cpp) pins that, and the
+// wire layout itself is documented in docs/WIRE_PROTOCOL.md ("Metadata
+// protocol"). Bricklists travel in the DPFS_FILE_DISTRIBUTION text encoding
+// ("0,2,6,...") so the wire and the table speak the same dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/metadata_service.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dpfs::client::meta_wire {
+
+// --- field codecs shared by the message structs ---------------------------
+void EncodeServerInfo(const ServerInfo& info, BinaryWriter& writer);
+Result<ServerInfo> DecodeServerInfo(BinaryReader& reader);
+
+void EncodeFileMeta(const FileMeta& meta, BinaryWriter& writer);
+Result<FileMeta> DecodeFileMeta(BinaryReader& reader);
+
+// --- requests -------------------------------------------------------------
+
+/// kMetaRegisterServer.
+struct ServerRequest {
+  ServerInfo server;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<ServerRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaUnregisterServer / kMetaLookupServer (body: the server name).
+struct NameRequest {
+  std::string name;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<NameRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaLookupFile / kMetaDeleteFile / kMetaFileExists /
+/// kMetaSummarizeAccess / kMetaClearAccessLog / kMetaMakeDirectory /
+/// kMetaDirectoryExists / kMetaListDirectory (body: the DPFS path).
+struct PathRequest {
+  std::string path;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<PathRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaCreateFile. `bricklists[i]` belongs to `server_names[i]`, in the
+/// table's text encoding.
+struct CreateFileRequest {
+  FileMeta meta;
+  std::vector<std::string> server_names;
+  std::vector<std::string> bricklists;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<CreateFileRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaUpdateSize.
+struct UpdateSizeRequest {
+  std::string path;
+  std::uint64_t size_bytes = 0;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<UpdateSizeRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaSetPermission.
+struct SetPermissionRequest {
+  std::string path;
+  std::uint32_t permission = 0;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<SetPermissionRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaSetOwner.
+struct SetOwnerRequest {
+  std::string path;
+  std::string owner;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<SetOwnerRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaRenameFile.
+struct RenameRequest {
+  std::string from;
+  std::string to;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<RenameRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaLogAccess.
+struct LogAccessRequest {
+  std::string path;
+  bool is_write = false;
+  std::uint64_t requests = 0;
+  std::uint64_t transfer_bytes = 0;
+  std::uint64_t useful_bytes = 0;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<LogAccessRequest> Decode(BinaryReader& reader);
+};
+
+/// kMetaRemoveDirectory.
+struct RemoveDirectoryRequest {
+  std::string path;
+  bool recursive = false;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<RemoveDirectoryRequest> Decode(BinaryReader& reader);
+};
+
+// --- replies --------------------------------------------------------------
+
+/// kMetaListServers reply.
+struct ServerListReply {
+  std::vector<ServerInfo> servers;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<ServerListReply> Decode(BinaryReader& reader);
+};
+
+/// kMetaLookupFile reply. `num_bricks` travels explicitly so the decoder
+/// rebuilds the exact BrickDistribution without re-deriving the brick map.
+struct FileRecordReply {
+  FileRecord record;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<FileRecordReply> Decode(BinaryReader& reader);
+};
+
+/// kMetaFileExists / kMetaDirectoryExists reply.
+struct BoolReply {
+  bool value = false;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<BoolReply> Decode(BinaryReader& reader);
+};
+
+/// kMetaSummarizeAccess reply.
+struct AccessSummaryReply {
+  MetadataService::AccessSummary summary;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<AccessSummaryReply> Decode(BinaryReader& reader);
+};
+
+/// kMetaListDirectory reply.
+struct ListingReply {
+  MetadataService::Listing listing;
+
+  void Encode(BinaryWriter& writer) const;
+  static Result<ListingReply> Decode(BinaryReader& reader);
+};
+
+}  // namespace dpfs::client::meta_wire

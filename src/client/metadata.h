@@ -39,6 +39,7 @@
 #include <string_view>
 #include <vector>
 
+#include "client/metadata_service.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -51,40 +52,7 @@
 
 namespace dpfs::client {
 
-struct ServerInfo {
-  std::string name;       // e.g. "ccn40.mcs.anl.gov" in the paper
-  net::Endpoint endpoint;
-  std::uint64_t capacity_bytes = 0;
-  std::uint32_t performance = 1;  // 1 = fastest class (§4.1)
-};
-
-/// Everything needed to address a file's bricks.
-struct FileMeta {
-  std::string path;  // normalized DPFS path, e.g. "/home/xhshen/dpfs.test"
-  std::string owner;
-  std::uint32_t permission = 0644;
-  std::uint64_t size_bytes = 0;
-  layout::FileLevel level = layout::FileLevel::kLinear;
-  std::uint64_t element_size = 1;
-  layout::Shape array_shape;             // empty for raw linear streams
-  std::uint64_t brick_bytes = 0;         // linear level
-  layout::Shape brick_shape;             // multidim level
-  std::optional<layout::HpfPattern> pattern;  // array level
-  layout::Shape chunk_grid;              // array level process grid
-
-  /// Rebuilds the BrickMap this metadata describes.
-  [[nodiscard]] Result<layout::BrickMap> MakeBrickMap() const;
-};
-
-/// A file's metadata joined with its brick placement and server info,
-/// everything DPFS-Open() needs.
-struct FileRecord {
-  FileMeta meta;
-  std::vector<ServerInfo> servers;  // index = layout::ServerId
-  layout::BrickDistribution distribution;
-};
-
-class MetadataManager {
+class MetadataManager final : public MetadataService {
  public:
   /// Wraps an open (possibly sharded) database: creates the DPFS tables on
   /// every shard if missing, then rolls forward any cross-shard intent
@@ -96,60 +64,37 @@ class MetadataManager {
       std::shared_ptr<metadb::Database> db);
 
   // --- DPFS_SERVER -------------------------------------------------------
-  Status RegisterServer(const ServerInfo& server);
-  Status UnregisterServer(const std::string& name);
-  Result<std::vector<ServerInfo>> ListServers();
-  Result<ServerInfo> LookupServer(const std::string& name);
+  Status RegisterServer(const ServerInfo& server) override;
+  Status UnregisterServer(const std::string& name) override;
+  Result<std::vector<ServerInfo>> ListServers() override;
+  Result<ServerInfo> LookupServer(const std::string& name) override;
 
   // --- files -------------------------------------------------------------
-  /// Creates attribute + distribution rows and links the file into its
-  /// parent directory, atomically. `server_names[i]` is the server holding
-  /// distribution bricklist i.
   Status CreateFile(const FileMeta& meta,
                     const std::vector<std::string>& server_names,
-                    const layout::BrickDistribution& distribution);
-  Result<FileRecord> LookupFile(const std::string& path);
-  Status UpdateFileSize(const std::string& path, std::uint64_t size_bytes);
-  Status SetPermission(const std::string& path, std::uint32_t permission);
-  Status SetOwner(const std::string& path, const std::string& owner);
-  Status DeleteFile(const std::string& path);
-  Result<bool> FileExists(const std::string& path);
-  /// Renames a file's metadata (attribute + distribution rows + directory
-  /// links) atomically. Callers must rename the subfiles on every server
-  /// too — FileSystem::Rename orchestrates both.
-  Status RenameFile(const std::string& from, const std::string& to);
+                    const layout::BrickDistribution& distribution) override;
+  Result<FileRecord> LookupFile(const std::string& path) override;
+  Status UpdateFileSize(const std::string& path,
+                        std::uint64_t size_bytes) override;
+  Status SetPermission(const std::string& path,
+                       std::uint32_t permission) override;
+  Status SetOwner(const std::string& path, const std::string& owner) override;
+  Status DeleteFile(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
 
   // --- access log (extension) ---------------------------------------------
-  /// Appends one access observation (called by FileSystem when access
-  /// logging is on).
   Status LogAccess(const std::string& path, bool is_write,
                    std::uint64_t requests, std::uint64_t transfer_bytes,
-                   std::uint64_t useful_bytes);
-  struct AccessSummary {
-    std::uint64_t accesses = 0;
-    std::uint64_t requests = 0;
-    std::uint64_t transfer_bytes = 0;
-    std::uint64_t useful_bytes = 0;
-
-    [[nodiscard]] double efficiency() const noexcept {
-      return transfer_bytes == 0 ? 1.0
-                                 : static_cast<double>(useful_bytes) /
-                                       static_cast<double>(transfer_bytes);
-    }
-  };
-  Result<AccessSummary> SummarizeAccess(const std::string& path);
-  Status ClearAccessLog(const std::string& path);
+                   std::uint64_t useful_bytes) override;
+  Result<AccessSummary> SummarizeAccess(const std::string& path) override;
+  Status ClearAccessLog(const std::string& path) override;
 
   // --- directories -------------------------------------------------------
-  Status MakeDirectory(const std::string& path);
-  /// Fails on non-empty directories unless `recursive`.
-  Status RemoveDirectory(const std::string& path, bool recursive);
-  Result<bool> DirectoryExists(const std::string& path);
-  struct Listing {
-    std::vector<std::string> directories;  // names, not full paths
-    std::vector<std::string> files;
-  };
-  Result<Listing> ListDirectory(const std::string& path);
+  Status MakeDirectory(const std::string& path) override;
+  Status RemoveDirectory(const std::string& path, bool recursive) override;
+  Result<bool> DirectoryExists(const std::string& path) override;
+  Result<Listing> ListDirectory(const std::string& path) override;
 
   /// Shard 0 — the whole database when unsharded. Compatibility accessor
   /// for single-shard consumers (the shell's `sql` command, tests);

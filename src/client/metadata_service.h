@@ -1,0 +1,130 @@
+// The namespace-operation surface of DPFS metadata, independent of where
+// the metadata lives.
+//
+// Two implementations exist:
+//   MetadataManager       (metadata.h)        — embedded, runs SQL against a
+//                                               metadb::ShardedDatabase in
+//                                               this process. The paper's
+//                                               semantics and the default.
+//   RemoteMetadataManager (remote_metadata.h) — speaks the kMeta* wire
+//                                               opcodes to a dpfs-metad
+//                                               process that owns the
+//                                               database (extension:
+//                                               `metadata_endpoint`).
+//
+// FileSystem consumes only this interface, so the choice is a connect-time
+// decision, invisible to everything above it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "layout/brick_map.h"
+#include "layout/hpf.h"
+#include "layout/placement.h"
+#include "net/connection.h"
+
+namespace dpfs::client {
+
+struct ServerInfo {
+  std::string name;       // e.g. "ccn40.mcs.anl.gov" in the paper
+  net::Endpoint endpoint;
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t performance = 1;  // 1 = fastest class (§4.1)
+};
+
+/// Everything needed to address a file's bricks.
+struct FileMeta {
+  std::string path;  // normalized DPFS path, e.g. "/home/xhshen/dpfs.test"
+  std::string owner;
+  std::uint32_t permission = 0644;
+  std::uint64_t size_bytes = 0;
+  layout::FileLevel level = layout::FileLevel::kLinear;
+  std::uint64_t element_size = 1;
+  layout::Shape array_shape;             // empty for raw linear streams
+  std::uint64_t brick_bytes = 0;         // linear level
+  layout::Shape brick_shape;             // multidim level
+  std::optional<layout::HpfPattern> pattern;  // array level
+  layout::Shape chunk_grid;              // array level process grid
+
+  /// Rebuilds the BrickMap this metadata describes.
+  [[nodiscard]] Result<layout::BrickMap> MakeBrickMap() const;
+};
+
+/// A file's metadata joined with its brick placement and server info,
+/// everything DPFS-Open() needs.
+struct FileRecord {
+  FileMeta meta;
+  std::vector<ServerInfo> servers;  // index = layout::ServerId
+  layout::BrickDistribution distribution;
+};
+
+class MetadataService {
+ public:
+  virtual ~MetadataService() = default;
+
+  // --- DPFS_SERVER -------------------------------------------------------
+  virtual Status RegisterServer(const ServerInfo& server) = 0;
+  virtual Status UnregisterServer(const std::string& name) = 0;
+  virtual Result<std::vector<ServerInfo>> ListServers() = 0;
+  virtual Result<ServerInfo> LookupServer(const std::string& name) = 0;
+
+  // --- files -------------------------------------------------------------
+  /// Creates attribute + distribution rows and links the file into its
+  /// parent directory, atomically. `server_names[i]` is the server holding
+  /// distribution bricklist i.
+  virtual Status CreateFile(const FileMeta& meta,
+                            const std::vector<std::string>& server_names,
+                            const layout::BrickDistribution& distribution) = 0;
+  virtual Result<FileRecord> LookupFile(const std::string& path) = 0;
+  virtual Status UpdateFileSize(const std::string& path,
+                                std::uint64_t size_bytes) = 0;
+  virtual Status SetPermission(const std::string& path,
+                               std::uint32_t permission) = 0;
+  virtual Status SetOwner(const std::string& path,
+                          const std::string& owner) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  /// Renames a file's metadata (attribute + distribution rows + directory
+  /// links) atomically. Callers must rename the subfiles on every server
+  /// too — FileSystem::Rename orchestrates both.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  // --- access log (extension) --------------------------------------------
+  /// Appends one access observation (called by FileSystem when access
+  /// logging is on).
+  virtual Status LogAccess(const std::string& path, bool is_write,
+                           std::uint64_t requests,
+                           std::uint64_t transfer_bytes,
+                           std::uint64_t useful_bytes) = 0;
+  struct AccessSummary {
+    std::uint64_t accesses = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t transfer_bytes = 0;
+    std::uint64_t useful_bytes = 0;
+
+    [[nodiscard]] double efficiency() const noexcept {
+      return transfer_bytes == 0 ? 1.0
+                                 : static_cast<double>(useful_bytes) /
+                                       static_cast<double>(transfer_bytes);
+    }
+  };
+  virtual Result<AccessSummary> SummarizeAccess(const std::string& path) = 0;
+  virtual Status ClearAccessLog(const std::string& path) = 0;
+
+  // --- directories -------------------------------------------------------
+  virtual Status MakeDirectory(const std::string& path) = 0;
+  /// Fails on non-empty directories unless `recursive`.
+  virtual Status RemoveDirectory(const std::string& path, bool recursive) = 0;
+  virtual Result<bool> DirectoryExists(const std::string& path) = 0;
+  struct Listing {
+    std::vector<std::string> directories;  // names, not full paths
+    std::vector<std::string> files;
+  };
+  virtual Result<Listing> ListDirectory(const std::string& path) = 0;
+};
+
+}  // namespace dpfs::client

@@ -12,6 +12,11 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
     return InvalidArgumentError(
         "performance vector must match num_servers or be empty");
   }
+  if (options.start_metadata_service && !options.metadata_endpoint.empty()) {
+    return InvalidArgumentError(
+        "start_metadata_service and metadata_endpoint are mutually "
+        "exclusive: either this cluster runs the metad or it dials one");
+  }
 
   std::unique_ptr<LocalCluster> cluster(new LocalCluster());
   if (options.root_dir.empty()) {
@@ -25,23 +30,47 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
     if (ec) return IoError("create cluster root: " + ec.message());
   }
 
-  if (options.durable_metadata) {
-    DPFS_ASSIGN_OR_RETURN(
-        std::unique_ptr<metadb::ShardedDatabase> db,
-        metadb::ShardedDatabase::Open(cluster->root_ / "metadb",
-                                      options.metadb_shards));
-    cluster->sharded_db_ = std::move(db);
-  } else {
-    DPFS_ASSIGN_OR_RETURN(
-        std::unique_ptr<metadb::ShardedDatabase> db,
-        metadb::ShardedDatabase::OpenInMemory(options.metadb_shards));
-    cluster->sharded_db_ = std::move(db);
+  if (options.metadata_endpoint.empty()) {
+    if (options.durable_metadata) {
+      DPFS_ASSIGN_OR_RETURN(
+          std::unique_ptr<metadb::ShardedDatabase> db,
+          metadb::ShardedDatabase::Open(cluster->root_ / "metadb",
+                                        options.metadb_shards));
+      cluster->sharded_db_ = std::move(db);
+    } else {
+      DPFS_ASSIGN_OR_RETURN(
+          std::unique_ptr<metadb::ShardedDatabase> db,
+          metadb::ShardedDatabase::OpenInMemory(options.metadb_shards));
+      cluster->sharded_db_ = std::move(db);
+    }
   }
-  DPFS_ASSIGN_OR_RETURN(cluster->fs_,
-                        client::FileSystem::Connect(cluster->sharded_db_));
 
   cluster->max_sessions_ = options.max_sessions;
   cluster->engine_ = options.engine;
+  cluster->metadata_cache_ttl_ = options.metadata_cache_ttl;
+
+  client::RemoteMetadataOptions remote_options;
+  remote_options.cache_ttl = options.metadata_cache_ttl;
+  if (!options.metadata_endpoint.empty()) {
+    DPFS_ASSIGN_OR_RETURN(const net::Endpoint endpoint,
+                          net::Endpoint::Parse(options.metadata_endpoint));
+    DPFS_ASSIGN_OR_RETURN(
+        cluster->fs_,
+        client::FileSystem::ConnectRemote(endpoint, remote_options));
+  } else if (options.start_metadata_service) {
+    metad::MetadOptions metad_options;
+    metad_options.max_sessions = options.max_sessions;
+    metad_options.engine = options.engine;
+    DPFS_ASSIGN_OR_RETURN(
+        cluster->metad_,
+        metad::MetadService::Start(cluster->sharded_db_, metad_options));
+    DPFS_ASSIGN_OR_RETURN(cluster->fs_,
+                          client::FileSystem::ConnectRemote(
+                              cluster->metad_->endpoint(), remote_options));
+  } else {
+    DPFS_ASSIGN_OR_RETURN(cluster->fs_,
+                          client::FileSystem::Connect(cluster->sharded_db_));
+  }
   for (std::uint32_t i = 0; i < options.num_servers; ++i) {
     server::ServerOptions server_options;
     server_options.root_dir =
@@ -79,6 +108,7 @@ void LocalCluster::Stop() {
   for (const std::unique_ptr<server::IoServer>& server : servers_) {
     if (server != nullptr) server->Stop();
   }
+  if (metad_ != nullptr) metad_->Stop();
 }
 
 Status LocalCluster::RestartServer(std::size_t index) {
@@ -96,6 +126,27 @@ Status LocalCluster::RestartServer(std::size_t index) {
   server_options.engine = engine_;
   DPFS_ASSIGN_OR_RETURN(servers_[index],
                         server::IoServer::Start(std::move(server_options)));
+  return Status::Ok();
+}
+
+Status LocalCluster::RestartMetad() {
+  if (metad_ == nullptr) {
+    return InvalidArgumentError(
+        "cluster has no in-process metadata service "
+        "(set ClusterOptions::start_metadata_service)");
+  }
+  const net::Endpoint endpoint = metad_->endpoint();
+  metad_->Stop();
+  metad_.reset();  // release the port before rebinding it
+
+  metad::MetadOptions options;
+  options.port = endpoint.port;  // clients redial the endpoint they know
+  options.max_sessions = max_sessions_;
+  options.engine = engine_;
+  DPFS_ASSIGN_OR_RETURN(metad_,
+                        metad::MetadService::Start(sharded_db_, options));
+  // Cached records may predate whatever interrupted the old incarnation.
+  if (fs_ != nullptr) fs_->InvalidateMetadataCache();
   return Status::Ok();
 }
 

@@ -8,13 +8,16 @@
 // down in reverse order on destruction.
 #pragma once
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "client/file_system.h"
 #include "common/status.h"
 #include "common/temp_dir.h"
+#include "metad/metad.h"
 #include "server/io_server.h"
 
 namespace dpfs::core {
@@ -40,6 +43,19 @@ struct ClusterOptions {
   /// Connection-handling engine for every server in the cluster (the
   /// DPFS_SERVER_ENGINE env var still overrides; see ServerOptions::engine).
   server::ServerEngine engine = server::ServerEngine::kThreadPerConnection;
+  /// Run an in-process dpfs-metad owning the metadata database; the
+  /// cluster's FileSystem then talks to it over the wire (extension:
+  /// `metadata_endpoint`). Default off — embedded metadata, byte-identical
+  /// to the paper's model.
+  bool start_metadata_service = false;
+  /// host:port of an already-running dpfs-metad to use instead of opening
+  /// a database in this process. Mutually exclusive with
+  /// start_metadata_service; db()/sharded_db() return null in this mode
+  /// (the remote process owns the database and its flock).
+  std::string metadata_endpoint;
+  /// LookupFile cache TTL for the remote metadata modes; 0 disables the
+  /// cache. Ignored with embedded metadata.
+  std::chrono::milliseconds metadata_cache_ttl{250};
 };
 
 class LocalCluster {
@@ -54,9 +70,10 @@ class LocalCluster {
     return fs_;
   }
   /// Shard 0 — the whole database when metadb_shards == 1. Cross-shard
-  /// consumers use sharded_db().
+  /// consumers use sharded_db(). Null when the cluster uses an external
+  /// metadata_endpoint (the remote process owns the database).
   [[nodiscard]] std::shared_ptr<metadb::Database> db() const noexcept {
-    return sharded_db_->shard_ptr(0);
+    return sharded_db_ == nullptr ? nullptr : sharded_db_->shard_ptr(0);
   }
   [[nodiscard]] const std::shared_ptr<metadb::ShardedDatabase>& sharded_db()
       const noexcept {
@@ -80,6 +97,18 @@ class LocalCluster {
   /// unchanged (same name, same endpoint), so clients recover by retrying.
   Status RestartServer(std::size_t index);
 
+  /// The in-process metadata service, or null unless
+  /// start_metadata_service was set.
+  [[nodiscard]] metad::MetadService* metad() const noexcept {
+    return metad_.get();
+  }
+
+  /// Stops the in-process metad and starts a replacement on the same port
+  /// and the same ShardedDatabase, as if the metadata host rebooted —
+  /// Start re-runs intent repair, so chaos tests exercise crash recovery
+  /// over the wire. Error unless start_metadata_service was set.
+  Status RestartMetad();
+
  private:
   LocalCluster() = default;
 
@@ -87,8 +116,10 @@ class LocalCluster {
   std::filesystem::path root_;
   std::size_t max_sessions_ = 0;
   server::ServerEngine engine_ = server::ServerEngine::kThreadPerConnection;
+  std::chrono::milliseconds metadata_cache_ttl_{250};
   std::vector<std::unique_ptr<server::IoServer>> servers_;
   std::shared_ptr<metadb::ShardedDatabase> sharded_db_;
+  std::unique_ptr<metad::MetadService> metad_;
   std::shared_ptr<client::FileSystem> fs_;
 };
 

@@ -1,13 +1,52 @@
 #include "net/connection.h"
 
+#include <sys/socket.h>
+
+#include <cerrno>
+
 #include "common/failpoint.h"
 
 namespace dpfs::net {
+
+Result<Endpoint> Endpoint::Parse(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return InvalidArgumentError("endpoint '" + std::string(text) +
+                                "' is not host:port");
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(text.substr(0, colon));
+  const std::string port_text(text.substr(colon + 1));
+  int port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("endpoint port '" + port_text +
+                                  "' is not a number");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return InvalidArgumentError("endpoint port '" + port_text +
+                                  "' is out of range");
+    }
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
 
 Result<ServerConnection> ServerConnection::Connect(const Endpoint& endpoint) {
   DPFS_ASSIGN_OR_RETURN(TcpSocket socket,
                         TcpSocket::Connect(endpoint.host, endpoint.port));
   return ServerConnection(std::move(socket), endpoint);
+}
+
+bool ServerConnection::PeerClosed() const noexcept {
+  char byte = 0;
+  const ssize_t peeked =
+      ::recv(socket_.fd(), &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (peeked == 0) return true;  // orderly FIN
+  if (peeked < 0) return errno != EAGAIN && errno != EWOULDBLOCK;
+  return false;  // unread bytes pending — the next Call will sort it out
 }
 
 Result<Bytes> ServerConnection::Call(MessageType type, ByteSpan body) {

@@ -23,6 +23,9 @@ struct Endpoint {
   [[nodiscard]] std::string ToString() const {
     return host + ":" + std::to_string(port);
   }
+  /// Parses "host:port" (the inverse of ToString); used by the tools'
+  /// --metad flag.
+  static Result<Endpoint> Parse(std::string_view text);
   friend bool operator==(const Endpoint&, const Endpoint&) = default;
 };
 
@@ -60,13 +63,23 @@ class ServerConnection {
 
   [[nodiscard]] const Endpoint& endpoint() const noexcept { return endpoint_; }
 
+  /// True if the peer has already closed or reset this connection (a
+  /// non-blocking peek sees EOF or a hard error). Callers that hold a
+  /// connection across server restarts probe before reuse so the first
+  /// request after a restart redials instead of failing on a dead socket.
+  /// Best-effort: false only means no close had arrived at probe time.
+  [[nodiscard]] bool PeerClosed() const noexcept;
+
+  /// Sends one request frame and receives the reply; returns the reply body
+  /// after unwrapping the status envelope. The typed wrappers above cover
+  /// the I/O opcodes; the remote metadata manager drives the kMeta* opcodes
+  /// through this directly (its body codecs live in client/meta_wire.h,
+  /// above net in the build graph).
+  Result<Bytes> Call(MessageType type, ByteSpan body);
+
  private:
   ServerConnection(TcpSocket socket, Endpoint endpoint)
       : socket_(std::move(socket)), endpoint_(std::move(endpoint)) {}
-
-  /// Sends one request frame and receives the reply; returns the reply body
-  /// after unwrapping the status envelope.
-  Result<Bytes> Call(MessageType type, ByteSpan body);
 
   TcpSocket socket_;
   Endpoint endpoint_;

@@ -15,6 +15,25 @@ std::string_view MessageTypeName(MessageType type) noexcept {
     case MessageType::kRename: return "rename";
     case MessageType::kList: return "list";
     case MessageType::kMetrics: return "metrics";
+    case MessageType::kMetaRegisterServer: return "meta_register_server";
+    case MessageType::kMetaUnregisterServer: return "meta_unregister_server";
+    case MessageType::kMetaListServers: return "meta_list_servers";
+    case MessageType::kMetaLookupServer: return "meta_lookup_server";
+    case MessageType::kMetaCreateFile: return "meta_create_file";
+    case MessageType::kMetaLookupFile: return "meta_lookup_file";
+    case MessageType::kMetaUpdateSize: return "meta_update_size";
+    case MessageType::kMetaSetPermission: return "meta_set_permission";
+    case MessageType::kMetaSetOwner: return "meta_set_owner";
+    case MessageType::kMetaDeleteFile: return "meta_delete_file";
+    case MessageType::kMetaFileExists: return "meta_file_exists";
+    case MessageType::kMetaRenameFile: return "meta_rename_file";
+    case MessageType::kMetaLogAccess: return "meta_log_access";
+    case MessageType::kMetaSummarizeAccess: return "meta_summarize_access";
+    case MessageType::kMetaClearAccessLog: return "meta_clear_access_log";
+    case MessageType::kMetaMakeDirectory: return "meta_make_directory";
+    case MessageType::kMetaRemoveDirectory: return "meta_remove_directory";
+    case MessageType::kMetaDirectoryExists: return "meta_directory_exists";
+    case MessageType::kMetaListDirectory: return "meta_list_directory";
   }
   return "unknown";
 }
@@ -122,7 +141,7 @@ Bytes EncodeReply(const Status& status, ByteSpan body) {
 Result<DecodedRequest> DecodeRequest(ByteSpan payload) {
   BinaryReader reader(payload);
   DPFS_ASSIGN_OR_RETURN(const std::uint8_t type, reader.ReadU8());
-  if (type < 1 || type > 11) {
+  if (type < 1 || type > kMaxMessageType) {
     return ProtocolError("bad message type " + std::to_string(type));
   }
   return DecodedRequest{static_cast<MessageType>(type),

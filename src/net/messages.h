@@ -33,7 +33,36 @@ enum class MessageType : std::uint8_t {
   kRename = 9,   // rename a subfile (body: old name string, new name string)
   kList = 10,    // list all subfiles (fsck support)
   kMetrics = 11, // full metrics text snapshot (docs/OBSERVABILITY.md)
+
+  // Metadata-service opcodes (extension: dpfs-metad, docs/WIRE_PROTOCOL.md
+  // "Metadata protocol"). Served only by the metadata server; an I/O server
+  // answers them with kProtocolError. Body schemas are owned by the client
+  // layer (client/meta_wire.h) because they are expressed in terms of
+  // FileMeta/FileRecord; net stays ignorant of them.
+  kMetaRegisterServer = 12,
+  kMetaUnregisterServer = 13,
+  kMetaListServers = 14,
+  kMetaLookupServer = 15,
+  kMetaCreateFile = 16,
+  kMetaLookupFile = 17,
+  kMetaUpdateSize = 18,
+  kMetaSetPermission = 19,
+  kMetaSetOwner = 20,
+  kMetaDeleteFile = 21,
+  kMetaFileExists = 22,
+  kMetaRenameFile = 23,
+  kMetaLogAccess = 24,
+  kMetaSummarizeAccess = 25,
+  kMetaClearAccessLog = 26,
+  kMetaMakeDirectory = 27,
+  kMetaRemoveDirectory = 28,
+  kMetaDirectoryExists = 29,
+  kMetaListDirectory = 30,
 };
+
+/// Highest valid MessageType value; DecodeRequest rejects anything above.
+inline constexpr std::uint8_t kMaxMessageType =
+    static_cast<std::uint8_t>(MessageType::kMetaListDirectory);
 
 /// One entry of a kList reply.
 struct SubfileInfo {

@@ -320,7 +320,7 @@ bool EventLoop::ServiceBatch(int fd, Conn& conn) {
     } else {
       reply = handler_(frame);
       ++batch;
-      if (auto fp = failpoint::Check("server.before_reply")) {
+      if (auto fp = failpoint::Check(options_.reply_failpoint.c_str())) {
         if (fp->action == failpoint::Action::kDisconnect) {
           stats_->errors.fetch_add(1, std::memory_order_relaxed);
           return false;

@@ -60,6 +60,11 @@ class EventLoop {
     /// reading that connection (write backpressure): a slow reader cannot
     /// balloon server memory. Reading resumes once the backlog drains.
     std::size_t max_write_backlog = 4u << 20;
+    /// Failpoint site checked between servicing a request and queueing its
+    /// reply (docs/FAULT_INJECTION.md). The I/O server keeps the default;
+    /// the metadata server passes "metad.reply" so chaos tests target one
+    /// service without disturbing the other.
+    std::string reply_failpoint = "server.before_reply";
   };
 
   /// Services one decoded request frame, returns the encoded reply payload.

@@ -49,21 +49,6 @@ OpMetrics& Metrics() {
   return m;
 }
 
-/// DPFS_SERVER_ENGINE=thread|event forces every IoServer in the process onto
-/// one engine — how CI runs the full suite against the reactor.
-ServerEngine ApplyEngineOverride(ServerEngine configured) {
-  const char* env = std::getenv("DPFS_SERVER_ENGINE");
-  if (env == nullptr) return configured;
-  const std::string_view value(env);
-  if (value == "event") return ServerEngine::kEventLoop;
-  if (value == "thread") return ServerEngine::kThreadPerConnection;
-  if (!value.empty()) {
-    DPFS_LOG_WARN << "DPFS_SERVER_ENGINE='" << value
-                  << "' is not 'thread' or 'event'; ignoring";
-  }
-  return configured;
-}
-
 /// Atomic (tmp + rename) text-snapshot dump; partial files never appear at
 /// the published path.
 void DumpSnapshot(const std::filesystem::path& path) {
@@ -84,6 +69,19 @@ void DumpSnapshot(const std::filesystem::path& path) {
   }
 }
 }  // namespace
+
+ServerEngine ApplyEngineOverride(ServerEngine configured) {
+  const char* env = std::getenv("DPFS_SERVER_ENGINE");
+  if (env == nullptr) return configured;
+  const std::string_view value(env);
+  if (value == "event") return ServerEngine::kEventLoop;
+  if (value == "thread") return ServerEngine::kThreadPerConnection;
+  if (!value.empty()) {
+    DPFS_LOG_WARN << "DPFS_SERVER_ENGINE='" << value
+                  << "' is not 'thread' or 'event'; ignoring";
+  }
+  return configured;
+}
 
 Result<std::unique_ptr<IoServer>> IoServer::Start(ServerOptions options) {
   std::error_code ec;
@@ -262,6 +260,16 @@ Bytes IoServer::HandleRequest(ByteSpan frame) {
   const net::MessageType type = decoded.value().type;
   BinaryReader reader(decoded.value().body);
   const int op = static_cast<int>(type);
+  if (op > kMaxOpcode) {
+    // Metadata opcodes (kMeta*) decode fine but are served by dpfs-metad,
+    // not an I/O server — and they index past this server's per-op arrays.
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    Metrics().bad_requests.Add();
+    return net::EncodeReply(
+        ProtocolError(std::string(net::MessageTypeName(type)) +
+                      " is a metadata opcode; not served by an I/O server"),
+        {});
+  }
   Metrics().requests[op]->Add();
   metrics::ScopedTimer timer(*Metrics().service_time_us[op]);
   return Dispatch(type, reader);
@@ -397,6 +405,11 @@ Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
       body.WriteString(metrics::Registry::Global().TextSnapshot());
       return net::EncodeReply(Status::Ok(), body.buffer());
     }
+
+    default:
+      // kMeta* — rejected in HandleRequest before the per-op metric arrays;
+      // unreachable here, but the switch must stay total under -Wswitch.
+      break;
   }
   return net::EncodeReply(ProtocolError("unhandled message type"), {});
 }

@@ -34,6 +34,11 @@ enum class ServerEngine : std::uint8_t {
   kEventLoop,
 };
 
+/// DPFS_SERVER_ENGINE=thread|event forces every server in the process
+/// (I/O and metadata alike) onto one engine — how CI runs the full suite
+/// against the reactor.
+ServerEngine ApplyEngineOverride(ServerEngine configured);
+
 struct ServerOptions {
   std::filesystem::path root_dir;  // subfile storage root
   std::uint16_t port = 0;          // 0 = ephemeral

@@ -441,11 +441,17 @@ Status Shell::CmdChown(const std::vector<std::string>& args) {
 
 Status Shell::CmdSql(std::string_view line, std::ostream& out) {
   if (line.empty()) return InvalidArgumentError("usage: sql <statement>");
+  client::MetadataManager* embedded = fs_->embedded_metadata();
+  if (embedded == nullptr) {
+    return UnimplementedError(
+        "sql needs embedded metadata; this client talks to a remote "
+        "metadata server (run the shell on the metad host instead)");
+  }
   // Runs against shard 0 — the whole database unless metadb_shards > 1
   // (sharded deployments debug per shard; rows for other shards' paths
   // won't be visible here).
   DPFS_ASSIGN_OR_RETURN(const metadb::ResultSet result,
-                        fs_->metadata().db().Execute(line));
+                        embedded->db().Execute(line));
   if (!result.columns.empty()) {
     out << result.ToString();
   } else {

@@ -1,9 +1,13 @@
 #include "metadb/database.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+
+#include "common/temp_dir.h"
 
 namespace dpfs::metadb {
 namespace {
@@ -353,6 +357,36 @@ TEST_F(DatabaseTest, PaperMetadataTablesWorkEndToEnd) {
       Exec("SELECT server_name FROM DPFS_SERVER WHERE performance = 1");
   ASSERT_EQ(fastest.size(), 1u);
   EXPECT_EQ(fastest.GetText(0, "server_name").value(), "ccn40.mcs.anl.gov");
+}
+
+TEST(DatabaseLockTest, TimedOutOpenNamesTheHolderPid) {
+  // flock is per open-file-description, so a second Open in the same
+  // process (fresh fd on the same lock file) contends exactly like another
+  // process would. The timeout diagnostic must name the holder from the
+  // lock file's "pid=<pid> since=<t>" record — a bare "locked" message made
+  // the ASan-widened deployment startup race needlessly hard to debug.
+  const TempDir temp = TempDir::Create("metadb-lock").value();
+  const std::unique_ptr<Database> holder =
+      Database::Open(temp.path()).value();
+
+  const Result<std::unique_ptr<Database>> contender =
+      Database::Open(temp.path(), std::chrono::milliseconds(50));
+  ASSERT_FALSE(contender.ok());
+  EXPECT_EQ(contender.status().code(), StatusCode::kUnavailable);
+  const std::string message = contender.status().message();
+  EXPECT_NE(message.find("locked by another process"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("pid=" + std::to_string(::getpid())),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("since="), std::string::npos) << message;
+}
+
+TEST(DatabaseLockTest, LockIsReleasedOnDestruction) {
+  const TempDir temp = TempDir::Create("metadb-lock-release").value();
+  { const auto first = Database::Open(temp.path()).value(); }
+  // No waiting needed: the destructor unlocked, so a zero-ish wait works.
+  EXPECT_TRUE(Database::Open(temp.path(), std::chrono::milliseconds(50)).ok());
 }
 
 }  // namespace

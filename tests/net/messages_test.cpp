@@ -63,12 +63,18 @@ TEST(EnvelopeTest, BadTypeRejected) {
 }
 
 TEST(EnvelopeTest, FirstTypePastTheRangeRejected) {
-  // One past kMetrics: keeps the DecodeRequest range check honest when a
-  // new opcode is added (bump the check, then extend this test).
-  Bytes frame = {12};
+  // One past kMaxMessageType (currently kMetaListDirectory): keeps the
+  // DecodeRequest range check honest when a new opcode is added (bump the
+  // check, then extend this test).
+  Bytes frame = {static_cast<std::uint8_t>(kMaxMessageType + 1)};
   EXPECT_FALSE(DecodeRequest(frame).ok());
   Bytes zero = {0};
   EXPECT_FALSE(DecodeRequest(zero).ok());
+  // Every type up to the max decodes (the body is opaque at this layer).
+  for (std::uint8_t type = 1; type <= kMaxMessageType; ++type) {
+    Bytes in_range = {type};
+    EXPECT_TRUE(DecodeRequest(in_range).ok()) << static_cast<int>(type);
+  }
 }
 
 TEST(EnvelopeTest, OkReplyRoundTrip) {

@@ -8,10 +8,13 @@
 #include <chrono>
 #include <thread>
 
+#include "client/meta_wire.h"
 #include "common/crc32.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/temp_dir.h"
+#include "metad/metad.h"
+#include "metadb/sharded_database.h"
 #include "net/connection.h"
 #include "net/frame.h"
 #include "net/messages.h"
@@ -389,8 +392,200 @@ TEST_P(ProtocolFuzzTest, TwoFramesSplitAtEveryBoundary) {
   ExpectServerAlive();
 }
 
+TEST_P(ProtocolFuzzTest, MetadataOpcodeAimedAtIoServerGetsErrorReply) {
+  // A client that dials the wrong port must get a protocol error, not a
+  // crash or an OOB metric-array index: the kMeta* range is valid at the
+  // envelope layer but refused by the I/O server's handler.
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  client::meta_wire::PathRequest request;
+  request.path = "/lost.bin";
+  BinaryWriter payload;
+  payload.WriteU8(static_cast<std::uint8_t>(net::MessageType::kMetaLookupFile));
+  request.Encode(payload);
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  const net::DecodedReply decoded = net::DecodeReply(reply).value();
+  EXPECT_EQ(decoded.status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(decoded.status.message().find("metadata opcode"),
+            std::string::npos);
+  ExpectServerAlive();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Engines, ProtocolFuzzTest,
+    ::testing::Values(ServerEngine::kThreadPerConnection,
+                      ServerEngine::kEventLoop),
+    [](const ::testing::TestParamInfo<ServerEngine>& param_info) {
+      return param_info.param == ServerEngine::kEventLoop
+                 ? "EventLoop"
+                 : "ThreadPerConnection";
+    });
+
+// --- the metadata server under the same storm ------------------------------
+//
+// dpfs-metad shares the frame/envelope code with the I/O servers but has
+// its own session loops and its own dispatch; the robustness contract is
+// identical, so it faces the same suite shape on both engines. ("ProtocolFuzz"
+// in the name keeps it inside the asan-faults/tsan-faults preset globs.)
+class MetadProtocolFuzzTest : public ::testing::TestWithParam<ServerEngine> {
+ protected:
+  void SetUp() override {
+    std::unique_ptr<metadb::ShardedDatabase> db =
+        metadb::ShardedDatabase::OpenInMemory(2).value();
+    metad::MetadOptions options;
+    options.engine = GetParam();
+    service_ =
+        metad::MetadService::Start(std::move(db), std::move(options)).value();
+  }
+
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  void ExpectServiceAlive() {
+    Result<net::ServerConnection> conn =
+        net::ServerConnection::Connect(service_->endpoint());
+    ASSERT_TRUE(conn.ok());
+    EXPECT_TRUE(conn.value().Ping().ok());
+  }
+
+  std::unique_ptr<metad::MetadService> service_;
+};
+
+TEST_P(MetadProtocolFuzzTest, GarbageBytesInsteadOfFrame) {
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  const Bytes garbage = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  ASSERT_TRUE(socket.SendAll(garbage).ok());
+  socket.Close();
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, TypeBytePastTheRangeGetsErrorReply) {
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  for (const std::uint8_t bad :
+       {static_cast<std::uint8_t>(net::kMaxMessageType + 1),
+        static_cast<std::uint8_t>(0x7F), static_cast<std::uint8_t>(0)}) {
+    const Bytes payload = {bad};
+    ASSERT_TRUE(net::SendFrame(socket, payload).ok());
+    Bytes reply;
+    ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+    EXPECT_EQ(net::DecodeReply(reply).value().status.code(),
+              StatusCode::kProtocolError)
+        << static_cast<int>(bad);
+  }
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, TruncatedMetadataBodyGetsErrorReply) {
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  // kMetaLookupFile whose path string claims more bytes than the frame has.
+  BinaryWriter payload;
+  payload.WriteU8(
+      static_cast<std::uint8_t>(net::MessageType::kMetaLookupFile));
+  payload.WriteU32(1000);  // string length with no bytes behind it
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  EXPECT_FALSE(net::DecodeReply(reply).value().status.ok());
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, IoOpcodeAimedAtMetadGetsErrorReply) {
+  // The mirror image of the I/O-server test above: kRead is in range at
+  // the envelope layer but this service does not serve it.
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  BinaryWriter payload;
+  payload.WriteU8(static_cast<std::uint8_t>(net::MessageType::kRead));
+  payload.WriteString("/subfile");
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  const net::DecodedReply decoded = net::DecodeReply(reply).value();
+  EXPECT_EQ(decoded.status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(decoded.status.message().find("I/O opcode"), std::string::npos);
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, MidFrameDisconnect) {
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  BinaryWriter writer;
+  writer.WriteU32(1000);  // promise 1000 bytes
+  writer.WriteU32(0);
+  ASSERT_TRUE(socket.SendAll(writer.buffer()).ok());
+  ASSERT_TRUE(socket.SendAll(Bytes(10, 0)).ok());  // deliver only 10
+  socket.Close();
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, TwoFramesSplitInsideTheHeader) {
+  // Worst-case reassembly across the shared frame reader: a ping split in
+  // the middle of its length header, then a second whole ping.
+  const Bytes one =
+      net::EncodeFrame(net::EncodeRequest(net::MessageType::kPing, {}))
+          .value();
+  Bytes wire = one;
+  wire.insert(wire.end(), one.begin(), one.end());
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  ASSERT_TRUE(socket.SendAll(ByteSpan(wire).first(2)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(socket.SendAll(ByteSpan(wire).subspan(2)).ok());
+  for (int i = 0; i < 2; ++i) {
+    Bytes reply;
+    ASSERT_TRUE(net::RecvFrame(socket, reply).ok()) << "reply " << i;
+    EXPECT_TRUE(net::DecodeReply(reply).value().status.ok());
+  }
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, RandomFrameStorm) {
+  SplitMix64 rng(54321);
+  for (int trial = 0; trial < 40; ++trial) {
+    Result<net::TcpSocket> socket =
+        net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port);
+    ASSERT_TRUE(socket.ok());
+    const int frames = 1 + static_cast<int>(rng.NextBelow(4));
+    bool session_alive = true;
+    for (int f = 0; f < frames && session_alive; ++f) {
+      Bytes payload(rng.NextBelow(64));
+      for (std::uint8_t& byte : payload) {
+        byte = static_cast<std::uint8_t>(rng.NextU64());
+      }
+      // Steer around kShutdown (7), the valid admin opcode, like the
+      // I/O-server storm does.
+      if (!payload.empty() && payload[0] == 7) payload[0] = 0x77;
+      if (!net::SendFrame(socket.value(), payload).ok()) break;
+      Bytes reply;
+      session_alive = net::RecvFrame(socket.value(), reply).ok();
+    }
+  }
+  ExpectServiceAlive();
+  EXPECT_GE(service_->stats().sessions_accepted.load(), 40u);
+}
+
+TEST_P(MetadProtocolFuzzTest, StopJoinsSessionsWithClientsMidRecv) {
+  // Idle sessions blocked in RecvFrame must not wedge Stop().
+  std::vector<net::TcpSocket> idle;
+  for (int i = 0; i < 4; ++i) {
+    idle.push_back(
+        net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port)
+            .value());
+  }
+  for (int i = 0; i < 200 && service_->stats().sessions_accepted.load() < 4u;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(service_->stats().sessions_accepted.load(), 4u);
+  service_->Stop();  // joins every session thread or the test times out
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, MetadProtocolFuzzTest,
     ::testing::Values(ServerEngine::kThreadPerConnection,
                       ServerEngine::kEventLoop),
     [](const ::testing::TestParamInfo<ServerEngine>& param_info) {

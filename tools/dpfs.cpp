@@ -3,11 +3,15 @@
 //   dpfs --metadb /shared/dpfs-meta                 # interactive shell
 //   dpfs --metadb /shared/dpfs-meta --c "ls -l /"    # one command
 //   echo "import a.dat /a.dat" | dpfs --metadb DIR  # scripted
+//   dpfs --metad host:7060 --c "ls -l /"            # via dpfs-metad
 //
 // The metadata directory is the one the dpfsd daemons registered into; the
 // CLI discovers the I/O servers from the DPFS_SERVER table.
 // --metadb-shards must match the deployment's shard count (1 = the default
 // unsharded layout; a mismatch fails fast instead of guessing).
+// With --metad the CLI never opens the database: every namespace operation
+// goes over the wire to the dpfs-metad at HOST:PORT, so any number of
+// shells can run concurrently against one namespace.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -19,23 +23,42 @@
 int main(int argc, char** argv) {
   using namespace dpfs;
   const Options opts = Options::Parse(argc, argv).value();
-  if (!opts.Has("metadb")) {
+  if (!opts.Has("metadb") && !opts.Has("metad")) {
     std::fprintf(stderr,
-                 "usage: dpfs --metadb DIR [--metadb-shards N] [--c COMMAND]\n");
+                 "usage: dpfs --metadb DIR [--metadb-shards N] [--c COMMAND]\n"
+                 "       dpfs --metad HOST:PORT [--c COMMAND]\n");
+    return 2;
+  }
+  if (opts.Has("metadb") && opts.Has("metad")) {
+    std::fprintf(stderr,
+                 "dpfs: --metadb and --metad are mutually exclusive (the "
+                 "metad owns the database)\n");
     return 2;
   }
 
-  Result<std::unique_ptr<metadb::ShardedDatabase>> db =
-      metadb::ShardedDatabase::Open(
-          opts.GetString("metadb", ""),
-          static_cast<std::size_t>(opts.GetInt("metadb-shards", 1)));
-  if (!db.ok()) {
-    std::fprintf(stderr, "dpfs: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
-  std::shared_ptr<metadb::ShardedDatabase> shared = std::move(db).value();
   Result<std::shared_ptr<client::FileSystem>> fs =
-      client::FileSystem::Connect(shared);
+      InternalError("unreachable");
+  if (opts.Has("metad")) {
+    Result<net::Endpoint> endpoint =
+        net::Endpoint::Parse(opts.GetString("metad", ""));
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "dpfs: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 1;
+    }
+    fs = client::FileSystem::ConnectRemote(endpoint.value());
+  } else {
+    Result<std::unique_ptr<metadb::ShardedDatabase>> db =
+        metadb::ShardedDatabase::Open(
+            opts.GetString("metadb", ""),
+            static_cast<std::size_t>(opts.GetInt("metadb-shards", 1)));
+    if (!db.ok()) {
+      std::fprintf(stderr, "dpfs: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    std::shared_ptr<metadb::ShardedDatabase> shared = std::move(db).value();
+    fs = client::FileSystem::Connect(shared);
+  }
   if (!fs.ok()) {
     std::fprintf(stderr, "dpfs: %s\n", fs.status().ToString().c_str());
     return 1;

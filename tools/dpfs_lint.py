@@ -23,6 +23,10 @@ in CLAUDE.md), as a ctest test so every build runs them:
   failpoint-disarm   any test file that arms a failpoint also calls
                      failpoint::DisarmAll() (teardown hygiene: leaked arms
                      poison later tests in the same binary).
+  opcode-names       every MessageType enumerator in src/net/messages.h has
+                     a case in MessageTypeName (src/net/messages.cpp) — the
+                     name feeds per-opcode metrics and error messages, and
+                     a forgotten case silently reports "unknown".
 
 Usage:
   tools/dpfs_lint.py [--root DIR]   lint the repo (default: repo root)
@@ -217,11 +221,44 @@ def lint_status_header(root: Path) -> list[Violation]:
     return out
 
 
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=\s*\d+\s*,?", re.MULTILINE)
+NAME_CASE_RE = re.compile(r"case\s+MessageType::(k\w+)\s*:")
+
+
+def lint_opcode_names(root: Path) -> list[Violation]:
+    """Every MessageType enumerator must round-trip through MessageTypeName."""
+    header = root / "src/net/messages.h"
+    impl = root / "src/net/messages.cpp"
+    if not header.is_file() or not impl.is_file():
+        return []
+    header_text = strip_comments_and_strings(
+        header.read_text(encoding="utf-8", errors="replace"))
+    enum_match = re.search(
+        r"enum\s+class\s+MessageType[^{]*\{(.*?)\};", header_text, re.DOTALL)
+    if enum_match is None:
+        return [Violation(Path("src/net/messages.h"), 1, "opcode-names",
+                          "enum class MessageType not found")]
+    enumerators = ENUMERATOR_RE.findall(enum_match.group(1))
+    impl_text = strip_comments_and_strings(
+        impl.read_text(encoding="utf-8", errors="replace"))
+    named = set(NAME_CASE_RE.findall(impl_text))
+    out: list[Violation] = []
+    for enumerator in enumerators:
+        if enumerator not in named:
+            out.append(Violation(
+                Path("src/net/messages.cpp"), 1, "opcode-names",
+                f"MessageType::{enumerator} has no case in MessageTypeName — "
+                "per-opcode metrics and error messages would report "
+                "\"unknown\""))
+    return out
+
+
 def run_lint(root: Path) -> list[Violation]:
     violations: list[Violation] = []
     for path in iter_source_files(root):
         violations.extend(lint_file(path, root))
     violations.extend(lint_status_header(root))
+    violations.extend(lint_opcode_names(root))
     return violations
 
 
@@ -232,6 +269,7 @@ def run_lint(root: Path) -> list[Violation]:
 ALL_RULES = frozenset({
     "layout-purity", "rooted-includes", "no-exceptions",
     "nodiscard-status", "raw-mutex", "failpoint-disarm",
+    "opcode-names",
 })
 
 # rule -> fixture file expected to trigger it (paths inside lint_fixtures/).
@@ -242,6 +280,7 @@ EXPECTED_SELF_TEST = {
     "raw-mutex": "src/core/bad_mutex.cpp",
     "failpoint-disarm": "tests/common/bad_failpoint_test.cpp",
     "nodiscard-status": "src/common/status.h",
+    "opcode-names": "src/net/messages.cpp",
 }
 
 

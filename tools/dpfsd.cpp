@@ -3,13 +3,16 @@
 //
 //   dpfsd --root /var/dpfs [--port 7070] [--name host.example]
 //         [--metadb /shared/dpfs-meta] [--metadb-shards 1]
+//         [--metad host:port]
 //         [--capacity 536870912]
 //         [--performance 1] [--engine thread|event]
 //         [--metrics-dump-ms 0] [--metrics-dump-path FILE]
 //
 // With --metadb, the server registers itself in the DPFS_SERVER table so
-// clients can find it (re-registering replaces a stale row). Runs until
-// SIGINT/SIGTERM.
+// clients can find it (re-registering replaces a stale row). With --metad,
+// registration goes over the wire to a dpfs-metad process instead — the
+// metad owns the database flock, so opening the directory here would
+// block. Runs until SIGINT/SIGTERM.
 #include <csignal>
 #include <cstdio>
 
@@ -18,6 +21,7 @@
 #include <thread>
 
 #include "client/metadata.h"
+#include "client/remote_metadata.h"
 #include "common/log.h"
 #include "common/options.h"
 #include "server/io_server.h"
@@ -44,6 +48,17 @@ dpfs::Status RegisterSelf(const std::string& metadb_dir,
   return metadata->RegisterServer(info);
 }
 
+dpfs::Status RegisterSelfRemote(const std::string& metad_endpoint,
+                                const dpfs::client::ServerInfo& info) {
+  using namespace dpfs;
+  DPFS_ASSIGN_OR_RETURN(const net::Endpoint endpoint,
+                        net::Endpoint::Parse(metad_endpoint));
+  DPFS_ASSIGN_OR_RETURN(auto metadata,
+                        client::RemoteMetadataManager::Connect(endpoint));
+  (void)metadata->UnregisterServer(info.name);
+  return metadata->RegisterServer(info);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,9 +72,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dpfsd --root DIR [--port N] [--name NAME]\n"
                  "             [--metadb DIR] [--metadb-shards N] "
+                 "[--metad HOST:PORT] "
                  "[--capacity BYTES] [--performance N] [--max-sessions N]\n"
                  "             [--engine thread|event] [--metrics-dump-ms N] "
                  "[--metrics-dump-path FILE]\n");
+    return 2;
+  }
+  if (opts.Has("metadb") && opts.Has("metad")) {
+    std::fprintf(stderr,
+                 "dpfsd: --metadb and --metad are mutually exclusive (the "
+                 "metad owns the database)\n");
     return 2;
   }
 
@@ -90,7 +112,7 @@ int main(int argc, char** argv) {
               opts.GetString("root", "").c_str(),
               io_server->endpoint().ToString().c_str());
 
-  if (opts.Has("metadb")) {
+  if (opts.Has("metadb") || opts.Has("metad")) {
     client::ServerInfo info;
     info.name = opts.GetString(
         "name", "dpfsd-" + std::to_string(io_server->endpoint().port));
@@ -99,16 +121,21 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(opts.GetInt("capacity", 1ll << 30));
     info.performance =
         static_cast<std::uint32_t>(opts.GetInt("performance", 1));
-    const Status registered = RegisterSelf(
-        opts.GetString("metadb", ""),
-        static_cast<std::size_t>(opts.GetInt("metadb-shards", 1)), info);
+    const Status registered =
+        opts.Has("metad")
+            ? RegisterSelfRemote(opts.GetString("metad", ""), info)
+            : RegisterSelf(
+                  opts.GetString("metadb", ""),
+                  static_cast<std::size_t>(opts.GetInt("metadb-shards", 1)),
+                  info);
     if (!registered.ok()) {
       std::fprintf(stderr, "dpfsd: registration failed: %s\n",
                    registered.ToString().c_str());
       return 1;
     }
     std::printf("dpfsd: registered as '%s' in %s\n", info.name.c_str(),
-                opts.GetString("metadb", "").c_str());
+                opts.Has("metad") ? opts.GetString("metad", "").c_str()
+                                  : opts.GetString("metadb", "").c_str());
   }
 
   std::signal(SIGINT, HandleSignal);

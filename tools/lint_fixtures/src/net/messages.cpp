@@ -1,0 +1,14 @@
+// Seeded fixture for the opcode-names rule: the switch is missing a case
+// for MessageType::kOrphan, which the header declares.
+#include "net/messages.h"
+
+namespace dpfs::net {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+}  // namespace dpfs::net

@@ -1,0 +1,12 @@
+// Seeded fixture for the opcode-names rule: kOrphan has no case in the
+// MessageTypeName switch in the sibling messages.cpp.
+#include <cstdint>
+
+namespace dpfs::net {
+
+enum class MessageType : std::uint8_t {
+  kPing = 1,
+  kOrphan = 2,
+};
+
+}  // namespace dpfs::net
