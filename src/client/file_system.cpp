@@ -330,6 +330,8 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
       Result<PooledConnection> conn = pool_.Acquire(server->endpoint);
       if (conn.ok()) {
         PooledConnection pooled = std::move(conn).value();
+        // dpfs:unchecked(best-effort rollback: the original failure is
+        // what the caller must see, not a secondary undo error)
         (void)pooled->Rename(dst, src);
       }
     }
@@ -507,6 +509,8 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
     report->useful_bytes += plan.useful_bytes();
   }
   if (access_logging_.load(std::memory_order_relaxed)) {
+    // dpfs:unchecked(access logging is advisory telemetry; a failed log
+    // write must not fail the I/O it describes)
     (void)metadata_->LogAccess(handle.record.meta.path, is_write,
                                plan.num_requests(), plan.transfer_bytes(),
                                plan.useful_bytes());

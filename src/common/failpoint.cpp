@@ -239,6 +239,8 @@ std::optional<Hit> Evaluate(const char* name) {
   // Delays complete inside Check so sites need no cooperation — and the
   // sleep happens outside the registry lock.
   if (hit.action == Action::kDelay) {
+    // dpfs:blocking-ok(the injected delay *is* the programmed fault; an
+    // unarmed site never reaches this branch)
     std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
     return std::nullopt;
   }

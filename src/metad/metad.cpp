@@ -188,6 +188,8 @@ void MetadService::Session(net::TcpSocket socket) {
     stats_.sessions_rejected_busy.fetch_add(1, std::memory_order_relaxed);
     Metrics().busy_rejects.Add();
     if (net::RecvFrame(socket, frame).ok()) {
+      // dpfs:unchecked(best-effort courtesy reply before dropping the
+      // session; the client treats a vanished connection the same way)
       (void)net::SendFrame(
           socket, net::EncodeReply(
                       ResourceExhaustedError("server busy, retry later"), {}));
@@ -266,6 +268,9 @@ Bytes MetadService::HandleRequest(ByteSpan frame) {
   return Dispatch(type, reader);
 }
 
+// dpfs:blocking-ok(the metadata service intentionally executes durable
+// namespace mutations on its loop thread: the WAL commit *is* the service
+// time the client is waiting for, and §3.1 serializes metadata ops anyway)
 Bytes MetadService::Dispatch(net::MessageType type, BinaryReader& reader) {
   switch (type) {
     case net::MessageType::kPing:

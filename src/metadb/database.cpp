@@ -428,7 +428,9 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& statement) {
       wal_->size_bytes() > auto_checkpoint_wal_bytes_) {
     const Status snapshotted = WriteSnapshot(dir_ / "snapshot.db");
     if (snapshotted.ok()) {
-      (void)wal_->Reset();  // failure leaves the WAL intact, which is safe
+      // dpfs:unchecked(a failed truncate leaves the WAL intact — replay
+      // over the new snapshot is idempotent, so nothing is lost)
+      (void)wal_->Reset();
     }
   }
   return result;
@@ -475,6 +477,8 @@ Status Database::CommitLocked() {
     // cleanly and the in-memory state rolls back.
     if (const auto fp = failpoint::Check("metadb.commit");
         fp.has_value() && fp->action == failpoint::Action::kReturnError) {
+      // dpfs:unchecked(the injected commit failure is the status to
+      // surface; in-memory undo cannot fail)
       (void)RollbackLocked();
       return fp->status;
     }
@@ -482,6 +486,8 @@ Status Database::CommitLocked() {
     if (!appended.ok()) {
       // Durability failed: roll the in-memory state back so memory and disk
       // stay consistent, then surface the error.
+      // dpfs:unchecked(the WAL append error is the one to report; the
+      // in-memory undo cannot fail)
       (void)RollbackLocked();
       return appended;
     }
@@ -577,6 +583,8 @@ Result<ResultSet> Database::ExecuteLocked(const Statement& statement) {
     if (result.ok()) {
       DPFS_RETURN_IF_ERROR(CommitLocked());
     } else {
+      // dpfs:unchecked(the statement error propagates below; rollback of
+      // the implicit txn is in-memory and cannot fail)
       (void)RollbackLocked();
     }
   } else if (!result.ok()) {
@@ -647,6 +655,8 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
   std::vector<RowId> inserted;  // for partial rollback on failure
   for (const std::vector<Value>& values : stmt.rows) {
     if (values.size() != indices.size()) {
+      // dpfs:unchecked(undoing rows this statement just inserted; Erase
+      // of a known-present row cannot fail)
       for (const RowId id : inserted) (void)table->Erase(id);
       return InvalidArgumentError(
           "INSERT arity mismatch: " + std::to_string(values.size()) +
@@ -656,6 +666,8 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
     for (std::size_t i = 0; i < indices.size(); ++i) row[indices[i]] = values[i];
     const Result<RowId> id = table->Insert(std::move(row));
     if (!id.ok()) {
+      // dpfs:unchecked(partial-insert rollback; Erase of a row this
+      // statement inserted cannot fail)
       for (const RowId prev : inserted) (void)table->Erase(prev);
       return id.status();
     }

@@ -148,10 +148,12 @@ class Database {
   Result<Table*> FindTable(std::string_view name) DPFS_REQUIRES(mu_);
   Result<const Table*> FindTable(std::string_view name) const
       DPFS_REQUIRES_SHARED(mu_);
-  // Open-time only: runs on the one thread building the database, before it
-  // is shared, so no lock is held (hence the analysis opt-out).
+  // dpfs:no-tsa(open-time only: runs on the one thread building the
+  // database, before it is shared, so no lock is held)
   Status ApplyWalRecord(const WalRecord& record)
       DPFS_NO_THREAD_SAFETY_ANALYSIS;
+  // dpfs:no-tsa(open-time only, same single-thread recovery path as
+  // ApplyWalRecord)
   Status LoadSnapshot(const std::filesystem::path& file)
       DPFS_NO_THREAD_SAFETY_ANALYSIS;
   Status WriteSnapshot(const std::filesystem::path& file) const

@@ -191,6 +191,8 @@ Result<TcpSocket::SomeIo> TcpSocket::RecvSome(MutableByteSpan data) {
     }
   }
   for (;;) {
+    // dpfs:blocking-ok(event-engine fds are O_NONBLOCK: recv returns
+    // EAGAIN instead of parking the loop)
     const ssize_t n = ::recv(fd_, data.data(), limit, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -308,6 +310,8 @@ Result<std::optional<TcpSocket>> TcpListener::AcceptNonBlocking() {
     return UnavailableError("accept: listener closed");
   }
   for (;;) {
+    // dpfs:blocking-ok(the event engine sets the listener O_NONBLOCK
+    // before binding it to the loop: accept returns EAGAIN, never parks)
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;

@@ -203,6 +203,8 @@ void IoServer::Session(net::TcpSocket socket) {
     stats_.sessions_rejected_busy.fetch_add(1, std::memory_order_relaxed);
     Metrics().busy_rejects.Add();
     if (net::RecvFrame(socket, frame).ok()) {
+      // dpfs:unchecked(best-effort courtesy reply before dropping the
+      // session; the client treats a vanished connection the same way)
       (void)net::SendFrame(
           socket, net::EncodeReply(
                       ResourceExhaustedError("server busy, retry later"), {}));

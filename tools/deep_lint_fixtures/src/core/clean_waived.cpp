@@ -1,0 +1,45 @@
+// Clean counterpart: every shape the seeded fixtures make fire, but with
+// valid waivers attached. The self-test requires this file to produce zero
+// findings — a waiver-parsing regression shows up here first.
+// Fixture only — never compiled; parsed by the textual frontend.
+
+namespace dpfs::core {
+
+class Ledger {
+ public:
+  Status Flush();
+
+  void Drop() {
+    // dpfs:unchecked(best-effort flush on shutdown; the journal replays on
+    // the next open so a lost write is recovered, not corrupted)
+    (void)Flush();
+  }
+
+  // dpfs:no-tsa(runtime-indexed mutex vector below: the analysis cannot
+  // name shards_[i] capabilities; the ascending-index loop is the manual
+  // discipline that replaces it)
+  void LockAll() DPFS_NO_THREAD_SAFETY_ANALYSIS;
+
+ private:
+  std::vector<std::unique_ptr<Mutex>> shards_;
+};
+
+}  // namespace dpfs::core
+
+namespace dpfs::server {
+
+class EventLoop {
+ public:
+  void Run() {
+    Settle();
+  }
+
+ private:
+  void Settle() {
+    // dpfs:blocking-ok(fixture: a sanctioned startup backoff before the
+    // loop accepts its first connection)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};
+
+}  // namespace dpfs::server

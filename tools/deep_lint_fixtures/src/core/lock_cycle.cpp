@@ -1,0 +1,32 @@
+// Seeded violation: an AB/BA lock-order cycle across two functions of the
+// same class. The deep lint must report lock-order-cycle on this file.
+// Fixture only — never compiled; parsed by the textual frontend.
+
+namespace dpfs::core {
+
+struct Alpha {
+  Mutex mu_;
+};
+
+struct Beta {
+  Mutex mu_;
+};
+
+class Pair {
+ public:
+  void ForwardOrder() {
+    MutexLock a(alpha_.mu_);
+    MutexLock b(beta_.mu_);  // pins Alpha::mu_ -> Beta::mu_
+  }
+
+  void ReverseOrder() {
+    MutexLock b(beta_.mu_);
+    MutexLock a(alpha_.mu_);  // pins Beta::mu_ -> Alpha::mu_: the cycle
+  }
+
+ private:
+  Alpha alpha_;
+  Beta beta_;
+};
+
+}  // namespace dpfs::core

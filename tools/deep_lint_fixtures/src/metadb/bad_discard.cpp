@@ -1,0 +1,19 @@
+// Seeded violations: a (void)-discarded Status with no dpfs:unchecked
+// waiver, and a DPFS_NO_THREAD_SAFETY_ANALYSIS with no dpfs:no-tsa waiver.
+// The deep lint must report unchecked-status and no-tsa-justification here.
+// Fixture only — never compiled; parsed by the textual frontend.
+
+namespace dpfs::metadb {
+
+class Journal {
+ public:
+  Status Flush();
+
+  void Drop() {
+    (void)Flush();
+  }
+
+  void Sneak() DPFS_NO_THREAD_SAFETY_ANALYSIS;
+};
+
+}  // namespace dpfs::metadb

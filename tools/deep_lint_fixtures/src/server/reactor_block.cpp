@@ -1,0 +1,24 @@
+// Seeded violation: a blocking sleep_for reachable from the reactor root
+// server::EventLoop::Run through a call chain, with no dpfs:blocking-ok
+// waiver. The deep lint must report reactor-blocking on this file.
+// Fixture only — never compiled; parsed by the textual frontend.
+
+namespace dpfs::server {
+
+class EventLoop {
+ public:
+  void Run() {
+    while (Tick()) {
+      Drain();
+    }
+  }
+
+ private:
+  bool Tick() { return false; }
+
+  void Drain() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+};
+
+}  // namespace dpfs::server

@@ -15,6 +15,23 @@ test failure (ctest `doc_lint`), checking every tracked markdown file:
                 the "metrics.{h,cpp}" brace shorthand). Mentions containing
                 glob characters are skipped.
 
+Two catalogs are additionally cross-checked against the source tree, in
+both directions, so the doc tables stay the authoritative inventory:
+
+  failpoint-undocumented / failpoint-ghost
+                every site string passed to failpoint::Check("...") in src/
+                must have a row in the docs/FAULT_INJECTION.md site-catalog
+                table, and every cataloged site must still be checked
+                somewhere in src/.
+  metric-undocumented / metric-ghost
+                every instrument name passed to GetCounter/GetGauge/
+                GetHistogram("...") in src/ must have a row in a
+                docs/OBSERVABILITY.md catalog table, and every cataloged
+                name must still be registered somewhere in src/. Catalog
+                rows may abbreviate siblings (`x.hits` / `.misses`) and use
+                `<op>` placeholders for dynamic suffixes (matching source
+                names that end with a dot).
+
 Scanned documents: README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md,
 CLAUDE.md, CHANGES.md, and docs/*.md.
 
@@ -121,22 +138,136 @@ def lint_doc(path: Path, root: Path) -> list[Violation]:
     return out
 
 
+# --- catalog cross-checks (failpoint sites, metric instruments) -------------
+
+_CODE_STRIP_RE = re.compile(
+    r'//[^\n]*|/\*.*?\*/', re.DOTALL)  # strings must survive: they ARE the data
+
+# Sites reach failpoint::Check either directly or through the
+# DPFS_FAILPOINT_RETURN convenience macro (common/failpoint.h).
+FAILPOINT_CALL_RE = re.compile(
+    r'(?:failpoint::Check|DPFS_FAILPOINT\w*)\(\s*"([^"]+)"')
+METRIC_CALL_RE = re.compile(r'Get(?:Counter|Gauge|Histogram)\(\s*"([^"]+)"')
+
+# A catalog row's first cell: `| `name` | ...` where name is dotted
+# lowercase (which is what keeps the action/status tables out).
+CATALOG_ROW_RE = re.compile(r"^\|([^|]*)\|")
+BACKTICK_RE = re.compile(r"`([^`]+)`")
+DOTTED_NAME_RE = re.compile(r"^[a-z_]+(?:\.[a-z_<>]+)+\.?$")
+
+
+def scan_src_calls(root: Path, pattern: re.Pattern[str]
+                   ) -> dict[str, tuple[Path, int]]:
+    """name -> (file, line) of one call site per literal under src/."""
+    sites: dict[str, tuple[Path, int]] = {}
+    base = root / "src"
+    if not base.is_dir():
+        return sites
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in {".h", ".hpp", ".cpp", ".cc"}:
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        code = _CODE_STRIP_RE.sub(
+            lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
+        for m in pattern.finditer(code):
+            name = m.group(1)
+            lineno = code.count("\n", 0, m.start()) + 1
+            sites.setdefault(name, (path.relative_to(root), lineno))
+    return sites
+
+
+def doc_catalog_names(path: Path) -> dict[str, int]:
+    """Dotted names from catalog-table first cells -> line number.
+
+    Sibling shorthand (`x.hits` / `.misses`) expands against the previous
+    full name in the same cell; a trailing `<op>`-style placeholder is
+    normalized to the dynamic-suffix form (trailing dot).
+    """
+    names: dict[str, int] = {}
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8", errors="replace").splitlines(),
+            start=1):
+        row = CATALOG_ROW_RE.match(line)
+        if not row:
+            continue
+        prev: str | None = None
+        for token in BACKTICK_RE.findall(row.group(1)):
+            if token.startswith(".") and prev is not None:
+                token = prev.rsplit(".", 1)[0] + token
+            if not DOTTED_NAME_RE.match(token):
+                continue
+            prev = token
+            name = re.sub(r"<[^>]+>$", "", token)
+            names.setdefault(name, lineno)
+    return names
+
+
+def cross_check(src: dict[str, tuple[Path, int]], doc: dict[str, int],
+                doc_rel: Path, kind: str, where: str) -> list[Violation]:
+    out: list[Violation] = []
+    for name in sorted(src):
+        if name in doc:
+            continue
+        path, lineno = src[name]
+        out.append(Violation(
+            path, lineno, f"{kind}-undocumented",
+            f"{kind} '{name}' is not in the {doc_rel.as_posix()} catalog "
+            f"table — every {kind} {where} must be cataloged"))
+    for name in sorted(doc):
+        if name in src:
+            continue
+        out.append(Violation(
+            doc_rel, doc[name], f"{kind}-ghost",
+            f"catalog row for {kind} '{name}' matches nothing in src/ "
+            "(renamed or deleted? update the table)"))
+    return out
+
+
+def lint_catalogs(root: Path) -> list[Violation]:
+    out: list[Violation] = []
+    fault_doc = root / "docs/FAULT_INJECTION.md"
+    if fault_doc.is_file():
+        out.extend(cross_check(
+            scan_src_calls(root, FAILPOINT_CALL_RE),
+            doc_catalog_names(fault_doc),
+            Path("docs/FAULT_INJECTION.md"), "failpoint",
+            "site checked in src/"))
+    obs_doc = root / "docs/OBSERVABILITY.md"
+    if obs_doc.is_file():
+        out.extend(cross_check(
+            scan_src_calls(root, METRIC_CALL_RE),
+            doc_catalog_names(obs_doc),
+            Path("docs/OBSERVABILITY.md"), "metric",
+            "instrument registered in src/"))
+    return out
+
+
 def run_lint(root: Path) -> list[Violation]:
     violations: list[Violation] = []
     for path in iter_docs(root):
         violations.extend(lint_doc(path, root))
+    violations.extend(lint_catalogs(root))
     return violations
 
 
 # --- self-test --------------------------------------------------------------
 
-ALL_RULES = frozenset({"broken-link", "stale-path"})
+ALL_RULES = frozenset({
+    "broken-link", "stale-path",
+    "failpoint-undocumented", "failpoint-ghost",
+    "metric-undocumented", "metric-ghost",
+})
 
-# rule -> fixture doc expected to trigger it (paths inside
-# doc_lint_fixtures/).
+# rule -> fixture file expected to trigger it (paths inside
+# doc_lint_fixtures/). The *-undocumented rules fire at the call site in
+# the fixture source; the *-ghost rules fire on the catalog doc.
 EXPECTED_SELF_TEST = {
     "broken-link": "README.md",
     "stale-path": "docs/bad_paths.md",
+    "failpoint-undocumented": "src/common/chaos.cpp",
+    "failpoint-ghost": "docs/FAULT_INJECTION.md",
+    "metric-undocumented": "src/common/chaos.cpp",
+    "metric-ghost": "docs/OBSERVABILITY.md",
 }
 
 
@@ -155,10 +286,15 @@ def run_self_test(fixtures: Path) -> int:
             failures.append(f"self-test: rule '{rule}' did not fire on "
                             f"{doc}")
     # The clean fixture references real files and external links; any
-    # violation on it is a false positive.
+    # violation on it is a false positive. Likewise the cataloged halves of
+    # the cross-check pairs must not be reported from either direction.
     for v in violations:
         if v.path.as_posix() == "docs/good.md":
             failures.append(f"self-test: false positive on clean fixture: "
+                            f"{v}")
+        if "'fixture.documented'" in v.message or \
+                "'fix.documented'" in v.message:
+            failures.append(f"self-test: false positive on cataloged name: "
                             f"{v}")
     for line in failures:
         print(line, file=sys.stderr)

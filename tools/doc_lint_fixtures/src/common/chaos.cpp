@@ -1,0 +1,19 @@
+// Fixture: failpoint sites and metric instruments for the catalog
+// cross-checks. One of each pair is cataloged in the fixture docs (must
+// stay clean) and one is not (fires *-undocumented).
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace dpfs::common {
+
+void Touch() {
+  if (failpoint::Check("fixture.documented")) {
+  }
+  if (failpoint::Check("fixture.undocumented")) {
+  }
+  metrics::GetCounter("fix.documented").Increment();
+  metrics::GetCounter("fix.undocumented").Increment();
+}
+
+}  // namespace dpfs::common

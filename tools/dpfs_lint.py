@@ -27,6 +27,13 @@ in CLAUDE.md), as a ctest test so every build runs them:
                      a case in MessageTypeName (src/net/messages.cpp) — the
                      name feeds per-opcode metrics and error messages, and
                      a forgotten case silently reports "unknown".
+  assign-or-return-case
+                     DPFS_ASSIGN_OR_RETURN declares a variable, so a case
+                     label that uses it must brace its body — otherwise the
+                     declaration is in scope for the jump to every later
+                     label ("jump to case label crosses initialization").
+                     The lint reports it as a convention violation with the
+                     fix, instead of leaving it to a cryptic compile error.
 
 Usage:
   tools/dpfs_lint.py [--root DIR]   lint the repo (default: repo root)
@@ -196,6 +203,60 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
                 "arms a failpoint but never calls failpoint::DisarmAll() "
                 "(required in teardown)"))
 
+    out.extend(lint_assign_case(rel, code))
+
+    return out
+
+
+# `case <const-expr>:` / `default:` labels. The case expression may contain
+# scoped enumerators, so `::` is allowed and the label colon is the first
+# single colon (`(?<!:):(?!:)`).
+CASE_LABEL_RE = re.compile(
+    r"\b(?:case\b(?:[^:{};]|::)*?|default\s*)(?<!:):(?!:)")
+
+
+def lint_assign_case(rel: Path, code: str) -> list[Violation]:
+    """Flags DPFS_ASSIGN_OR_RETURN directly under an unbraced case label."""
+    out: list[Violation] = []
+    for label in CASE_LABEL_RE.finditer(code):
+        i = label.end()
+        while i < len(code) and code[i].isspace():
+            i += 1
+        if i >= len(code) or code[i] == "{":
+            continue  # braced case body: the declaration is scoped
+        # Collect the label's depth-0 body: up to the next case/default
+        # label or the `}` that closes the switch. Nested braced blocks
+        # scope their own declarations and are skipped.
+        depth = 0
+        top_level: list[str] = []
+        j = i
+        while j < len(code):
+            ch = code[j]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0:
+                if CASE_LABEL_RE.match(code, j) and j != i:
+                    break
+                top_level.append(ch)
+            j += 1
+        body = "".join(top_level)
+        m = re.search(r"\bDPFS_ASSIGN_OR_RETURN\s*\(", body)
+        if m:
+            # Line of the macro: offset of the label end + blanks skipped
+            # puts us at i; the body string has 1:1 newlines with code[i:j]
+            # at depth 0 only, so recover the line from the code offset of
+            # the first macro occurrence at depth 0 instead.
+            macro_off = code.find("DPFS_ASSIGN_OR_RETURN", i, j)
+            lineno = code.count("\n", 0, macro_off) + 1
+            out.append(Violation(
+                rel, lineno, "assign-or-return-case",
+                "DPFS_ASSIGN_OR_RETURN under an unbraced case label — the "
+                "macro declares a variable, so brace the case body "
+                "(`case X: { ... }`)"))
     return out
 
 
@@ -269,7 +330,7 @@ def run_lint(root: Path) -> list[Violation]:
 ALL_RULES = frozenset({
     "layout-purity", "rooted-includes", "no-exceptions",
     "nodiscard-status", "raw-mutex", "failpoint-disarm",
-    "opcode-names",
+    "opcode-names", "assign-or-return-case",
 })
 
 # rule -> fixture file expected to trigger it (paths inside lint_fixtures/).
@@ -281,6 +342,7 @@ EXPECTED_SELF_TEST = {
     "failpoint-disarm": "tests/common/bad_failpoint_test.cpp",
     "nodiscard-status": "src/common/status.h",
     "opcode-names": "src/net/messages.cpp",
+    "assign-or-return-case": "src/metad/bad_case.cpp",
 }
 
 

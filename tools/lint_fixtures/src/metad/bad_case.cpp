@@ -1,0 +1,24 @@
+// Seeded violation for the assign-or-return-case rule: the first case uses
+// DPFS_ASSIGN_OR_RETURN without bracing its body (the macro declares a
+// variable, so the jump to `case 1` crosses its initialization). The braced
+// second case is the correct form and must not fire.
+
+#include "common/status.h"
+
+namespace dpfs::metad {
+
+Status Demo(int op) {
+  switch (op) {
+    case 0:
+      DPFS_ASSIGN_OR_RETURN(auto rows, LoadRows());
+      return Consume(rows);
+    case 1: {
+      DPFS_ASSIGN_OR_RETURN(auto rows, LoadRows());
+      return Consume(rows);
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace dpfs::metad
