@@ -107,6 +107,48 @@ int main() {
     }
   }
 
+  // ------------------------------------- noncontiguous access (list I/O)
+  {
+    // micro_noncontig's claims (docs/NONCONTIGUOUS_IO.md): on a sparse
+    // vector pattern list I/O beats both whole-brick fetches and data
+    // sieving, and the list-vs-sieve winner flips with access density —
+    // dense patterns amortize the sieve's hole bytes better than list
+    // I/O's per-extent fragment cost.
+    const auto bw = [](std::uint64_t block, std::uint64_t stride,
+                       NoncontigStrategy strategy) {
+      NoncontigConfig config;
+      config.count = 1024;
+      config.block = block;
+      config.stride = stride;
+      const auto result =
+          MustReplay(BuildNoncontigPlan(config, strategy).value(),
+                     UniformServers(dpfs::simnet::Class1(), config.io_nodes));
+      return static_cast<double>(config.clients * config.count * block) /
+             (1024.0 * 1024.0) / result.makespan_s;
+    };
+    std::printf("-- Noncontiguous I/O (micro_noncontig) --\n");
+    const double sparse_list = bw(512, 16 * 1024, NoncontigStrategy::kListIo);
+    const double sparse_sieve = bw(512, 16 * 1024, NoncontigStrategy::kSieve);
+    const double sparse_whole =
+        bw(512, 16 * 1024, NoncontigStrategy::kWholeBrick);
+    Check(sparse_list > 2 * sparse_sieve,
+          "sparse vector: list I/O beats sieve by >2x", sparse_list,
+          sparse_sieve);
+    Check(sparse_list > 2 * sparse_whole,
+          "sparse vector: list I/O beats whole-brick by >2x", sparse_list,
+          sparse_whole);
+    const double dense_list = bw(512, 1024, NoncontigStrategy::kListIo);
+    const double dense_sieve = bw(512, 1024, NoncontigStrategy::kSieve);
+    Check(dense_sieve > dense_list,
+          "dense vector: sieve beats list I/O (crossover exists)",
+          dense_sieve, dense_list);
+    const double subarray_list = bw(1024, 8192, NoncontigStrategy::kListIo);
+    const double subarray_sieve = bw(1024, 8192, NoncontigStrategy::kSieve);
+    Check(subarray_list > subarray_sieve,
+          "subarray tile: list I/O beats sieve", subarray_list,
+          subarray_sieve);
+  }
+
   // --------------------------------------------------- §3.2 worked example
   {
     using namespace dpfs::layout;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,121 @@ inline Result<layout::IoPlan> BuildStripingAlgPlan(
         ClientPlan client,
         PlanByteAccess(map, dist, c, c * config.bytes_per_client,
                        config.bytes_per_client, options));
+    plan.clients.push_back(std::move(client));
+  }
+  return plan;
+}
+
+// --- noncontiguous access (docs/NONCONTIGUOUS_IO.md) -----------------------
+
+/// How a noncontiguous (vector/subarray) access is served on the wire.
+enum class NoncontigStrategy {
+  kWholeBrick,  // fetch every touched brick whole, discard the holes
+  kSieve,       // one contiguous read of the bounding span, extract client-side
+  kListIo,      // kListRead/kListWrite: only the listed extents cross the wire
+};
+
+inline const char* NoncontigStrategyName(NoncontigStrategy strategy) {
+  switch (strategy) {
+    case NoncontigStrategy::kWholeBrick: return "whole-brick";
+    case NoncontigStrategy::kSieve: return "sieve";
+    case NoncontigStrategy::kListIo: return "list I/O";
+  }
+  return "?";
+}
+
+/// An MPI vector access per client: `count` blocks of `block` bytes, one
+/// every `stride` bytes, clients tiled back to back through a shared linear
+/// file. block == stride degenerates to a contiguous access; a 2-D subarray
+/// of an N-wide row-major array is the special case block = cols, stride = N.
+struct NoncontigConfig {
+  std::uint32_t clients = 8;
+  std::uint32_t io_nodes = 4;
+  std::uint64_t brick_bytes = 64 * 1024;
+  std::uint64_t count = 1024;
+  std::uint64_t block = 512;
+  std::uint64_t stride = 8 * 1024;
+};
+
+/// Builds the plan all `clients` run concurrently under one strategy.
+inline Result<layout::IoPlan> BuildNoncontigPlan(const NoncontigConfig& config,
+                                                 NoncontigStrategy strategy,
+                                                 layout::IoDirection direction =
+                                                     layout::IoDirection::kRead) {
+  using namespace layout;
+  const std::uint64_t span = config.count * config.stride;
+  DPFS_ASSIGN_OR_RETURN(
+      const BrickMap map,
+      BrickMap::Linear(span * config.clients, config.brick_bytes));
+  DPFS_ASSIGN_OR_RETURN(
+      const BrickDistribution dist,
+      BrickDistribution::RoundRobin(map.num_bricks(), config.io_nodes));
+  PlanOptions options;
+  options.direction = direction;
+  options.combine = true;
+  IoPlan plan;
+  for (std::uint32_t c = 0; c < config.clients; ++c) {
+    const std::uint64_t base = static_cast<std::uint64_t>(c) * span;
+    ClientPlan client;
+    switch (strategy) {
+      case NoncontigStrategy::kListIo: {
+        std::vector<FileExtent> extents;
+        extents.reserve(config.count);
+        for (std::uint64_t i = 0; i < config.count; ++i) {
+          extents.push_back({base + i * config.stride, config.block});
+        }
+        DPFS_ASSIGN_OR_RETURN(client,
+                              PlanListAccess(map, dist, c, extents, options));
+        break;
+      }
+      case NoncontigStrategy::kSieve: {
+        // Data sieving: the whole bounding span, holes included, as one
+        // contiguous transfer (the hole tail after the last block is not
+        // fetched).
+        const std::uint64_t bound =
+            (config.count - 1) * config.stride + config.block;
+        DPFS_ASSIGN_OR_RETURN(
+            client, PlanByteAccess(map, dist, c, base, bound, options));
+        break;
+      }
+      case NoncontigStrategy::kWholeBrick: {
+        // One plan per block, merged by server: every touched brick crosses
+        // whole, once. (For writes this models read-modify-write of each
+        // brick, the no-list fallback.)
+        PlanOptions whole = options;
+        whole.whole_brick_reads = true;
+        std::map<ServerId, ServerRequest> grouped;
+        for (std::uint64_t i = 0; i < config.count; ++i) {
+          DPFS_ASSIGN_OR_RETURN(
+              const ClientPlan piece,
+              PlanByteAccess(map, dist, c, base + i * config.stride,
+                             config.block, whole));
+          for (const ServerRequest& request : piece.requests) {
+            ServerRequest& bucket = grouped[request.server];
+            bucket.server = request.server;
+            for (const BrickRequest& brick : request.bricks) {
+              if (!bucket.bricks.empty() &&
+                  bucket.bricks.back().brick == brick.brick) {
+                bucket.bricks.back().useful_bytes += brick.useful_bytes;
+                bucket.bricks.back().num_runs += brick.num_runs;
+              } else {
+                BrickRequest whole_brick = brick;
+                whole_brick.transfer_bytes = map.brick_fetch_bytes(brick.brick);
+                whole_brick.fragments = 1;
+                bucket.bricks.push_back(whole_brick);
+              }
+            }
+          }
+        }
+        client.client = c;
+        client.direction = direction;
+        client.whole_brick_reads = true;
+        for (auto& [server, request] : grouped) {
+          client.requests.push_back(std::move(request));
+        }
+        break;
+      }
+    }
     plan.clients.push_back(std::move(client));
   }
   return plan;

@@ -27,6 +27,9 @@ struct ClientMetricsT {
   metrics::Counter& busy_retries = metrics::GetCounter("client.busy_retries");
   metrics::Counter& failed_accesses =
       metrics::GetCounter("client.failed_accesses");
+  // List-I/O (IoOptions::list_io) wire requests, a subset of
+  // client.requests (docs/NONCONTIGUOUS_IO.md).
+  metrics::Counter& list_requests = metrics::GetCounter("client.list_requests");
   // Metadata (file-record) cache effectiveness, aggregated across
   // instances; per-instance numbers stay on metadata_cache_stats().
   metrics::Counter& metadata_cache_hits =
@@ -502,6 +505,7 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
   ClientMetrics().combined_requests.Add(combined);
   ClientMetrics().transfer_bytes.Add(plan.transfer_bytes());
   ClientMetrics().useful_bytes.Add(plan.useful_bytes());
+  if (plan.list_io) ClientMetrics().list_requests.Add(plan.num_requests());
   if (report != nullptr) {
     report->requests += plan.num_requests();
     report->combined_requests += combined;
@@ -562,7 +566,73 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
     DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
                           pool_.Acquire(server.endpoint));
 
-    if (is_write) {
+    if (!request.list_extents.empty()) {
+      // List I/O (docs/NONCONTIGUOUS_IO.md): the plan already carries the
+      // wire extents (subfile offset/length plus the packed-buffer offset),
+      // so each batch ships them verbatim as one list_read/list_write —
+      // `runs` is not consulted on this path.
+      const std::vector<layout::ListExtent>& extents = request.list_extents;
+      std::size_t begin = 0;
+      while (begin < extents.size()) {
+        std::size_t end = begin;
+        std::uint64_t batch_bytes = 0;
+        while (end < extents.size() &&
+               (end == begin || batch_bytes + extents[end].length <=
+                                    options.max_request_bytes)) {
+          batch_bytes += extents[end].length;
+          ++end;
+        }
+        std::vector<net::ReadFragment> wire;
+        wire.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          wire.push_back({extents[i].subfile_offset, extents[i].length});
+        }
+        if (is_write) {
+          // Gather the batched payload in extent order; its size must equal
+          // the extent sum (the server rejects mismatches at decode time).
+          Bytes payload;
+          payload.reserve(static_cast<std::size_t>(batch_bytes));
+          for (std::size_t i = begin; i < end; ++i) {
+            payload.insert(
+                payload.end(),
+                write_data.begin() +
+                    static_cast<std::ptrdiff_t>(extents[i].buffer_offset),
+                write_data.begin() +
+                    static_cast<std::ptrdiff_t>(extents[i].buffer_offset +
+                                                extents[i].length));
+          }
+          const Status written = conn->ListWrite(record.meta.path, wire,
+                                                 std::move(payload),
+                                                 options.sync);
+          if (!written.ok()) {
+            conn.Poison();
+            return written.WithContext("list write to " + server.name);
+          }
+        } else {
+          const Result<Bytes> data = conn->ListRead(record.meta.path, wire);
+          if (!data.ok()) {
+            conn.Poison();
+            return data.status().WithContext("list read from " + server.name);
+          }
+          // The reply is the batch's extent bytes concatenated in order.
+          std::uint64_t cursor = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            std::copy_n(
+                data.value().begin() + static_cast<std::ptrdiff_t>(cursor),
+                extents[i].length,
+                read_buffer.begin() +
+                    static_cast<std::ptrdiff_t>(extents[i].buffer_offset));
+            cursor += extents[i].length;
+          }
+        }
+        begin = end;
+      }
+      if (is_write && brick_cache_ != nullptr) {
+        for (const layout::BrickRequest& brick : request.bricks) {
+          brick_cache_->Invalidate(record.meta.path, brick.brick);
+        }
+      }
+    } else if (is_write) {
       // Adjacent runs within a brick coalesce into one fragment: a fully
       // covered brick travels as a single contiguous write even though its
       // bytes are gathered from many places in the user's buffer.
@@ -867,6 +937,10 @@ Status FileSystem::WriteType(FileHandle& handle, std::uint64_t base_offset,
   if (base_offset + type.extent() > handle.map.total_bytes()) {
     return OutOfRangeError("datatype write past end of file");
   }
+  if (options.list_io) {
+    return ExecuteListAccess(handle, base_offset, type.extents(), data, {},
+                             layout::IoDirection::kWrite, options, report);
+  }
   // One access per coalesced extent keeps the semantics simple; the extents
   // are already merged, so this matches what MPI-IO data sieving would issue
   // without read-modify-write.
@@ -891,6 +965,10 @@ Status FileSystem::ReadType(FileHandle& handle, std::uint64_t base_offset,
   if (base_offset + type.extent() > handle.map.total_bytes()) {
     return OutOfRangeError("datatype read past end of file");
   }
+  if (options.list_io) {
+    return ExecuteListAccess(handle, base_offset, type.extents(), {}, out,
+                             layout::IoDirection::kRead, options, report);
+  }
   std::uint64_t buffer_cursor = 0;
   for (const ByteExtent& extent : type.extents()) {
     DPFS_RETURN_IF_ERROR(ReadBytes(
@@ -899,6 +977,29 @@ Status FileSystem::ReadType(FileHandle& handle, std::uint64_t base_offset,
     buffer_cursor += extent.length;
   }
   return Status::Ok();
+}
+
+Status FileSystem::ExecuteListAccess(const FileHandle& handle,
+                                     std::uint64_t base_offset,
+                                     const std::vector<ByteExtent>& extents,
+                                     ByteSpan write_data,
+                                     MutableByteSpan read_buffer,
+                                     layout::IoDirection direction,
+                                     const IoOptions& options,
+                                     IoReport* report) {
+  std::vector<layout::FileExtent> file_extents;
+  file_extents.reserve(extents.size());
+  for (const ByteExtent& extent : extents) {
+    file_extents.push_back(
+        layout::FileExtent{base_offset + extent.offset, extent.length});
+  }
+  DPFS_ASSIGN_OR_RETURN(
+      const layout::ClientPlan plan,
+      layout::PlanListAccess(handle.map, handle.record.distribution,
+                             handle.client_id, file_extents,
+                             ToPlanOptions(options, direction)));
+  return ExecutePlan(handle, plan, RunsByBrick{}, write_data, read_buffer,
+                     options, report);
 }
 
 }  // namespace dpfs::client

@@ -72,6 +72,12 @@ struct IoOptions {
   /// dispatch threads instead of the paper's sequential loop. Most useful
   /// with combine=true, where one client talks to every server.
   bool parallel_dispatch = false;
+  /// Extension: serve derived-datatype accesses (WriteType/ReadType on
+  /// linear files) as list I/O — one list_read/list_write request per server
+  /// naming every extent, instead of one access per coalesced extent
+  /// (docs/NONCONTIGUOUS_IO.md). Ignores whole_brick_reads and combine (a
+  /// list plan always combines and moves only the listed bytes).
+  bool list_io = false;
   /// Transient-failure retries per request ("the un-handled requests have
   /// to try again later", §4.2): busy servers and refused connections are
   /// retried with linear backoff; other errors are not.
@@ -269,6 +275,14 @@ class FileSystem {
                        const RunsByBrick& runs, ByteSpan write_data,
                        MutableByteSpan read_buffer, bool is_write,
                        const IoOptions& options);
+  /// List-I/O execution of a flattened datatype access (IoOptions::list_io):
+  /// builds one PlanListAccess plan over the extents (shifted by
+  /// base_offset) and executes it as list_read/list_write requests.
+  Status ExecuteListAccess(const FileHandle& handle, std::uint64_t base_offset,
+                           const std::vector<ByteExtent>& extents,
+                           ByteSpan write_data, MutableByteSpan read_buffer,
+                           layout::IoDirection direction,
+                           const IoOptions& options, IoReport* report);
   ThreadPool& DispatchPool();
 
   std::unique_ptr<MetadataService> metadata_;

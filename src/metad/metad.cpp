@@ -57,7 +57,7 @@ struct OpMetrics {
     add(net::MessageType::kShutdown);
     add(net::MessageType::kMetrics);
     for (int op = static_cast<int>(net::MessageType::kMetaRegisterServer);
-         op <= net::kMaxMessageType; ++op) {
+         op <= net::kMaxMetaMessageType; ++op) {
       add(static_cast<net::MessageType>(op));
     }
   }

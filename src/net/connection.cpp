@@ -100,6 +100,29 @@ Status ServerConnection::Write(const std::string& subfile,
   return Call(MessageType::kWrite, body.buffer()).status();
 }
 
+Result<Bytes> ServerConnection::ListRead(
+    const std::string& subfile, const std::vector<ReadFragment>& extents) {
+  ListReadRequest request;
+  request.subfile = subfile;
+  request.extents = extents;
+  BinaryWriter body;
+  request.Encode(body);
+  return Call(MessageType::kListRead, body.buffer());
+}
+
+Status ServerConnection::ListWrite(const std::string& subfile,
+                                   const std::vector<ReadFragment>& extents,
+                                   Bytes data, bool sync) {
+  ListWriteRequest request;
+  request.subfile = subfile;
+  request.sync = sync;
+  request.extents = extents;
+  request.data = std::move(data);
+  BinaryWriter body;
+  request.Encode(body);
+  return Call(MessageType::kListWrite, body.buffer()).status();
+}
+
 Result<StatReply> ServerConnection::Stat(const std::string& subfile) {
   BinaryWriter body;
   body.WriteString(subfile);

@@ -46,6 +46,19 @@ class ServerConnection {
   Status Write(const std::string& subfile,
                std::vector<WriteFragment> fragments, bool sync = false);
 
+  /// List read (docs/NONCONTIGUOUS_IO.md): fetches the extents of `subfile`
+  /// in one round trip; returns their bytes concatenated in extent order.
+  /// Extents must obey the wire rules (non-empty, strictly ascending,
+  /// non-overlapping) or the server rejects the request at decode time.
+  Result<Bytes> ListRead(const std::string& subfile,
+                         const std::vector<ReadFragment>& extents);
+
+  /// List write: scatters one batched payload (its size must equal the sum
+  /// of the extent lengths) into the extents of `subfile` in order.
+  Status ListWrite(const std::string& subfile,
+                   const std::vector<ReadFragment>& extents, Bytes data,
+                   bool sync = false);
+
   Result<StatReply> Stat(const std::string& subfile);
   /// Server-wide counters (ops telemetry; shell `df`).
   Result<StatsReply> Stats();

@@ -18,13 +18,14 @@ namespace dpfs::server {
 
 namespace {
 // Per-opcode request counters and service-time histograms, indexed by the
-// numeric MessageType (1..kMetrics). Resolved once; names follow
-// docs/OBSERVABILITY.md (io_server.requests.read, ...).
-constexpr int kMaxOpcode = static_cast<int>(net::MessageType::kMetrics);
-
+// numeric MessageType. Only the opcodes an I/O server actually serves get a
+// slot (ping..metrics plus the list-I/O pair); a null slot is how
+// HandleRequest recognizes a metadata opcode aimed at the wrong server.
+// Resolved once; names follow docs/OBSERVABILITY.md
+// (io_server.requests.read, ...).
 struct OpMetrics {
-  metrics::Counter* requests[kMaxOpcode + 1] = {};
-  metrics::Histogram* service_time_us[kMaxOpcode + 1] = {};
+  metrics::Counter* requests[net::kMaxMessageType + 1] = {};
+  metrics::Histogram* service_time_us[net::kMaxMessageType + 1] = {};
   metrics::Counter& bad_requests =
       metrics::GetCounter("io_server.bad_requests");
   metrics::Counter& busy_rejects =
@@ -33,15 +34,23 @@ struct OpMetrics {
       metrics::GetGauge("io_server.inflight_sessions");
   metrics::Counter& coalesced_fragments =
       metrics::GetCounter("io_server.coalesced_fragments");
+  metrics::Counter& list_extents =
+      metrics::GetCounter("io_server.list_extents");
 
   OpMetrics() {
-    for (int op = 1; op <= kMaxOpcode; ++op) {
-      const auto name = std::string(
-          net::MessageTypeName(static_cast<net::MessageType>(op)));
+    const auto add = [this](net::MessageType type) {
+      const int op = static_cast<int>(type);
+      const auto name = std::string(net::MessageTypeName(type));
       requests[op] = &metrics::GetCounter("io_server.requests." + name);
       service_time_us[op] =
           &metrics::GetHistogram("io_server.service_time_us." + name);
+    };
+    for (int op = static_cast<int>(net::MessageType::kPing);
+         op <= static_cast<int>(net::MessageType::kMetrics); ++op) {
+      add(static_cast<net::MessageType>(op));
     }
+    add(net::MessageType::kListRead);
+    add(net::MessageType::kListWrite);
   }
 };
 OpMetrics& Metrics() {
@@ -262,9 +271,9 @@ Bytes IoServer::HandleRequest(ByteSpan frame) {
   const net::MessageType type = decoded.value().type;
   BinaryReader reader(decoded.value().body);
   const int op = static_cast<int>(type);
-  if (op > kMaxOpcode) {
+  if (Metrics().requests[op] == nullptr) {
     // Metadata opcodes (kMeta*) decode fine but are served by dpfs-metad,
-    // not an I/O server — and they index past this server's per-op arrays.
+    // not an I/O server — their slots in the per-op arrays stay null.
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     Metrics().bad_requests.Add();
     return net::EncodeReply(
@@ -321,6 +330,69 @@ Bytes IoServer::Dispatch(net::MessageType type, BinaryReader& reader) {
       const Status written = store_.WriteFragments(request.value().subfile,
                                                    request.value().fragments,
                                                    request.value().sync);
+      if (!written.ok()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return net::EncodeReply(written, {});
+      }
+      stats_.bytes_written.fetch_add(payload, std::memory_order_relaxed);
+      return net::EncodeReply(Status::Ok(), {});
+    }
+
+    case net::MessageType::kListRead: {
+      // Noncontiguous list read (docs/NONCONTIGUOUS_IO.md): the decoder has
+      // already enforced the extent rules, so the store can iterate the
+      // extents directly — same fragment machinery as kRead, one reply.
+      Result<net::ListReadRequest> request =
+          net::ListReadRequest::Decode(reader);
+      if (!request.ok()) return net::EncodeReply(request.status(), {});
+      Metrics().list_extents.Add(request.value().extents.size());
+      if (options_.engine == ServerEngine::kEventLoop) {
+        const std::size_t before = request.value().extents.size();
+        request.value().extents =
+            CoalesceAdjacentReads(std::move(request.value().extents));
+        Metrics().coalesced_fragments.Add(
+            before - request.value().extents.size());
+      }
+      Result<Bytes> data = store_.ReadFragments(request.value().subfile,
+                                                request.value().extents);
+      if (!data.ok()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return net::EncodeReply(data.status(), {});
+      }
+      stats_.bytes_read.fetch_add(data.value().size(),
+                                  std::memory_order_relaxed);
+      return net::EncodeReply(Status::Ok(), data.value());
+    }
+
+    case net::MessageType::kListWrite: {
+      Result<net::ListWriteRequest> request =
+          net::ListWriteRequest::Decode(reader);
+      if (!request.ok()) return net::EncodeReply(request.status(), {});
+      Metrics().list_extents.Add(request.value().extents.size());
+      const std::uint64_t payload = request.value().total_bytes();
+      // Scatter the batched payload into per-extent fragments (the decoder
+      // guarantees the payload size equals the extent sum); the store's
+      // write path is shared with kWrite from here.
+      std::vector<net::WriteFragment> fragments;
+      fragments.reserve(request.value().extents.size());
+      std::size_t cursor = 0;
+      for (const net::ReadFragment& extent : request.value().extents) {
+        net::WriteFragment fragment;
+        fragment.offset = extent.offset;
+        fragment.data.assign(
+            request.value().data.begin() + static_cast<std::ptrdiff_t>(cursor),
+            request.value().data.begin() +
+                static_cast<std::ptrdiff_t>(cursor + extent.length));
+        cursor += extent.length;
+        fragments.push_back(std::move(fragment));
+      }
+      if (options_.engine == ServerEngine::kEventLoop) {
+        const std::size_t before = fragments.size();
+        fragments = CoalesceAdjacentWrites(std::move(fragments));
+        Metrics().coalesced_fragments.Add(before - fragments.size());
+      }
+      const Status written = store_.WriteFragments(
+          request.value().subfile, fragments, request.value().sync);
       if (!written.ok()) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         return net::EncodeReply(written, {});

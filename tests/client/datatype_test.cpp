@@ -80,6 +80,27 @@ TEST(DatatypeTest, IndexedAdjacentBlocksCoalesce) {
   EXPECT_EQ(type.size(), 5u);
 }
 
+TEST(DatatypeTest, IndexedZeroLengthBlocksContributeNoExtents) {
+  const Datatype type =
+      Datatype::Indexed({{0, 2}, {5, 0}, {10, 1}}, Datatype::Bytes(4)).value();
+  EXPECT_EQ(type.size(), 12u);
+  ASSERT_EQ(type.num_extents(), 2u);
+  EXPECT_EQ(type.extents()[0], (ByteExtent{0, 8}));
+  EXPECT_EQ(type.extents()[1], (ByteExtent{40, 4}));
+  EXPECT_EQ(type.extent(), 44u);
+}
+
+TEST(DatatypeTest, IndexedOutOfOrderBlocksFlattenSorted) {
+  // Flattening sorts by file offset, so planner input (and the wire's
+  // strictly-ascending extent lists) never see out-of-order extents.
+  const Datatype type =
+      Datatype::Indexed({{10, 1}, {0, 1}}, Datatype::Bytes(4)).value();
+  EXPECT_EQ(type.size(), 8u);
+  ASSERT_EQ(type.num_extents(), 2u);
+  EXPECT_EQ(type.extents()[0], (ByteExtent{0, 4}));
+  EXPECT_EQ(type.extents()[1], (ByteExtent{40, 4}));
+}
+
 TEST(DatatypeTest, NestedComposition) {
   // Vector of vectors: a 2-d tile access pattern.
   const Datatype row = Datatype::Bytes(4);

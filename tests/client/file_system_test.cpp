@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/cluster.h"
 
@@ -255,6 +256,84 @@ TEST_F(FileSystemTest, SubarrayDatatypeMatchesRegionRead) {
   Bytes via_region(10 * 12);
   ASSERT_TRUE(fs_->ReadRegion(handle, {{5, 7}, {10, 12}}, via_region).ok());
   EXPECT_EQ(via_type, via_region);
+}
+
+TEST_F(FileSystemTest, ListIoAgreesWithPerExtentPath) {
+  // The same datatype access with and without IoOptions::list_io must
+  // produce identical bytes; list I/O only changes how the extents travel
+  // (docs/NONCONTIGUOUS_IO.md). Stride 24 over 64-byte bricks makes the
+  // extents split across bricks, servers, and batch boundaries.
+  CreateOptions options;
+  options.total_bytes = 4096;
+  options.brick_bytes = 64;
+  FileHandle handle = fs_->Create("/listio", options).value();
+  const Bytes base = PatternBytes(4096, 77);
+  ASSERT_TRUE(fs_->WriteBytes(handle, 0, base).ok());
+
+  const Datatype pattern =
+      Datatype::Vector(128, 10, 24, Datatype::Bytes(1)).value();
+  Bytes per_extent(pattern.size());
+  ASSERT_TRUE(fs_->ReadType(handle, 5, pattern, per_extent).ok());
+  IoOptions list;
+  list.list_io = true;
+  Bytes via_list(pattern.size());
+  IoReport report;
+  ASSERT_TRUE(fs_->ReadType(handle, 5, pattern, via_list, list, &report).ok());
+  EXPECT_EQ(via_list, per_extent);
+  // Combined per-server requests: at most one per server here.
+  EXPECT_LE(report.requests, 4u);
+
+  // Writes through both paths land identically.
+  const Bytes payload = PatternBytes(pattern.size(), 78);
+  ASSERT_TRUE(fs_->WriteType(handle, 5, pattern, payload, list).ok());
+  Bytes after_list(4096);
+  ASSERT_TRUE(fs_->ReadBytes(handle, 0, after_list).ok());
+  ASSERT_TRUE(fs_->WriteBytes(handle, 0, base).ok());
+  ASSERT_TRUE(fs_->WriteType(handle, 5, pattern, payload).ok());
+  Bytes after_plain(4096);
+  ASSERT_TRUE(fs_->ReadBytes(handle, 0, after_plain).ok());
+  EXPECT_EQ(after_list, after_plain);
+}
+
+TEST_F(FileSystemTest, ListIoRespectsRequestBatching) {
+  // A tiny max_request_bytes forces the executor to split one server's
+  // extent list into several wire requests; bytes must still round-trip.
+  CreateOptions options;
+  options.total_bytes = 8192;
+  options.brick_bytes = 1024;
+  FileHandle handle = fs_->Create("/batched", options).value();
+  ASSERT_TRUE(fs_->WriteBytes(handle, 0, Bytes(8192, 0x11)).ok());
+
+  const Datatype pattern =
+      Datatype::Vector(64, 16, 128, Datatype::Bytes(1)).value();
+  IoOptions list;
+  list.list_io = true;
+  list.max_request_bytes = 64;  // 4 extents per wire request
+  const Bytes payload = PatternBytes(pattern.size(), 79);
+  metrics::Counter& wire_writes =
+      metrics::GetCounter("io_server.requests.list_write");
+  const std::uint64_t writes_before = wire_writes.value();
+  ASSERT_TRUE(fs_->WriteType(handle, 0, pattern, payload, list).ok());
+  // 64 extents over 4 servers at 4 extents per frame: more wire requests
+  // than servers proves the executor split the batches.
+  EXPECT_GT(wire_writes.value() - writes_before, 4u);
+
+  Bytes back(pattern.size());
+  ASSERT_TRUE(fs_->ReadType(handle, 0, pattern, back, list).ok());
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(FileSystemTest, ListIoRejectsNonLinearFiles) {
+  CreateOptions options;
+  options.level = layout::FileLevel::kMultidim;
+  options.array_shape = {16, 16};
+  options.brick_shape = {4, 4};
+  FileHandle handle = fs_->Create("/md", options).value();
+  const Datatype type = Datatype::Vector(4, 2, 8, Datatype::Bytes(1)).value();
+  IoOptions list;
+  list.list_io = true;
+  Bytes buf(type.size());
+  EXPECT_FALSE(fs_->ReadType(handle, 0, type, buf, list).ok());
 }
 
 TEST_F(FileSystemTest, DatatypeExtentBoundsChecked) {

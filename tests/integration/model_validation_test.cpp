@@ -4,6 +4,10 @@
 // figure-reproduction honest.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "client/datatype.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "core/cluster.h"
 #include "layout/plan.h"
@@ -134,6 +138,129 @@ TEST(ModelValidationTest, RequestCountEffectAgreesWithSimulator) {
   EXPECT_EQ(real_whole, sim_whole);
   EXPECT_EQ(real_sieve, sim_sieve);
   EXPECT_GT(real_whole, real_sieve * 32);
+}
+
+TEST(ModelValidationTest, ListIoPlanAgreesWithSimulator) {
+  // List I/O (docs/NONCONTIGUOUS_IO.md): the executor must move exactly the
+  // bytes and wire extents the plan says, which is what the simulator
+  // charges (simnet RequestFragments uses list_extents). Pin both: wire
+  // bytes via ServerStats, extent count via io_server.list_extents.
+  constexpr std::uint64_t kDim = 256;
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 2;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  auto fs = cluster->fs();
+
+  CreateOptions create;
+  create.level = layout::FileLevel::kLinear;
+  create.array_shape = {kDim, kDim};
+  create.brick_bytes = kDim;  // one row per brick
+  FileHandle handle = fs->Create("/f", create).value();
+  Bytes data(kDim * kDim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  ASSERT_TRUE(fs->WriteRegion(handle, {{0, 0}, {kDim, kDim}}, data).ok());
+
+  // One 4-byte column of the row-major matrix: kDim blocks strided kDim.
+  const client::Datatype column =
+      client::Datatype::Vector(kDim, 4, kDim, client::Datatype::Bytes(1))
+          .value();
+
+  metrics::Counter& list_extents_metric =
+      metrics::GetCounter("io_server.list_extents");
+  const std::uint64_t bytes_before =
+      cluster->server(0).stats().bytes_read.load() +
+      cluster->server(1).stats().bytes_read.load();
+  const std::uint64_t extents_before = list_extents_metric.value();
+
+  IoOptions io;
+  io.list_io = true;
+  Bytes out(column.size());
+  client::IoReport report;
+  ASSERT_TRUE(fs->ReadType(handle, 9, column, out, io, &report).ok());
+
+  const std::uint64_t real_bytes =
+      cluster->server(0).stats().bytes_read.load() +
+      cluster->server(1).stats().bytes_read.load() - bytes_before;
+  const std::uint64_t real_extents =
+      list_extents_metric.value() - extents_before;
+
+  // The same plan the executor ran, built directly in layout.
+  std::vector<layout::FileExtent> extents;
+  for (const client::ByteExtent& extent : column.extents()) {
+    extents.push_back({9 + extent.offset, extent.length});
+  }
+  const layout::ClientPlan plan =
+      layout::PlanListAccess(handle.map, handle.record.distribution, 0,
+                             extents, layout::PlanOptions{})
+          .value();
+  std::uint64_t plan_extents = 0;
+  for (const layout::ServerRequest& request : plan.requests) {
+    plan_extents += request.list_extents.size();
+  }
+
+  EXPECT_EQ(real_bytes, plan.transfer_bytes());
+  EXPECT_EQ(real_extents, plan_extents);
+  EXPECT_EQ(report.transfer_bytes, plan.transfer_bytes());
+  EXPECT_EQ(report.requests, plan.num_requests());
+
+  // Content correctness against the written pattern.
+  for (std::uint64_t i = 0; i < kDim; ++i) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(out[i * 4 + b], data[9 + i * kDim + b]);
+    }
+  }
+
+  // And the simulator accepts/charges the same plan shape.
+  layout::IoPlan sim_plan;
+  sim_plan.clients.push_back(plan);
+  const auto sim = simnet::Replay(
+      sim_plan, std::vector<simnet::StorageClassModel>(2, simnet::Class1()));
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim.value().transfer_bytes, plan.transfer_bytes());
+}
+
+TEST(ModelValidationTest, ListWriteRoundTripsThroughRealCluster) {
+  // A strided list write followed by a contiguous read: the scattered
+  // bytes must land at exactly the planned subfile offsets.
+  constexpr std::uint64_t kTotal = 64 * 1024;
+  core::ClusterOptions cluster_options;
+  cluster_options.num_servers = 3;
+  auto cluster = core::LocalCluster::Start(std::move(cluster_options)).value();
+  auto fs = cluster->fs();
+
+  CreateOptions create;
+  create.level = layout::FileLevel::kLinear;
+  create.total_bytes = kTotal;
+  create.brick_bytes = 1024;
+  FileHandle handle = fs->Create("/w", create).value();
+  Bytes base(kTotal, 0xEE);
+  ASSERT_TRUE(fs->WriteBytes(handle, 0, base).ok());
+
+  // 128 blocks of 16 bytes, stride 96 bytes.
+  const client::Datatype pattern =
+      client::Datatype::Vector(128, 16, 96, client::Datatype::Bytes(1))
+          .value();
+  Bytes payload(pattern.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i ^ 0x5A);
+  }
+  IoOptions io;
+  io.list_io = true;
+  ASSERT_TRUE(fs->WriteType(handle, 17, pattern, payload, io).ok());
+
+  Bytes all(kTotal);
+  ASSERT_TRUE(fs->ReadBytes(handle, 0, all).ok());
+  Bytes expected = base;
+  std::uint64_t cursor = 0;
+  for (const client::ByteExtent& extent : pattern.extents()) {
+    std::copy_n(payload.begin() + static_cast<std::ptrdiff_t>(cursor),
+                extent.length,
+                expected.begin() + static_cast<std::ptrdiff_t>(17 + extent.offset));
+    cursor += extent.length;
+  }
+  EXPECT_EQ(all, expected);
 }
 
 }  // namespace

@@ -169,5 +169,132 @@ TEST_F(PlanTest, EmptyAccessYieldsEmptyPlan) {
   EXPECT_EQ(plan.transfer_bytes(), 0u);
 }
 
+// --- list I/O (PlanListAccess, docs/NONCONTIGUOUS_IO.md) -------------------
+
+TEST_F(PlanTest, ListAccessOneRequestPerServer) {
+  // A strided pattern touching bricks 0..7 (one 2-byte piece each): list
+  // I/O always combines, so 4 requests cover 4 servers.
+  PlanOptions options;
+  options.rotate_start = false;
+  std::vector<FileExtent> extents;
+  for (std::uint64_t i = 0; i < 8; ++i) extents.push_back({i * 8, 2});
+  const ClientPlan plan =
+      PlanListAccess(map_, dist_, 0, extents, options).value();
+  EXPECT_TRUE(plan.list_io);
+  EXPECT_FALSE(plan.whole_brick_reads);
+  ASSERT_EQ(plan.num_requests(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const ServerRequest& request = plan.requests[s];
+    EXPECT_EQ(request.server, s);
+    // Bricks s and s+4 → subfile slots 0 and 1 → extents at 0 and 8.
+    ASSERT_EQ(request.list_extents.size(), 2u);
+    EXPECT_EQ(request.list_extents[0], (ListExtent{0, 2 * s, 2}));
+    EXPECT_EQ(request.list_extents[1], (ListExtent{8, 2 * (s + 4), 2}));
+    ASSERT_EQ(request.bricks.size(), 2u);
+    EXPECT_EQ(request.bricks[0].brick, s);
+    EXPECT_EQ(request.bricks[1].brick, s + 4);
+  }
+  // List transfers move exactly the useful bytes.
+  EXPECT_EQ(plan.transfer_bytes(), 16u);
+  EXPECT_EQ(plan.useful_bytes(), 16u);
+}
+
+TEST_F(PlanTest, ListAccessMergesAdjacentPieces) {
+  // Two touching extents inside one brick merge to one wire extent; a
+  // whole-brick-spanning extent also merges across consecutive slots of the
+  // same subfile (bricks 0 and 4 are slots 0 and 1 on server 0).
+  PlanOptions options;
+  options.rotate_start = false;
+  const ClientPlan touching =
+      PlanListAccess(map_, dist_, 0, {{0, 3}, {3, 2}}, options).value();
+  ASSERT_EQ(touching.num_requests(), 1u);
+  ASSERT_EQ(touching.requests[0].list_extents.size(), 1u);
+  EXPECT_EQ(touching.requests[0].list_extents[0], (ListExtent{0, 0, 5}));
+  EXPECT_EQ(touching.requests[0].bricks[0].fragments, 1u);
+
+  // Bytes 0..48 touch bricks 0..5; server 0's pieces (bricks 0 and 4 →
+  // slots 0 and 1) are adjacent in the subfile but NOT in the packed
+  // buffer (bricks 1..3 sit between them), so they must stay separate.
+  const ClientPlan spanning =
+      PlanListAccess(map_, dist_, 0, {{0, 48}}, options).value();
+  ASSERT_EQ(spanning.num_requests(), 4u);
+  EXPECT_EQ(spanning.requests[0].list_extents.size(), 2u);
+  EXPECT_EQ(spanning.requests[0].list_extents[0], (ListExtent{0, 0, 8}));
+  EXPECT_EQ(spanning.requests[0].list_extents[1], (ListExtent{8, 32, 8}));
+}
+
+TEST_F(PlanTest, ListAccessSingleServerMergesAcrossSlots) {
+  // With one server every brick lands on it consecutively: a contiguous
+  // file range becomes ONE wire extent spanning slots.
+  const BrickDistribution one = BrickDistribution::RoundRobin(32, 1).value();
+  PlanOptions options;
+  const ClientPlan plan =
+      PlanListAccess(map_, one, 0, {{0, 24}}, options).value();
+  ASSERT_EQ(plan.num_requests(), 1u);
+  ASSERT_EQ(plan.requests[0].list_extents.size(), 1u);
+  EXPECT_EQ(plan.requests[0].list_extents[0], (ListExtent{0, 0, 24}));
+  EXPECT_EQ(plan.requests[0].bricks.size(), 3u);
+}
+
+TEST_F(PlanTest, ListAccessRotationStaggersStartServers) {
+  PlanOptions options;
+  options.rotate_start = true;
+  std::vector<FileExtent> extents;
+  for (std::uint64_t i = 0; i < 8; ++i) extents.push_back({i * 8, 2});
+  for (std::uint32_t client = 0; client < 4; ++client) {
+    const ClientPlan plan =
+        PlanListAccess(map_, dist_, client, extents, options).value();
+    ASSERT_EQ(plan.num_requests(), 4u);
+    EXPECT_EQ(plan.requests[0].server, client % 4);
+  }
+}
+
+TEST_F(PlanTest, ListAccessValidatesExtents) {
+  PlanOptions options;
+  // Zero-length extent.
+  EXPECT_FALSE(PlanListAccess(map_, dist_, 0, {{0, 0}}, options).ok());
+  // Overlap.
+  EXPECT_FALSE(
+      PlanListAccess(map_, dist_, 0, {{0, 16}, {8, 4}}, options).ok());
+  // Out of order.
+  EXPECT_FALSE(
+      PlanListAccess(map_, dist_, 0, {{64, 4}, {0, 4}}, options).ok());
+  // Past the distribution's bricks.
+  EXPECT_FALSE(
+      PlanListAccess(map_, dist_, 0, {{32 * 8, 4}}, options).ok());
+  // Adjacent extents are legal (they merge).
+  EXPECT_TRUE(PlanListAccess(map_, dist_, 0, {{0, 4}, {4, 4}}, options).ok());
+}
+
+TEST_F(PlanTest, ListAccessRequiresLinearFile) {
+  const BrickMap tiled = BrickMap::Multidim({8, 8}, {4, 4}, 1).value();
+  const BrickDistribution dist =
+      BrickDistribution::RoundRobin(tiled.num_bricks(), 2).value();
+  PlanOptions options;
+  EXPECT_FALSE(PlanListAccess(tiled, dist, 0, {{0, 4}}, options).ok());
+}
+
+TEST_F(PlanTest, ListAccessEmptyExtentsYieldEmptyPlan) {
+  PlanOptions options;
+  const ClientPlan plan = PlanListAccess(map_, dist_, 0, {}, options).value();
+  EXPECT_TRUE(plan.list_io);
+  EXPECT_EQ(plan.num_requests(), 0u);
+}
+
+TEST_F(PlanTest, ListAccessAccountingMatchesSievePlan) {
+  // A list plan's per-brick useful/transfer accounting equals the sieve
+  // (non-whole-brick) plan for the same single extent.
+  PlanOptions sieve;
+  sieve.combine = true;
+  sieve.rotate_start = false;
+  sieve.whole_brick_reads = false;
+  PlanOptions list = sieve;
+  const ClientPlan a = PlanByteAccess(map_, dist_, 0, 4, 40, sieve).value();
+  const ClientPlan b = PlanListAccess(map_, dist_, 0, {{4, 40}}, list).value();
+  EXPECT_EQ(a.transfer_bytes(), b.transfer_bytes());
+  EXPECT_EQ(a.useful_bytes(), b.useful_bytes());
+  EXPECT_EQ(a.num_requests(), b.num_requests());
+}
+
 }  // namespace
 }  // namespace dpfs::layout

@@ -63,7 +63,7 @@ TEST(EnvelopeTest, BadTypeRejected) {
 }
 
 TEST(EnvelopeTest, FirstTypePastTheRangeRejected) {
-  // One past kMaxMessageType (currently kMetaListDirectory): keeps the
+  // One past kMaxMessageType (currently kListWrite): keeps the
   // DecodeRequest range check honest when a new opcode is added (bump the
   // check, then extend this test).
   Bytes frame = {static_cast<std::uint8_t>(kMaxMessageType + 1)};
@@ -97,11 +97,162 @@ TEST(EnvelopeTest, AllMessageTypesDecodable) {
        {MessageType::kPing, MessageType::kRead, MessageType::kWrite,
         MessageType::kStat, MessageType::kDelete, MessageType::kTruncate,
         MessageType::kShutdown, MessageType::kStats, MessageType::kRename,
-        MessageType::kList, MessageType::kMetrics}) {
+        MessageType::kList, MessageType::kMetrics, MessageType::kListRead,
+        MessageType::kListWrite}) {
     const Bytes frame = EncodeRequest(type, {});
     EXPECT_EQ(DecodeRequest(frame).value().type, type);
     EXPECT_NE(MessageTypeName(type), "unknown");
   }
+}
+
+// --- list I/O (docs/WIRE_PROTOCOL.md "List I/O") ---------------------------
+
+TEST(ListReadRequestTest, EncodeDecodeRoundTrip) {
+  ListReadRequest request;
+  request.subfile = "/home/x/data.dpfs";
+  request.extents = {{0, 16}, {64, 8}, {4096, 128}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const ListReadRequest decoded = ListReadRequest::Decode(reader).value();
+  EXPECT_EQ(decoded.subfile, request.subfile);
+  EXPECT_EQ(decoded.extents, request.extents);
+  EXPECT_EQ(decoded.total_bytes(), 152u);
+}
+
+TEST(ListReadRequestTest, AdjacentExtentsAccepted) {
+  // Adjacent (touching) extents are legal — only overlap is rejected.
+  ListReadRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 8}, {8, 8}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListReadRequestTest, RejectsEmptyExtentList) {
+  ListReadRequest request;
+  request.subfile = "f";
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(ListReadRequest::Decode(reader).status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(ListReadRequestTest, RejectsZeroLengthExtent) {
+  ListReadRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 8}, {32, 0}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListReadRequestTest, RejectsOverlappingExtents) {
+  ListReadRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 16}, {8, 16}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListReadRequestTest, RejectsDescendingExtents) {
+  ListReadRequest request;
+  request.subfile = "f";
+  request.extents = {{64, 8}, {0, 8}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListReadRequestTest, RejectsExtentOverflowingOffsetSpace) {
+  ListReadRequest request;
+  request.subfile = "f";
+  request.extents = {{~std::uint64_t{0} - 4, 8}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListReadRequestTest, RejectsLyingCountBeforeAllocating) {
+  // A count claiming far more extents than the body holds must fail the
+  // remaining-bytes check, not attempt a giant reserve.
+  BinaryWriter writer;
+  writer.WriteString("f");
+  writer.WriteU32(0xFFFFFFFFu);
+  writer.WriteU64(0);  // one extent's worth of bytes, not 4 billion
+  writer.WriteU64(8);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListReadRequestTest, RejectsTruncatedExtentList) {
+  ListReadRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 8}, {16, 8}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  const ByteSpan whole(writer.buffer());
+  BinaryReader reader(whole.subspan(0, whole.size() - 5));
+  EXPECT_FALSE(ListReadRequest::Decode(reader).ok());
+}
+
+TEST(ListWriteRequestTest, EncodeDecodeRoundTrip) {
+  ListWriteRequest request;
+  request.subfile = "/a/b";
+  request.sync = true;
+  request.extents = {{128, 4}, {256, 2}};
+  request.data = {1, 2, 3, 4, 9, 8};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const ListWriteRequest decoded = ListWriteRequest::Decode(reader).value();
+  EXPECT_EQ(decoded.subfile, "/a/b");
+  EXPECT_TRUE(decoded.sync);
+  EXPECT_EQ(decoded.extents, request.extents);
+  EXPECT_EQ(decoded.data, request.data);
+  EXPECT_EQ(decoded.total_bytes(), 6u);
+}
+
+TEST(ListWriteRequestTest, RejectsPayloadShorterThanExtentSum) {
+  ListWriteRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 8}};
+  request.data = {1, 2, 3};  // 3 bytes for 8 bytes of extents
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(ListWriteRequest::Decode(reader).status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(ListWriteRequestTest, RejectsPayloadLongerThanExtentSum) {
+  ListWriteRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 2}};
+  request.data = {1, 2, 3};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListWriteRequest::Decode(reader).ok());
+}
+
+TEST(ListWriteRequestTest, RejectsOverlappingExtents) {
+  ListWriteRequest request;
+  request.subfile = "f";
+  request.extents = {{0, 4}, {2, 4}};
+  request.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(ListWriteRequest::Decode(reader).ok());
 }
 
 }  // namespace

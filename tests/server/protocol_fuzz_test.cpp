@@ -413,6 +413,109 @@ TEST_P(ProtocolFuzzTest, MetadataOpcodeAimedAtIoServerGetsErrorReply) {
   ExpectServerAlive();
 }
 
+// --- list I/O opcodes (docs/WIRE_PROTOCOL.md "List I/O") -------------------
+
+TEST_P(ProtocolFuzzTest, ListRoundTripOnBothEngines) {
+  // Happy path first: a scattered list write then a list read of the same
+  // extents must hand back exactly the batched payload.
+  net::ServerConnection conn =
+      net::ServerConnection::Connect(server_->endpoint()).value();
+  const std::vector<net::ReadFragment> extents = {{0, 4}, {64, 4}, {1024, 8}};
+  Bytes payload = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  ASSERT_TRUE(conn.ListWrite("/lst", extents, payload).ok());
+  EXPECT_EQ(conn.ListRead("/lst", extents).value(), payload);
+  // The non-list read path sees the same bytes at the scattered offsets.
+  EXPECT_EQ(conn.Read("/lst", {{64, 4}}).value(), (Bytes{5, 6, 7, 8}));
+}
+
+TEST_P(ProtocolFuzzTest, ListReadTruncatedExtentListGetsErrorReply) {
+  // A count that promises more extents than the body carries must be
+  // rejected by the length guard, never allocated for.
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  BinaryWriter payload;
+  payload.WriteU8(static_cast<std::uint8_t>(net::MessageType::kListRead));
+  payload.WriteString("/lst");
+  payload.WriteU32(0xFFFFFFFFu);  // claims 4 billion extents
+  payload.WriteU64(0);
+  payload.WriteU64(8);  // ...but carries one
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  EXPECT_EQ(net::DecodeReply(reply).value().status.code(),
+            StatusCode::kProtocolError);
+  ExpectServerAlive();
+}
+
+TEST_P(ProtocolFuzzTest, ListReadOverlappingExtentsRejected) {
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  BinaryWriter payload;
+  payload.WriteU8(static_cast<std::uint8_t>(net::MessageType::kListRead));
+  payload.WriteString("/lst");
+  payload.WriteU32(2);
+  payload.WriteU64(0);
+  payload.WriteU64(16);
+  payload.WriteU64(8);  // starts inside the previous extent
+  payload.WriteU64(16);
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  const net::DecodedReply decoded = net::DecodeReply(reply).value();
+  EXPECT_EQ(decoded.status.code(), StatusCode::kProtocolError);
+  ExpectServerAlive();
+}
+
+TEST_P(ProtocolFuzzTest, ListWritePayloadMismatchRejectedAndNothingWritten) {
+  // The payload must equal the extent sum; a short payload is refused at
+  // decode, before any byte reaches the store.
+  net::ServerConnection conn =
+      net::ServerConnection::Connect(server_->endpoint()).value();
+  std::vector<net::WriteFragment> seed;
+  seed.push_back({0, Bytes(16, 0xAA)});
+  ASSERT_TRUE(conn.Write("/lst", std::move(seed)).ok());
+
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port).value();
+  BinaryWriter payload;
+  payload.WriteU8(static_cast<std::uint8_t>(net::MessageType::kListWrite));
+  payload.WriteString("/lst");
+  payload.WriteU8(0);  // sync = false
+  payload.WriteU32(1);
+  payload.WriteU64(0);
+  payload.WriteU64(8);            // extent wants 8 bytes
+  payload.WriteBytes(Bytes(3, 1));  // payload carries 3
+  ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+  Bytes reply;
+  ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+  EXPECT_EQ(net::DecodeReply(reply).value().status.code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(conn.Read("/lst", {{0, 16}}).value(), Bytes(16, 0xAA));
+  ExpectServerAlive();
+}
+
+TEST_P(ProtocolFuzzTest, ListOpcodeFrameStorm) {
+  // Random bodies behind the two list opcodes specifically: every frame
+  // must draw an error reply (or a clean drop), never a crash.
+  SplitMix64 rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    Result<net::TcpSocket> socket =
+        net::TcpSocket::Connect("127.0.0.1", server_->endpoint().port);
+    ASSERT_TRUE(socket.ok());
+    Bytes payload(1 + rng.NextBelow(48));
+    for (std::uint8_t& byte : payload) {
+      byte = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    payload[0] = static_cast<std::uint8_t>(
+        trial % 2 == 0 ? net::MessageType::kListRead
+                       : net::MessageType::kListWrite);
+    if (!net::SendFrame(socket.value(), payload).ok()) continue;
+    Bytes reply;
+    (void)net::RecvFrame(socket.value(), reply);
+  }
+  ExpectServerAlive();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Engines, ProtocolFuzzTest,
     ::testing::Values(ServerEngine::kThreadPerConnection,
@@ -507,6 +610,27 @@ TEST_P(MetadProtocolFuzzTest, IoOpcodeAimedAtMetadGetsErrorReply) {
   const net::DecodedReply decoded = net::DecodeReply(reply).value();
   EXPECT_EQ(decoded.status.code(), StatusCode::kProtocolError);
   EXPECT_NE(decoded.status.message().find("I/O opcode"), std::string::npos);
+  ExpectServiceAlive();
+}
+
+TEST_P(MetadProtocolFuzzTest, ListOpcodeAimedAtMetadGetsErrorReply) {
+  // The list I/O opcodes are in range at the envelope layer but metad does
+  // not serve them: same "I/O opcode" refusal as kRead, no metad changes.
+  net::TcpSocket socket =
+      net::TcpSocket::Connect("127.0.0.1", service_->endpoint().port).value();
+  for (const net::MessageType type :
+       {net::MessageType::kListRead, net::MessageType::kListWrite}) {
+    BinaryWriter payload;
+    payload.WriteU8(static_cast<std::uint8_t>(type));
+    payload.WriteString("/subfile");
+    ASSERT_TRUE(net::SendFrame(socket, payload.buffer()).ok());
+    Bytes reply;
+    ASSERT_TRUE(net::RecvFrame(socket, reply).ok());
+    const net::DecodedReply decoded = net::DecodeReply(reply).value();
+    EXPECT_EQ(decoded.status.code(), StatusCode::kProtocolError);
+    EXPECT_NE(decoded.status.message().find("I/O opcode"), std::string::npos)
+        << net::MessageTypeName(type);
+  }
   ExpectServiceAlive();
 }
 

@@ -31,6 +31,12 @@ both directions, so the doc tables stay the authoritative inventory:
                 rows may abbreviate siblings (`x.hits` / `.misses`) and use
                 `<op>` placeholders for dynamic suffixes (matching source
                 names that end with a dot).
+  opcode-undocumented / opcode-ghost
+                every enumerator of `enum class MessageType` in
+                src/net/messages.h must have a row (matching number AND
+                snake_case name) in docs/WIRE_PROTOCOL.md's request table,
+                and every numbered table row must match a live enumerator —
+                so the wire doc stays the authoritative opcode inventory.
 
 Scanned documents: README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md,
 CLAUDE.md, CHANGES.md, and docs/*.md.
@@ -223,6 +229,80 @@ def cross_check(src: dict[str, tuple[Path, int]], doc: dict[str, int],
     return out
 
 
+# --- opcode cross-check (MessageType enum vs the wire-protocol table) -------
+
+MESSAGE_TYPE_ENUM_RE = re.compile(
+    r"enum\s+class\s+MessageType[^{]*\{(.*?)\};", re.DOTALL)
+ENUM_ENTRY_RE = re.compile(r"\bk([A-Za-z0-9]+)\s*=\s*(\d+)")
+# A request-table row whose first cell is the opcode number:
+# `| 31 | list_read | body... |`
+OPCODE_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*([a-z0-9_]+)\s*\|")
+
+
+def camel_to_snake(name: str) -> str:
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def enum_opcodes(path: Path) -> dict[int, tuple[str, int]]:
+    """opcode number -> (snake_case name, line) from the MessageType enum."""
+    text = path.read_text(encoding="utf-8", errors="replace")
+    code = _CODE_STRIP_RE.sub(
+        lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
+    enum = MESSAGE_TYPE_ENUM_RE.search(code)
+    opcodes: dict[int, tuple[str, int]] = {}
+    if not enum:
+        return opcodes
+    for m in ENUM_ENTRY_RE.finditer(enum.group(1)):
+        lineno = code.count("\n", 0, enum.start(1) + m.start()) + 1
+        opcodes[int(m.group(2))] = (camel_to_snake(m.group(1)), lineno)
+    return opcodes
+
+
+def doc_opcodes(path: Path) -> dict[int, tuple[str, int]]:
+    """opcode number -> (name, line) from the wire doc's request table."""
+    opcodes: dict[int, tuple[str, int]] = {}
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8", errors="replace").splitlines(),
+            start=1):
+        row = OPCODE_ROW_RE.match(line)
+        if row:
+            opcodes.setdefault(int(row.group(1)), (row.group(2), lineno))
+    return opcodes
+
+
+def lint_opcodes(root: Path) -> list[Violation]:
+    header = root / "src/net/messages.h"
+    doc = root / "docs/WIRE_PROTOCOL.md"
+    if not header.is_file() or not doc.is_file():
+        return []
+    src = enum_opcodes(header)
+    documented = doc_opcodes(doc)
+    header_rel = Path("src/net/messages.h")
+    doc_rel = Path("docs/WIRE_PROTOCOL.md")
+    out: list[Violation] = []
+    for number in sorted(src):
+        name, lineno = src[number]
+        if number not in documented:
+            out.append(Violation(
+                header_rel, lineno, "opcode-undocumented",
+                f"MessageType::k* opcode {number} ('{name}') has no row in "
+                f"the {doc_rel.as_posix()} request table"))
+        elif documented[number][0] != name:
+            out.append(Violation(
+                header_rel, lineno, "opcode-undocumented",
+                f"opcode {number} is '{name}' in the enum but documented "
+                f"as '{documented[number][0]}' in {doc_rel.as_posix()}"))
+    for number in sorted(documented):
+        if number not in src:
+            name, lineno = documented[number]
+            out.append(Violation(
+                doc_rel, lineno, "opcode-ghost",
+                f"request-table row for opcode {number} ('{name}') matches "
+                "no MessageType enumerator (renamed or deleted? update the "
+                "table)"))
+    return out
+
+
 def lint_catalogs(root: Path) -> list[Violation]:
     out: list[Violation] = []
     fault_doc = root / "docs/FAULT_INJECTION.md"
@@ -239,6 +319,7 @@ def lint_catalogs(root: Path) -> list[Violation]:
             doc_catalog_names(obs_doc),
             Path("docs/OBSERVABILITY.md"), "metric",
             "instrument registered in src/"))
+    out.extend(lint_opcodes(root))
     return out
 
 
@@ -256,6 +337,7 @@ ALL_RULES = frozenset({
     "broken-link", "stale-path",
     "failpoint-undocumented", "failpoint-ghost",
     "metric-undocumented", "metric-ghost",
+    "opcode-undocumented", "opcode-ghost",
 })
 
 # rule -> fixture file expected to trigger it (paths inside
@@ -268,6 +350,8 @@ EXPECTED_SELF_TEST = {
     "failpoint-ghost": "docs/FAULT_INJECTION.md",
     "metric-undocumented": "src/common/chaos.cpp",
     "metric-ghost": "docs/OBSERVABILITY.md",
+    "opcode-undocumented": "src/net/messages.h",
+    "opcode-ghost": "docs/WIRE_PROTOCOL.md",
 }
 
 
