@@ -195,6 +195,124 @@ int main() {
           combined_requests, 4.0);
   }
 
+  // ------------------------------------ replication (bench/micro_degraded)
+  {
+    using namespace dpfs::layout;
+    std::printf("-- Replication (docs/REPLICATION.md) --\n");
+    ReplicationBenchConfig config;
+    config.performance.assign(config.io_nodes, 1);
+    const auto servers =
+        UniformServers(dpfs::simnet::Class1(), config.io_nodes);
+    const auto app_bw = [&](const ReplicationBenchConfig& c,
+                            const IoPlan& plan,
+                            const auto& models) {
+      const double app_bytes =
+          static_cast<double>(c.bytes_per_client) * c.compute_nodes;
+      return app_bytes / (1024.0 * 1024.0) /
+             MustReplay(plan, models).makespan_s;
+    };
+
+    // R=1 is the unreplicated system, byte for byte: same plan, same cost.
+    config.spec.factor = 1;
+    const ReplicatedWorkload r1 = BuildReplicatedWorkload(config).value();
+    const IoPlan r1_plan =
+        BuildReplicatedPlan(config, r1, IoDirection::kWrite).value();
+    StripingAlgConfig unreplicated;
+    unreplicated.compute_nodes = config.compute_nodes;
+    unreplicated.io_nodes = config.io_nodes;
+    unreplicated.bytes_per_client = config.bytes_per_client;
+    unreplicated.brick_bytes = config.brick_bytes;
+    unreplicated.performance = config.performance;
+    const IoPlan plain =
+        BuildStripingAlgPlan(unreplicated, PlacementPolicy::kGreedy,
+                             /*combine=*/true, IoDirection::kWrite)
+            .value();
+    Check(static_cast<double>(r1_plan.total_requests()) ==
+              static_cast<double>(plain.total_requests()),
+          "R=1 write plan is the unreplicated plan (request count)",
+          static_cast<double>(r1_plan.total_requests()),
+          static_cast<double>(plain.total_requests()));
+    Check(static_cast<double>(r1_plan.total_transfer_bytes()) ==
+              static_cast<double>(plain.total_transfer_bytes()),
+          "R=1 write plan is the unreplicated plan (wire bytes)",
+          static_cast<double>(r1_plan.total_transfer_bytes()),
+          static_cast<double>(plain.total_transfer_bytes()));
+
+    // Every copy crosses the wire: write bandwidth falls roughly as 1/R.
+    const double w1 = app_bw(config, r1_plan, servers);
+    config.spec.factor = 2;
+    const ReplicatedWorkload r2 = BuildReplicatedWorkload(config).value();
+    const double w2 = app_bw(
+        config, BuildReplicatedPlan(config, r2, IoDirection::kWrite).value(),
+        servers);
+    config.spec.factor = 3;
+    const ReplicatedWorkload r3 = BuildReplicatedWorkload(config).value();
+    const double w3 = app_bw(
+        config, BuildReplicatedPlan(config, r3, IoDirection::kWrite).value(),
+        servers);
+    Check(w1 > 1.8 * w2 && w1 < 2.2 * w2,
+          "R=2 writes cost ~2x the application bandwidth", w1, 2 * w2);
+    Check(w2 > w3, "write bandwidth keeps falling at R=3", w2, w3);
+
+    // Degraded reads serve every byte from the survivors, at a price.
+    config.spec.factor = 2;
+    const IoPlan healthy =
+        BuildReplicatedPlan(config, r2, IoDirection::kRead).value();
+    const IoPlan degraded = DegradeReadPlan(healthy, r2, /*dead=*/0).value();
+    Check(static_cast<double>(degraded.total_useful_bytes()) ==
+              static_cast<double>(healthy.total_useful_bytes()),
+          "degraded read still serves every byte",
+          static_cast<double>(degraded.total_useful_bytes()),
+          static_cast<double>(healthy.total_useful_bytes()));
+    const double healthy_bw = app_bw(config, healthy, servers);
+    const double degraded_bw = app_bw(config, degraded, servers);
+    Check(degraded_bw < healthy_bw,
+          "degraded read costs more than healthy", degraded_bw, healthy_bw);
+
+    // Cross-site R=2 (site B = geo-wan): the WAN gates writes, and only
+    // §4.2 combination keeps a whole-site read failover usable.
+    ReplicationBenchConfig geo = config;
+    geo.spec.domains.assign(geo.io_nodes, 0);
+    std::vector<dpfs::simnet::StorageClassModel> geo_servers;
+    for (std::uint32_t s = 0; s < geo.io_nodes; ++s) {
+      const bool site_b = s >= geo.io_nodes / 2;
+      geo.spec.domains[s] = site_b ? 1 : 0;
+      geo_servers.push_back(site_b ? dpfs::simnet::GeoWan()
+                                   : dpfs::simnet::Class1());
+    }
+    geo.performance =
+        dpfs::simnet::NormalizedPerformance(geo_servers, geo.brick_bytes);
+    const ReplicatedWorkload geo_workload =
+        BuildReplicatedWorkload(geo).value();
+    const double geo_write = app_bw(
+        geo,
+        BuildReplicatedPlan(geo, geo_workload, IoDirection::kWrite).value(),
+        geo_servers);
+    Check(geo_write < w2, "cross-site write is gated by the WAN ack",
+          geo_write, w2);
+    double retained[2] = {0, 0};  // [0] combined, [1] per-brick
+    for (const int per_brick : {0, 1}) {
+      geo.combine = per_brick == 0;
+      const IoPlan healthy_geo =
+          BuildReplicatedPlan(geo, geo_workload, IoDirection::kRead).value();
+      IoPlan site_down = healthy_geo;
+      for (ServerId dead = 0; dead < geo.io_nodes / 2; ++dead) {
+        site_down = DegradeReadPlan(site_down, geo_workload, dead).value();
+      }
+      retained[per_brick] = app_bw(geo, site_down, geo_servers) /
+                            app_bw(geo, healthy_geo, geo_servers);
+    }
+    Check(retained[0] > 0.8,
+          "combined bulk reads survive a whole-site failover", retained[0],
+          0.8);
+    Check(retained[1] < 0.6,
+          "per-brick reads collapse against the WAN latency", retained[1],
+          0.6);
+    Check(retained[0] > 1.5 * retained[1],
+          "request combination is what keeps WAN failover usable",
+          retained[0], retained[1]);
+  }
+
   std::printf("\n%s: %d claim(s) violated\n",
               g_failures == 0 ? "ALL SHAPES HOLD" : "SHAPE CHECK FAILED",
               g_failures);

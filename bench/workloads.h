@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "layout/hpf.h"
 #include "layout/plan.h"
+#include "layout/replication.h"
 #include "simnet/replay.h"
 
 namespace dpfs::bench {
@@ -251,6 +252,99 @@ inline Result<layout::IoPlan> BuildNoncontigPlan(const NoncontigConfig& config,
     plan.clients.push_back(std::move(client));
   }
   return plan;
+}
+
+// --- replication (docs/REPLICATION.md) -------------------------------------
+
+/// The degraded-throughput workload (bench/micro_degraded): Fig-13-style
+/// per-client contiguous blocks over uniform servers, replicated at
+/// `spec.factor` with the shared-accumulator greedy rule.
+struct ReplicationBenchConfig {
+  std::uint32_t compute_nodes = 8;
+  std::uint32_t io_nodes = 8;
+  std::uint64_t bytes_per_client = 8ull << 20;
+  std::uint64_t brick_bytes = 64 * 1024;
+  std::vector<std::uint32_t> performance;  // per server (§4.1 numbers)
+  layout::ReplicationSpec spec;            // factor + failure domains
+  /// §4.2 request combination. Off = one request per brick, the
+  /// latency-sensitive regime (bench/micro_degraded's WAN sweep).
+  bool combine = true;
+};
+
+/// A replicated file's layout: the brick map plus all R placement ranks.
+struct ReplicatedWorkload {
+  layout::BrickMap map;
+  layout::ReplicatedDistribution dist;
+};
+
+inline Result<ReplicatedWorkload> BuildReplicatedWorkload(
+    const ReplicationBenchConfig& config) {
+  using namespace layout;
+  const std::uint64_t total =
+      config.bytes_per_client * config.compute_nodes;
+  DPFS_ASSIGN_OR_RETURN(BrickMap map,
+                        BrickMap::Linear(total, config.brick_bytes));
+  DPFS_ASSIGN_OR_RETURN(
+      ReplicatedDistribution dist,
+      ReplicatedDistribution::Create(PlacementPolicy::kGreedy,
+                                     map.num_bricks(), config.performance,
+                                     config.spec));
+  return ReplicatedWorkload{std::move(map), std::move(dist)};
+}
+
+/// The collective plan all clients run: each accesses its own contiguous
+/// block (combined requests). Writes against a replicated layout are
+/// expanded to all ranks — exactly what the executor ships.
+inline Result<layout::IoPlan> BuildReplicatedPlan(
+    const ReplicationBenchConfig& config, const ReplicatedWorkload& workload,
+    layout::IoDirection direction) {
+  using namespace layout;
+  PlanOptions options;
+  options.direction = direction;
+  options.combine = config.combine;
+  IoPlan plan;
+  for (std::uint32_t c = 0; c < config.compute_nodes; ++c) {
+    DPFS_ASSIGN_OR_RETURN(
+        ClientPlan client,
+        PlanByteAccess(workload.map, workload.dist.primary(), c,
+                       c * config.bytes_per_client, config.bytes_per_client,
+                       options));
+    if (direction == IoDirection::kWrite &&
+        workload.dist.factor() > 1) {
+      DPFS_ASSIGN_OR_RETURN(client,
+                            ExpandWritePlan(client, workload.dist));
+    }
+    plan.clients.push_back(std::move(client));
+  }
+  return plan;
+}
+
+/// The failover path's plan shape: every (rank 0) read request that named
+/// `dead` is regrouped onto the rank-1 replicas, the rest stay primary —
+/// same bytes, surviving servers only.
+inline Result<layout::IoPlan> DegradeReadPlan(
+    const layout::IoPlan& plan, const ReplicatedWorkload& workload,
+    layout::ServerId dead) {
+  using namespace layout;
+  IoPlan out;
+  for (const ClientPlan& client : plan.clients) {
+    ClientPlan degraded = client;
+    degraded.requests.clear();
+    for (const ServerRequest& request : client.requests) {
+      if (request.server != dead) {
+        degraded.requests.push_back(request);
+        continue;
+      }
+      DPFS_ASSIGN_OR_RETURN(
+          std::vector<ServerRequest> remapped,
+          RemapRequestToRank(request, workload.dist.rank(1), 1));
+      for (ServerRequest& r : remapped) {
+        degraded.requests.push_back(std::move(r));
+      }
+    }
+    out.clients.push_back(std::move(degraded));
+  }
+  return out;
 }
 
 inline std::vector<simnet::StorageClassModel> UniformServers(

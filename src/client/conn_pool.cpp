@@ -16,6 +16,10 @@ struct PoolMetrics {
   metrics::Counter& dial_failures =
       metrics::GetCounter("conn_pool.dial_failures");
   metrics::Counter& poisoned = metrics::GetCounter("conn_pool.poisoned");
+  // Connections found peer-closed by the staleness probe (a server
+  // restarted while the stream was idle or parked) and replaced by a fresh
+  // dial instead of failing the caller's next request.
+  metrics::Counter& redials = metrics::GetCounter("conn_pool.redials");
   metrics::Histogram& acquire_us =
       metrics::GetHistogram("conn_pool.acquire_us");
 };
@@ -24,6 +28,18 @@ PoolMetrics& Metrics() {
   return m;
 }
 }  // namespace
+
+Status EnsureFreshConnection(std::optional<net::ServerConnection>& conn,
+                             const net::Endpoint& endpoint) {
+  if (conn.has_value() && conn->PeerClosed()) {
+    conn.reset();
+    Metrics().redials.Add();
+  }
+  if (!conn.has_value()) {
+    DPFS_ASSIGN_OR_RETURN(conn, net::ServerConnection::Connect(endpoint));
+  }
+  return Status::Ok();
+}
 
 PooledConnection::~PooledConnection() {
   if (pool_ != nullptr && conn_ != nullptr) {
@@ -46,10 +62,17 @@ Result<PooledConnection> ConnectionPool::Acquire(
   {
     MutexLock lock(mu_);
     auto it = idle_.find(key);
-    if (it != idle_.end() && !it->second.empty()) {
+    while (it != idle_.end() && !it->second.empty()) {
       std::unique_ptr<net::ServerConnection> conn =
           std::move(it->second.back());
       it->second.pop_back();
+      if (conn->PeerClosed()) {
+        // Stale pooled stream (the server restarted while it sat idle):
+        // drop it and keep probing — the same redial semantics
+        // EnsureFreshConnection gives long-held connections.
+        Metrics().redials.Add();
+        continue;
+      }
       Metrics().pool_hits.Add();
       return PooledConnection(this, std::move(conn));
     }

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/mutex.h"
@@ -42,6 +43,15 @@ class PooledConnection {
   std::unique_ptr<net::ServerConnection> conn_;
   bool poisoned_ = false;
 };
+
+/// Staleness probe + redial shared by the pool and by long-held
+/// connections (RemoteMetadataManager): drops `conn` when its peer has
+/// closed — counting a `conn_pool.redials` — then dials a fresh connection
+/// if none is held. Nothing has been sent on a probed-stale stream, so the
+/// drop-and-redial is always safe, unlike a reply-path failure whose
+/// fate-unknown outcome must surface to the caller.
+Status EnsureFreshConnection(std::optional<net::ServerConnection>& conn,
+                             const net::Endpoint& endpoint);
 
 class ConnectionPool {
  public:

@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "layout/replication.h"
 
 namespace dpfs::client {
 
@@ -36,6 +37,13 @@ struct ClientMetricsT {
       metrics::GetCounter("client.metadata_cache.hits");
   metrics::Counter& metadata_cache_misses =
       metrics::GetCounter("client.metadata_cache.misses");
+  // Replication extension (docs/REPLICATION.md): reads served by a replica
+  // rank > 0, and write-side replica requests that failed while the brick
+  // stayed durable on another rank.
+  metrics::Counter& failover_reads =
+      metrics::GetCounter("client.failover_reads");
+  metrics::Counter& replica_write_failures =
+      metrics::GetCounter("client.replica_write_failures");
 };
 ClientMetricsT& ClientMetrics() {
   static ClientMetricsT m;
@@ -156,17 +164,36 @@ Result<FileHandle> FileSystem::Create(const std::string& path,
                                   ? 0
                                   : server.capacity_bytes / map.brick_bytes());
   }
-  DPFS_ASSIGN_OR_RETURN(
-      layout::BrickDistribution distribution,
-      layout::BrickDistribution::Create(options.placement, map.num_bricks(),
-                                        performance, capacity_bricks));
-
-  DPFS_RETURN_IF_ERROR(metadata_->CreateFile(meta, names, distribution));
+  // Replication (extension, docs/REPLICATION.md): R > 1 stacks R - 1
+  // replica ranks on top of the primary. R = 1 keeps the original code
+  // path, so unreplicated layouts stay byte-identical to the paper's.
+  std::vector<layout::BrickDistribution> ranks;
+  if (options.replication > 1) {
+    layout::ReplicationSpec spec;
+    spec.factor = options.replication;
+    spec.domains = options.failure_domains;
+    DPFS_ASSIGN_OR_RETURN(
+        const layout::ReplicatedDistribution replicated,
+        layout::ReplicatedDistribution::Create(options.placement,
+                                               map.num_bricks(), performance,
+                                               spec, capacity_bricks));
+    ranks = replicated.ranks();
+  } else {
+    DPFS_ASSIGN_OR_RETURN(
+        layout::BrickDistribution distribution,
+        layout::BrickDistribution::Create(options.placement, map.num_bricks(),
+                                          performance, capacity_bricks));
+    ranks.push_back(std::move(distribution));
+  }
+  std::vector<layout::BrickDistribution> replicas(ranks.begin() + 1,
+                                                  ranks.end());
+  DPFS_RETURN_IF_ERROR(metadata_->CreateFile(meta, names, ranks[0], replicas));
 
   FileHandle handle;
   handle.record.meta = std::move(meta);
   handle.record.servers = std::move(servers);
-  handle.record.distribution = std::move(distribution);
+  handle.record.distribution = std::move(ranks[0]);
+  handle.record.replicas = std::move(replicas);
   handle.map = std::move(map);
   if (remote_ == nullptr) {
     MutexLock lock(cache_mu_);
@@ -220,11 +247,16 @@ Status FileSystem::Remove(const std::string& path) {
   for (const ServerInfo& server : record.servers) {
     DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
                           pool_.Acquire(server.endpoint));
-    const Status deleted = conn->Delete(record.meta.path);
-    // A server that never received a brick write has no subfile; fine.
-    if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
-      conn.Poison();
-      return deleted.WithContext("delete subfile on " + server.name);
+    // Every replica rank stores its own subfile name (rank 0 is the plain
+    // path); a server that never received a brick write for a rank has no
+    // subfile for it, which is fine.
+    for (std::uint32_t rank = 0; rank < record.replication(); ++rank) {
+      const Status deleted =
+          conn->Delete(layout::ReplicaSubfileName(record.meta.path, rank));
+      if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
+        conn.Poison();
+        return deleted.WithContext("delete subfile on " + server.name);
+      }
     }
   }
   InvalidateMetadataCache(record.meta.path);
@@ -309,33 +341,40 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
   DPFS_ASSIGN_OR_RETURN(const bool dst_exists, metadata_->FileExists(dst));
   if (dst_exists) return AlreadyExistsError("file '" + dst + "' exists");
 
-  std::vector<const ServerInfo*> renamed;  // for rollback on later failure
+  // (server, replica rank) pairs renamed so far, for rollback on failure.
+  std::vector<std::pair<const ServerInfo*, std::uint32_t>> renamed;
   Status failure;
   for (const ServerInfo& server : record.servers) {
     DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
                           pool_.Acquire(server.endpoint));
-    const Status status = conn->Rename(src, dst);
-    // A server that never received a brick write has no subfile to rename.
-    if (status.ok()) {
-      renamed.push_back(&server);
-    } else if (status.code() != StatusCode::kNotFound) {
-      conn.Poison();
-      failure = status.WithContext("rename subfile on " + server.name);
-      break;
+    for (std::uint32_t rank = 0; rank < record.replication(); ++rank) {
+      const Status status =
+          conn->Rename(layout::ReplicaSubfileName(src, rank),
+                       layout::ReplicaSubfileName(dst, rank));
+      // A server that never received a brick write has no subfile to rename.
+      if (status.ok()) {
+        renamed.push_back({&server, rank});
+      } else if (status.code() != StatusCode::kNotFound) {
+        conn.Poison();
+        failure = status.WithContext("rename subfile on " + server.name);
+        break;
+      }
     }
+    if (!failure.ok()) break;
   }
   if (failure.ok()) {
     failure = metadata_->RenameFile(src, dst);
   }
   if (!failure.ok()) {
     // Best-effort rollback of the subfiles already renamed.
-    for (const ServerInfo* server : renamed) {
+    for (const auto& [server, rank] : renamed) {
       Result<PooledConnection> conn = pool_.Acquire(server->endpoint);
       if (conn.ok()) {
         PooledConnection pooled = std::move(conn).value();
         // dpfs:unchecked(best-effort rollback: the original failure is
         // what the caller must see, not a secondary undo error)
-        (void)pooled->Rename(dst, src);
+        (void)pooled->Rename(layout::ReplicaSubfileName(dst, rank),
+                             layout::ReplicaSubfileName(src, rank));
       }
     }
     return failure;
@@ -369,6 +408,23 @@ Result<FileSystem::FsckReport> FileSystem::Fsck(bool repair) {
     }
   }
   report.files_checked = expected.size();
+  // Replicated files (docs/REPLICATION.md) also legitimately own per-rank
+  // subfiles named "<path>#r<rank>"; learn the ranks from the distribution
+  // rows so replicas are not misreported as orphans.
+  for (std::size_t shard = 0; shard < db.num_shards(); ++shard) {
+    DPFS_ASSIGN_OR_RETURN(
+        const metadb::ResultSet dist,
+        db.shard(shard).Execute(
+            "SELECT filename, replica FROM DPFS_FILE_DISTRIBUTION"));
+    for (std::size_t row = 0; row < dist.size(); ++row) {
+      DPFS_ASSIGN_OR_RETURN(const std::int64_t rank,
+                            dist.GetInt(row, "replica"));
+      if (rank <= 0) continue;
+      DPFS_ASSIGN_OR_RETURN(std::string name, dist.GetText(row, "filename"));
+      expected.insert(layout::ReplicaSubfileName(
+          name, static_cast<std::uint32_t>(rank)));
+    }
+  }
 
   DPFS_ASSIGN_OR_RETURN(const std::vector<ServerInfo> servers,
                         metadata_->ListServers());
@@ -443,14 +499,37 @@ struct FileSystem::RetryTally {
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> busy_retries{0};
   std::atomic<std::uint64_t> backoff_ms{0};
+  std::atomic<std::uint64_t> failover_reads{0};
 };
 
 Status FileSystem::ExecutePlan(const FileHandle& handle,
-                               const layout::ClientPlan& plan,
+                               const layout::ClientPlan& plan_in,
                                const RunsByBrick& runs, ByteSpan write_data,
                                MutableByteSpan read_buffer,
                                const IoOptions& options, IoReport* report) {
-  const bool is_write = plan.direction == layout::IoDirection::kWrite;
+  const bool is_write = plan_in.direction == layout::IoDirection::kWrite;
+  const std::uint32_t factor = handle.record.replication();
+
+  // Replication (docs/REPLICATION.md): a write plan against a replicated
+  // file fans every request out to all ranks before dispatch, so the
+  // executor below sees replica requests as ordinary requests. Reads keep
+  // the rank-0 plan and fail over per request.
+  const bool replicated_write = is_write && factor > 1 && !plan_in.list_io;
+  layout::ClientPlan expanded;
+  if (replicated_write) {
+    std::vector<layout::BrickDistribution> ranks;
+    ranks.reserve(factor);
+    ranks.push_back(handle.record.distribution);
+    for (const layout::BrickDistribution& replica : handle.record.replicas) {
+      ranks.push_back(replica);
+    }
+    DPFS_ASSIGN_OR_RETURN(const layout::ReplicatedDistribution dist,
+                          layout::ReplicatedDistribution::FromRanks(
+                              std::move(ranks)));
+    DPFS_ASSIGN_OR_RETURN(expanded, layout::ExpandWritePlan(plan_in, dist));
+  }
+  const layout::ClientPlan& plan = replicated_write ? expanded : plan_in;
+
   for (const layout::ServerRequest& request : plan.requests) {
     if (request.server >= handle.record.servers.size()) {
       return InternalError("plan references unknown server index");
@@ -458,39 +537,79 @@ Status FileSystem::ExecutePlan(const FileHandle& handle,
   }
 
   RetryTally tally;
+  const auto run_one = [&](const layout::ServerRequest& request) -> Status {
+    if (!is_write && factor > 1 && request.list_extents.empty()) {
+      return ExecuteReadWithFailover(handle, request, runs, read_buffer,
+                                     options, tally);
+    }
+    return ExecuteOneRequest(handle, request, runs, write_data, read_buffer,
+                             is_write, options, tally);
+  };
+
+  // Per-request outcomes: a replicated write keeps dispatching after a
+  // failure (a lost replica is degradation, not data loss), so every
+  // request's status is needed for the durability accounting below.
+  std::vector<Status> statuses(plan.requests.size());
   Status status;
   if (options.parallel_dispatch && plan.requests.size() > 1) {
     // Dispatch threads write disjoint runs of the shared buffer, so no
-    // synchronization is needed beyond collecting the first error.
-    Mutex status_mu;
+    // synchronization is needed beyond collecting the per-slot statuses.
     ParallelFor(DispatchPool(), plan.requests.size(), [&](std::size_t i) {
-      const Status request_status =
-          ExecuteOneRequest(handle, plan.requests[i], runs, write_data,
-                            read_buffer, is_write, options, tally);
-      if (!request_status.ok()) {
-        MutexLock lock(status_mu);
-        if (status.ok()) status = request_status;
-      }
+      statuses[i] = run_one(plan.requests[i]);
     });
+    for (const Status& request_status : statuses) {
+      if (!request_status.ok()) {
+        status = request_status;
+        break;
+      }
+    }
   } else {
-    for (const layout::ServerRequest& request : plan.requests) {
-      status = ExecuteOneRequest(handle, request, runs, write_data,
-                                 read_buffer, is_write, options, tally);
-      if (!status.ok()) break;
+    for (std::size_t i = 0; i < plan.requests.size(); ++i) {
+      statuses[i] = run_one(plan.requests[i]);
+      if (!statuses[i].ok()) {
+        if (status.ok()) status = statuses[i];
+        if (!replicated_write) break;
+      }
     }
   }
+
+  std::size_t replica_write_failures = 0;
+  if (replicated_write && !status.ok()) {
+    // A brick's bytes are lost only when *every* rank's write of it
+    // failed; otherwise the access succeeded degraded. Failed servers are
+    // marked suspect so subsequent reads prefer the surviving copies.
+    std::map<layout::BrickId, std::uint32_t> failed_copies;
+    Status lost;
+    for (std::size_t i = 0; i < plan.requests.size(); ++i) {
+      if (statuses[i].ok()) continue;
+      ++replica_write_failures;
+      MarkSuspect(
+          handle.record.servers[plan.requests[i].server].endpoint.ToString());
+      for (const layout::BrickRequest& brick : plan.requests[i].bricks) {
+        if (++failed_copies[brick.brick] == factor) lost = statuses[i];
+      }
+    }
+    status = lost;
+  }
+
   // Retry counters are reported even for failed accesses, so callers can
   // observe retry exhaustion, not just recovery.
   const std::uint64_t retries =
       tally.retries.load(std::memory_order_relaxed);
   const std::uint64_t busy_retries =
       tally.busy_retries.load(std::memory_order_relaxed);
+  const std::uint64_t failover_reads =
+      tally.failover_reads.load(std::memory_order_relaxed);
   ClientMetrics().retries.Add(retries);
   ClientMetrics().busy_retries.Add(busy_retries);
+  ClientMetrics().failover_reads.Add(failover_reads);
+  ClientMetrics().replica_write_failures.Add(replica_write_failures);
   if (report != nullptr) {
     report->retries += static_cast<std::size_t>(retries);
     report->busy_retries += static_cast<std::size_t>(busy_retries);
     report->backoff_ms += tally.backoff_ms.load(std::memory_order_relaxed);
+    report->failover_reads += static_cast<std::size_t>(failover_reads);
+    report->replica_write_failures += replica_write_failures;
   }
   if (!status.ok()) {
     ClientMetrics().failed_accesses.Add();
@@ -561,6 +680,14 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
                                  const IoOptions& options) {
   const FileRecord& record = handle.record;
   const std::uint64_t slot_bytes = handle.map.brick_bytes();
+  // Replica rank selection (docs/REPLICATION.md): the request's rank picks
+  // both the slot layout and the on-server subfile name. Rank 0 is the
+  // primary — plain path, primary distribution — so unreplicated requests
+  // are byte-identical to the pre-replication wire traffic.
+  const layout::BrickDistribution& dist =
+      record.rank_distribution(request.replica);
+  const std::string subfile =
+      layout::ReplicaSubfileName(record.meta.path, request.replica);
   {
     const ServerInfo& server = record.servers[request.server];
     DPFS_ASSIGN_OR_RETURN(PooledConnection conn,
@@ -601,7 +728,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
                     static_cast<std::ptrdiff_t>(extents[i].buffer_offset +
                                                 extents[i].length));
           }
-          const Status written = conn->ListWrite(record.meta.path, wire,
+          const Status written = conn->ListWrite(subfile, wire,
                                                  std::move(payload),
                                                  options.sync);
           if (!written.ok()) {
@@ -609,7 +736,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
             return written.WithContext("list write to " + server.name);
           }
         } else {
-          const Result<Bytes> data = conn->ListRead(record.meta.path, wire);
+          const Result<Bytes> data = conn->ListRead(subfile, wire);
           if (!data.ok()) {
             conn.Poison();
             return data.status().WithContext("list read from " + server.name);
@@ -639,7 +766,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
       std::vector<net::WriteFragment> fragments;
       for (const layout::BrickRequest& brick : request.bricks) {
         const std::uint64_t slot =
-            record.distribution.slot_for(brick.brick) * slot_bytes;
+            dist.slot_for(brick.brick) * slot_bytes;
         const auto it = runs.find(brick.brick);
         if (it == runs.end()) continue;
         for (const layout::BrickRun& run : it->second) {
@@ -674,7 +801,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
           ++end;
         }
         const Status written =
-            conn->Write(record.meta.path, std::move(batch), options.sync);
+            conn->Write(subfile, std::move(batch), options.sync);
         if (!written.ok()) {
           conn.Poison();
           return written.WithContext("write to " + server.name);
@@ -714,7 +841,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
           }
         }
         net::ReadFragment fragment;
-        fragment.offset = record.distribution.slot_for(brick.brick) * slot_bytes;
+        fragment.offset = dist.slot_for(brick.brick) * slot_bytes;
         fragment.length = handle.map.brick_fetch_bytes(brick.brick);
         fragments.push_back(fragment);
         fetched.push_back(&brick);
@@ -732,7 +859,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
         const std::vector<net::ReadFragment> batch(
             fragments.begin() + static_cast<std::ptrdiff_t>(begin),
             fragments.begin() + static_cast<std::ptrdiff_t>(end));
-        const Result<Bytes> data = conn->Read(record.meta.path, batch);
+        const Result<Bytes> data = conn->Read(subfile, batch);
         if (!data.ok()) {
           conn.Poison();
           return data.status().WithContext("read from " + server.name);
@@ -759,7 +886,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
       std::vector<std::size_t> fragment_first_run;  // index into fragment_runs
       for (const layout::BrickRequest& brick : request.bricks) {
         const std::uint64_t slot =
-            record.distribution.slot_for(brick.brick) * slot_bytes;
+            dist.slot_for(brick.brick) * slot_bytes;
         const auto it = runs.find(brick.brick);
         if (it == runs.end()) continue;
         for (const layout::BrickRun& run : it->second) {
@@ -789,7 +916,7 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
         const std::vector<net::ReadFragment> batch(
             fragments.begin() + static_cast<std::ptrdiff_t>(begin),
             fragments.begin() + static_cast<std::ptrdiff_t>(end));
-        const Result<Bytes> data = conn->Read(record.meta.path, batch);
+        const Result<Bytes> data = conn->Read(subfile, batch);
         if (!data.ok()) {
           conn.Poison();
           return data.status().WithContext("read from " + server.name);
@@ -814,6 +941,100 @@ Status FileSystem::TryOneRequest(const FileHandle& handle,
     }
   }
   return Status::Ok();
+}
+
+namespace {
+// How long a server that failed a request is deprioritized (not excluded)
+// by read failover.
+constexpr std::chrono::seconds kSuspectTtl{5};
+}  // namespace
+
+void FileSystem::MarkSuspect(const std::string& endpoint_key) {
+  MutexLock lock(suspect_mu_);
+  suspects_[endpoint_key] = std::chrono::steady_clock::now() + kSuspectTtl;
+}
+
+bool FileSystem::IsSuspect(const std::string& endpoint_key) {
+  MutexLock lock(suspect_mu_);
+  const auto it = suspects_.find(endpoint_key);
+  if (it == suspects_.end()) return false;
+  if (std::chrono::steady_clock::now() >= it->second) {
+    suspects_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+Status FileSystem::ExecuteReadWithFailover(const FileHandle& handle,
+                                           const layout::ServerRequest& request,
+                                           const RunsByBrick& runs,
+                                           MutableByteSpan read_buffer,
+                                           const IoOptions& options,
+                                           RetryTally& tally) {
+  const FileRecord& record = handle.record;
+  const std::uint32_t factor = record.replication();
+  // Materialize every rank's request(s) up front, then order the ranks so
+  // that ranks whose servers are all healthy go first; rank order breaks
+  // ties, so the primary is preferred when nothing is suspect.
+  struct RankPlan {
+    std::uint32_t rank = 0;
+    bool suspect = false;
+    std::vector<layout::ServerRequest> requests;
+  };
+  std::vector<RankPlan> ranks;
+  ranks.reserve(factor);
+  for (std::uint32_t r = 0; r < factor; ++r) {
+    RankPlan rank_plan;
+    rank_plan.rank = r;
+    if (r == 0) {
+      rank_plan.requests.push_back(request);
+    } else {
+      DPFS_ASSIGN_OR_RETURN(
+          rank_plan.requests,
+          layout::RemapRequestToRank(request, record.rank_distribution(r), r));
+    }
+    for (const layout::ServerRequest& sub : rank_plan.requests) {
+      if (sub.server >= record.servers.size()) {
+        return InternalError("replica rank references unknown server index");
+      }
+      if (IsSuspect(record.servers[sub.server].endpoint.ToString())) {
+        rank_plan.suspect = true;
+      }
+    }
+    ranks.push_back(std::move(rank_plan));
+  }
+  std::stable_sort(ranks.begin(), ranks.end(),
+                   [](const RankPlan& a, const RankPlan& b) {
+                     return !a.suspect && b.suspect;
+                   });
+
+  Status last;
+  for (const RankPlan& rank_plan : ranks) {
+    Status rank_status;
+    for (const layout::ServerRequest& sub : rank_plan.requests) {
+      rank_status = ExecuteOneRequest(handle, sub, runs, /*write_data=*/{},
+                                      read_buffer, /*is_write=*/false, options,
+                                      tally);
+      if (!rank_status.ok()) break;
+    }
+    if (rank_status.ok()) {
+      if (rank_plan.rank != 0) {
+        tally.failover_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::Ok();
+    }
+    last = rank_status;
+    // Only transient failures fail over — a malformed request would fail
+    // identically on every rank, so surface it immediately.
+    if (rank_status.code() != StatusCode::kUnavailable &&
+        rank_status.code() != StatusCode::kResourceExhausted) {
+      return rank_status;
+    }
+    for (const layout::ServerRequest& sub : rank_plan.requests) {
+      MarkSuspect(record.servers[sub.server].endpoint.ToString());
+    }
+  }
+  return last;
 }
 
 // ---------------------------------------------------------------------------
@@ -937,7 +1158,10 @@ Status FileSystem::WriteType(FileHandle& handle, std::uint64_t base_offset,
   if (base_offset + type.extent() > handle.map.total_bytes()) {
     return OutOfRangeError("datatype write past end of file");
   }
-  if (options.list_io) {
+  // List I/O does not compose with replication (a list plan's extents are
+  // absolute rank-0 subfile offsets); replicated files fall back to the
+  // per-extent path, which fans out and fails over per docs/REPLICATION.md.
+  if (options.list_io && handle.record.replication() == 1) {
     return ExecuteListAccess(handle, base_offset, type.extents(), data, {},
                              layout::IoDirection::kWrite, options, report);
   }
@@ -965,7 +1189,9 @@ Status FileSystem::ReadType(FileHandle& handle, std::uint64_t base_offset,
   if (base_offset + type.extent() > handle.map.total_bytes()) {
     return OutOfRangeError("datatype read past end of file");
   }
-  if (options.list_io) {
+  // Same replication fallback as WriteType: per-extent accesses get read
+  // failover, list plans would not.
+  if (options.list_io && handle.record.replication() == 1) {
     return ExecuteListAccess(handle, base_offset, type.extents(), {}, out,
                              layout::IoDirection::kRead, options, report);
   }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -57,6 +58,16 @@ struct CreateOptions {
   std::uint32_t suggested_io_nodes = 0;
   std::string owner = "dpfs";
   std::uint32_t permission = 0644;
+
+  /// Extension (`replication`, docs/REPLICATION.md): total copies of every
+  /// brick, primary included. 1 (the default) is the paper's semantics —
+  /// layout, metadata rows, and wire frames stay byte-identical to the
+  /// unreplicated system.
+  std::uint32_t replication = 1;
+  /// Failure domain of each server used by the file, in ListServers order
+  /// (after suggested_io_nodes truncation). Empty = every server is its own
+  /// domain. A brick's `replication` copies land in distinct domains.
+  std::vector<std::uint32_t> failure_domains;
 };
 
 /// Per-access options.
@@ -114,6 +125,12 @@ struct IoReport {
   std::size_t retries = 0;
   std::size_t busy_retries = 0;
   std::uint64_t backoff_ms = 0;
+  /// Replication extension (docs/REPLICATION.md): reads that were served by
+  /// a replica rank > 0 after the preferred copy failed, and write-side
+  /// replica requests that failed while the brick stayed durable on at
+  /// least one other rank (the access still succeeds; the file is degraded).
+  std::size_t failover_reads = 0;
+  std::size_t replica_write_failures = 0;
 };
 
 class FileSystem {
@@ -275,6 +292,19 @@ class FileSystem {
                        const RunsByBrick& runs, ByteSpan write_data,
                        MutableByteSpan read_buffer, bool is_write,
                        const IoOptions& options);
+  /// Replication extension: executes one read request against the first
+  /// rank that answers — non-suspect ranks first, retry-exhausting each,
+  /// marking failed ranks' servers suspect. Counts a failover read when a
+  /// rank > 0 serves the bytes.
+  Status ExecuteReadWithFailover(const FileHandle& handle,
+                                 const layout::ServerRequest& request,
+                                 const RunsByBrick& runs,
+                                 MutableByteSpan read_buffer,
+                                 const IoOptions& options, RetryTally& tally);
+  /// Suspect bookkeeping for read failover: a server that failed a request
+  /// is deprioritized (not excluded) for kSuspectTtl.
+  void MarkSuspect(const std::string& endpoint_key);
+  [[nodiscard]] bool IsSuspect(const std::string& endpoint_key);
   /// List-I/O execution of a flattened datatype access (IoOptions::list_io):
   /// builds one PlanListAccess plan over the extents (shifted by
   /// base_offset) and executes it as list_read/list_write requests.
@@ -302,6 +332,11 @@ class FileSystem {
       DPFS_GUARDED_BY(cache_mu_);  // key: normalized path
   std::uint64_t cache_hits_ DPFS_GUARDED_BY(cache_mu_) = 0;
   std::uint64_t cache_misses_ DPFS_GUARDED_BY(cache_mu_) = 0;
+
+  Mutex suspect_mu_;
+  /// endpoint key ("host:port") → when the suspicion expires.
+  std::map<std::string, std::chrono::steady_clock::time_point> suspects_
+      DPFS_GUARDED_BY(suspect_mu_);
 };
 
 }  // namespace dpfs::client

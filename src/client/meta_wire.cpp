@@ -132,6 +132,14 @@ void CreateFileRequest::Encode(BinaryWriter& writer) const {
   EncodeFileMeta(meta, writer);
   EncodeStrings(server_names, writer);
   EncodeStrings(bricklists, writer);
+  // Trailing replica section, present only for replicated files so R=1
+  // frames stay byte-identical to the pre-replication format.
+  if (!replica_bricklists.empty()) {
+    writer.WriteU32(static_cast<std::uint32_t>(replica_bricklists.size()));
+    for (const std::vector<std::string>& rank : replica_bricklists) {
+      EncodeStrings(rank, writer);
+    }
+  }
 }
 
 Result<CreateFileRequest> CreateFileRequest::Decode(BinaryReader& reader) {
@@ -145,6 +153,19 @@ Result<CreateFileRequest> CreateFileRequest::Decode(BinaryReader& reader) {
                          " server names vs " +
                          std::to_string(request.bricklists.size()) +
                          " bricklists");
+  }
+  if (!reader.AtEnd()) {
+    DPFS_ASSIGN_OR_RETURN(const std::uint32_t ranks, reader.ReadU32());
+    request.replica_bricklists.reserve(ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      DPFS_ASSIGN_OR_RETURN(std::vector<std::string> rank,
+                            DecodeStrings(reader));
+      if (rank.size() != request.server_names.size()) {
+        return ProtocolError(
+            "create_file: replica rank bricklist count mismatch");
+      }
+      request.replica_bricklists.push_back(std::move(rank));
+    }
   }
   return request;
 }
@@ -258,6 +279,17 @@ void FileRecordReply::Encode(BinaryWriter& writer) const {
     writer.WriteString(layout::BrickDistribution::EncodeBrickList(
         record.distribution.bricks_on(i)));
   }
+  // Trailing replica section (ranks 1..R-1), omitted for R=1 records so
+  // their frames stay byte-identical to the pre-replication format.
+  if (!record.replicas.empty()) {
+    writer.WriteU32(static_cast<std::uint32_t>(record.replicas.size()));
+    for (const layout::BrickDistribution& rank : record.replicas) {
+      for (std::uint32_t i = 0; i < rank.num_servers(); ++i) {
+        writer.WriteString(
+            layout::BrickDistribution::EncodeBrickList(rank.bricks_on(i)));
+      }
+    }
+  }
 }
 
 Result<FileRecordReply> FileRecordReply::Decode(BinaryReader& reader) {
@@ -283,6 +315,24 @@ Result<FileRecordReply> FileRecordReply::Decode(BinaryReader& reader) {
       reply.record.distribution,
       layout::BrickDistribution::FromBrickLists(num_bricks,
                                                 std::move(bricklists)));
+  if (!reader.AtEnd()) {
+    DPFS_ASSIGN_OR_RETURN(const std::uint32_t ranks, reader.ReadU32());
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      std::vector<std::vector<layout::BrickId>> rank_lists;
+      rank_lists.reserve(list_count);
+      for (std::uint32_t i = 0; i < list_count; ++i) {
+        DPFS_ASSIGN_OR_RETURN(const std::string text, reader.ReadString());
+        DPFS_ASSIGN_OR_RETURN(
+            std::vector<layout::BrickId> bricks,
+            layout::BrickDistribution::DecodeBrickList(text));
+        rank_lists.push_back(std::move(bricks));
+      }
+      DPFS_ASSIGN_OR_RETURN(layout::BrickDistribution rank_dist,
+                            layout::BrickDistribution::FromBrickLists(
+                                num_bricks, std::move(rank_lists)));
+      reply.record.replicas.push_back(std::move(rank_dist));
+    }
+  }
   return reply;
 }
 

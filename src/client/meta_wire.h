@@ -58,11 +58,15 @@ struct PathRequest {
 };
 
 /// kMetaCreateFile. `bricklists[i]` belongs to `server_names[i]`, in the
-/// table's text encoding.
+/// table's text encoding. `replica_bricklists[r-1][i]` is replica rank r's
+/// bricklist for server i (replication extension); it travels as a
+/// trailing section that unreplicated requests omit entirely, so their
+/// frames stay byte-identical to the pre-replication wire format.
 struct CreateFileRequest {
   FileMeta meta;
   std::vector<std::string> server_names;
   std::vector<std::string> bricklists;
+  std::vector<std::vector<std::string>> replica_bricklists;
 
   void Encode(BinaryWriter& writer) const;
   static Result<CreateFileRequest> Decode(BinaryReader& reader);
@@ -137,6 +141,9 @@ struct ServerListReply {
 
 /// kMetaLookupFile reply. `num_bricks` travels explicitly so the decoder
 /// rebuilds the exact BrickDistribution without re-deriving the brick map.
+/// Replica ranks (record.replicas) ride in a trailing section that
+/// unreplicated records omit, keeping their frames byte-identical to the
+/// pre-replication format.
 struct FileRecordReply {
   FileRecord record;
 

@@ -122,7 +122,7 @@ struct HotStatements {
   metadb::SelectStmt attr_size =
       MakeSelect(kAttrTable, {"size", "filelevel", "brickbytes"});
   metadb::SelectStmt dist_by_file =
-      MakeSelect(kDistTable, {"server", "server_index", "bricklist"},
+      MakeSelect(kDistTable, {"server", "server_index", "bricklist", "replica"},
                  metadb::OrderBy{"server_index", false});
   metadb::SelectStmt dist_all = MakeSelect(kDistTable, {});
   metadb::SelectStmt access_all = MakeSelect(kAccessTable, {});
@@ -385,7 +385,8 @@ Status MetadataManager::EnsureTables() {
       "  server_name TEXT PRIMARY KEY, host TEXT, port INT,"
       "  capacity INT, performance INT)",
       "CREATE TABLE IF NOT EXISTS DPFS_FILE_DISTRIBUTION ("
-      "  filename TEXT, server TEXT, server_index INT, bricklist TEXT)",
+      "  filename TEXT, server TEXT, server_index INT, bricklist TEXT,"
+      "  replica INT)",
       "CREATE TABLE IF NOT EXISTS DPFS_DIRECTORY ("
       "  main_dir TEXT PRIMARY KEY, sub_dirs TEXT, files TEXT)",
       "CREATE TABLE IF NOT EXISTS DPFS_FILE_ATTR ("
@@ -409,6 +410,7 @@ Status MetadataManager::EnsureTables() {
     for (const char* ddl : kDdl) {
       DPFS_RETURN_IF_ERROR(shard.Execute(ddl).status());
     }
+    DPFS_RETURN_IF_ERROR(MigrateDistributionTable(shard));
     if (db_->num_shards() > 1) {
       DPFS_RETURN_IF_ERROR(shard.Execute(kIntentDdl).status());
     }
@@ -427,6 +429,33 @@ Status MetadataManager::EnsureTables() {
     DPFS_RETURN_IF_ERROR(InsertRow(root_shard, kDirTable, {"/", "", ""}));
   }
   return Status::Ok();
+}
+
+Status MetadataManager::MigrateDistributionTable(metadb::Database& shard) {
+  DPFS_ASSIGN_OR_RETURN(const metadb::ResultSet probe,
+                        SelectAll(shard, Hot().dist_all));
+  for (const std::string& column : probe.columns) {
+    if (EqualsIgnoreCase(column, "replica")) return Status::Ok();
+  }
+  // Pre-replication 4-column table: rebuild it with every existing row as
+  // replica rank 0. DDL participates in transactions (undo restores the
+  // dropped table), so a crash mid-migration leaves the old schema intact.
+  Transaction txn(shard);
+  DPFS_RETURN_IF_ERROR(txn.Begin());
+  DPFS_RETURN_IF_ERROR(
+      shard.Execute("DROP TABLE DPFS_FILE_DISTRIBUTION").status());
+  DPFS_RETURN_IF_ERROR(
+      shard
+          .Execute("CREATE TABLE DPFS_FILE_DISTRIBUTION ("
+                   "  filename TEXT, server TEXT, server_index INT,"
+                   "  bricklist TEXT, replica INT)")
+          .status());
+  for (const metadb::Row& row : probe.rows) {
+    std::vector<metadb::Value> widened = row;
+    widened.emplace_back(static_cast<std::int64_t>(0));
+    DPFS_RETURN_IF_ERROR(InsertRow(shard, kDistTable, std::move(widened)));
+  }
+  return txn.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -833,7 +862,8 @@ Status MetadataManager::RemoveDirectory(const std::string& path,
 
 Status MetadataManager::CreateFile(
     const FileMeta& meta, const std::vector<std::string>& server_names,
-    const layout::BrickDistribution& distribution) {
+    const layout::BrickDistribution& distribution,
+    const std::vector<layout::BrickDistribution>& replicas) {
   DPFS_ASSIGN_OR_RETURN(const std::string normalized,
                         NormalizePath(meta.path));
   const auto [parent, name] = SplitPath(normalized);
@@ -857,6 +887,13 @@ Status MetadataManager::CreateFile(
     return InvalidArgumentError(
         "server name count does not match distribution");
   }
+  for (const layout::BrickDistribution& replica : replicas) {
+    if (replica.num_servers() != distribution.num_servers() ||
+        replica.num_bricks() != distribution.num_bricks()) {
+      return InvalidArgumentError(
+          "replica rank disagrees with the primary distribution");
+    }
+  }
 
   std::vector<metadb::Value> attr_row = {
       normalized,
@@ -876,14 +913,19 @@ Status MetadataManager::CreateFile(
   const auto insert_file_rows = [&]() -> Status {
     DPFS_RETURN_IF_ERROR(
         InsertRow(Shard(home), kAttrTable, std::move(attr_row)));
-    for (std::uint32_t server = 0; server < distribution.num_servers();
-         ++server) {
-      DPFS_RETURN_IF_ERROR(InsertRow(
-          Shard(home), kDistTable,
-          {normalized, server_names[server],
-           static_cast<std::int64_t>(server),
-           layout::BrickDistribution::EncodeBrickList(
-               distribution.bricks_on(server))}));
+    for (std::uint32_t rank = 0; rank <= replicas.size(); ++rank) {
+      const layout::BrickDistribution& rank_dist =
+          rank == 0 ? distribution : replicas[rank - 1];
+      for (std::uint32_t server = 0; server < rank_dist.num_servers();
+           ++server) {
+        DPFS_RETURN_IF_ERROR(InsertRow(
+            Shard(home), kDistTable,
+            {normalized, server_names[server],
+             static_cast<std::int64_t>(server),
+             layout::BrickDistribution::EncodeBrickList(
+                 rank_dist.bricks_on(server)),
+             static_cast<std::int64_t>(rank)}));
+      }
     }
     return Status::Ok();
   };
@@ -961,28 +1003,59 @@ Result<FileRecord> MetadataManager::LookupFile(const std::string& path) {
     return DataLossError("file '" + normalized +
                          "' has no distribution rows");
   }
-  std::vector<std::vector<layout::BrickId>> bricklists(dist.size());
-  record.servers.resize(dist.size());
+  // Rows are (server_index, replica rank) keyed; rank 0 is the paper's
+  // distribution, higher ranks are replica placements (docs/REPLICATION.md).
+  std::int64_t max_rank = 0;
+  for (std::size_t row = 0; row < dist.size(); ++row) {
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t rank,
+                          dist.GetInt(row, "replica"));
+    if (rank < 0) return DataLossError("negative replica rank in metadata");
+    max_rank = std::max(max_rank, rank);
+  }
+  const std::size_t num_ranks = static_cast<std::size_t>(max_rank) + 1;
+  if (dist.size() % num_ranks != 0) {
+    return DataLossError("distribution rows do not cover every replica rank");
+  }
+  const std::size_t num_servers = dist.size() / num_ranks;
+  std::vector<std::vector<std::vector<layout::BrickId>>> bricklists(
+      num_ranks, std::vector<std::vector<layout::BrickId>>(num_servers));
+  std::vector<std::vector<bool>> seen(num_ranks,
+                                      std::vector<bool>(num_servers, false));
+  record.servers.resize(num_servers);
   for (std::size_t row = 0; row < dist.size(); ++row) {
     DPFS_ASSIGN_OR_RETURN(const std::int64_t index,
                           dist.GetInt(row, "server_index"));
-    if (index < 0 || static_cast<std::size_t>(index) >= dist.size()) {
+    DPFS_ASSIGN_OR_RETURN(const std::int64_t rank,
+                          dist.GetInt(row, "replica"));
+    if (index < 0 || static_cast<std::size_t>(index) >= num_servers) {
       return DataLossError("bad server_index in distribution");
     }
-    DPFS_ASSIGN_OR_RETURN(const std::string server_name,
-                          dist.GetText(row, "server"));
-    DPFS_ASSIGN_OR_RETURN(record.servers[index],
-                          ServerByName(home, server_name));
+    if (seen[rank][index]) {
+      return DataLossError("duplicate distribution row in metadata");
+    }
+    seen[rank][index] = true;
+    if (rank == 0) {
+      DPFS_ASSIGN_OR_RETURN(const std::string server_name,
+                            dist.GetText(row, "server"));
+      DPFS_ASSIGN_OR_RETURN(record.servers[index],
+                            ServerByName(home, server_name));
+    }
     DPFS_ASSIGN_OR_RETURN(const std::string bricklist,
                           dist.GetText(row, "bricklist"));
     DPFS_ASSIGN_OR_RETURN(
-        bricklists[index],
+        bricklists[rank][index],
         layout::BrickDistribution::DecodeBrickList(bricklist));
   }
   DPFS_ASSIGN_OR_RETURN(const layout::BrickMap map, meta.MakeBrickMap());
   DPFS_ASSIGN_OR_RETURN(record.distribution,
                         layout::BrickDistribution::FromBrickLists(
-                            map.num_bricks(), std::move(bricklists)));
+                            map.num_bricks(), std::move(bricklists[0])));
+  for (std::size_t rank = 1; rank < num_ranks; ++rank) {
+    DPFS_ASSIGN_OR_RETURN(layout::BrickDistribution replica,
+                          layout::BrickDistribution::FromBrickLists(
+                              map.num_bricks(), std::move(bricklists[rank])));
+    record.replicas.push_back(std::move(replica));
+  }
   return record;
 }
 

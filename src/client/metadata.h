@@ -3,8 +3,11 @@
 // Exactly the paper's four tables:
 //   DPFS_SERVER            — one row per I/O server: name, endpoint,
 //                            capacity, normalized performance number.
-//   DPFS_FILE_DISTRIBUTION — one row per (file, server): the subfile name
-//                            and the bricklist text ("0,2,6,...").
+//   DPFS_FILE_DISTRIBUTION — one row per (file, server, replica rank): the
+//                            subfile name and the bricklist text
+//                            ("0,2,6,..."). Rank 0 is the paper's row;
+//                            ranks >= 1 exist only for replicated files
+//                            (extension, docs/REPLICATION.md).
 //   DPFS_DIRECTORY         — one row per directory: sub-dirs and files as
 //                            comma-separated lists.
 //   DPFS_FILE_ATTR         — one row per file: owner, permission, size,
@@ -70,9 +73,10 @@ class MetadataManager final : public MetadataService {
   Result<ServerInfo> LookupServer(const std::string& name) override;
 
   // --- files -------------------------------------------------------------
-  Status CreateFile(const FileMeta& meta,
-                    const std::vector<std::string>& server_names,
-                    const layout::BrickDistribution& distribution) override;
+  Status CreateFile(
+      const FileMeta& meta, const std::vector<std::string>& server_names,
+      const layout::BrickDistribution& distribution,
+      const std::vector<layout::BrickDistribution>& replicas = {}) override;
   Result<FileRecord> LookupFile(const std::string& path) override;
   Status UpdateFileSize(const std::string& path,
                         std::uint64_t size_bytes) override;
@@ -115,6 +119,10 @@ class MetadataManager final : public MetadataService {
   }
 
   Status EnsureTables();
+  /// Upgrades a pre-replication DPFS_FILE_DISTRIBUTION table (4 columns)
+  /// in place: existing rows become replica rank 0. metadb has no ALTER
+  /// TABLE, so this is a transactional read → drop → recreate → re-insert.
+  Status MigrateDistributionTable(metadb::Database& shard);
   /// Rolls forward every pending cross-shard intent (idempotent; called
   /// from Attach before the manager is shared, so it takes no locks).
   Status RepairIntents();

@@ -60,6 +60,18 @@ struct FileRecord {
   FileMeta meta;
   std::vector<ServerInfo> servers;  // index = layout::ServerId
   layout::BrickDistribution distribution;
+  /// Replica placements, ranks 1..R-1 (replication extension,
+  /// docs/REPLICATION.md). Empty for unreplicated files (R = 1).
+  std::vector<layout::BrickDistribution> replicas;
+
+  /// Total copies of every brick, primary included.
+  [[nodiscard]] std::uint32_t replication() const noexcept {
+    return 1 + static_cast<std::uint32_t>(replicas.size());
+  }
+  [[nodiscard]] const layout::BrickDistribution& rank_distribution(
+      std::uint32_t rank) const {
+    return rank == 0 ? distribution : replicas.at(rank - 1);
+  }
 };
 
 class MetadataService {
@@ -75,10 +87,13 @@ class MetadataService {
   // --- files -------------------------------------------------------------
   /// Creates attribute + distribution rows and links the file into its
   /// parent directory, atomically. `server_names[i]` is the server holding
-  /// distribution bricklist i.
-  virtual Status CreateFile(const FileMeta& meta,
-                            const std::vector<std::string>& server_names,
-                            const layout::BrickDistribution& distribution) = 0;
+  /// distribution bricklist i. `replicas` carries replica ranks 1..R-1
+  /// (replication extension); each rank stores one distribution row per
+  /// server, exactly like the primary.
+  virtual Status CreateFile(
+      const FileMeta& meta, const std::vector<std::string>& server_names,
+      const layout::BrickDistribution& distribution,
+      const std::vector<layout::BrickDistribution>& replicas = {}) = 0;
   virtual Result<FileRecord> LookupFile(const std::string& path) = 0;
   virtual Status UpdateFileSize(const std::string& path,
                                 std::uint64_t size_bytes) = 0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "client/conn_pool.h"
 #include "client/meta_wire.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -39,15 +40,10 @@ Result<std::unique_ptr<RemoteMetadataManager>> RemoteMetadataManager::Connect(
 Result<Bytes> RemoteMetadataManager::Call(net::MessageType type,
                                           ByteSpan body) {
   MutexLock lock(conn_mu_);
-  if (conn_.has_value() && conn_->PeerClosed()) {
-    // The server went away between calls (e.g. a metad restart). The
-    // request has not been sent, so redialing here is always safe — unlike
-    // a reply-path failure, whose fate-unknown outcome must surface.
-    conn_.reset();
-  }
-  if (!conn_.has_value()) {
-    DPFS_ASSIGN_OR_RETURN(conn_, net::ServerConnection::Connect(endpoint_));
-  }
+  // Staleness probe + redial shared with the data-path pool
+  // (client/conn_pool.h): a metad restart between calls is absorbed here,
+  // counted by conn_pool.redials.
+  DPFS_RETURN_IF_ERROR(EnsureFreshConnection(conn_, endpoint_));
   Result<Bytes> reply = conn_->Call(type, body);
   if (!reply.ok() && reply.status().code() == StatusCode::kUnavailable) {
     // Transport failure (or a server refusing service): abandon the
@@ -113,7 +109,8 @@ Result<ServerInfo> RemoteMetadataManager::LookupServer(
 
 Status RemoteMetadataManager::CreateFile(
     const FileMeta& meta, const std::vector<std::string>& server_names,
-    const layout::BrickDistribution& distribution) {
+    const layout::BrickDistribution& distribution,
+    const std::vector<layout::BrickDistribution>& replicas) {
   meta_wire::CreateFileRequest request;
   request.meta = meta;
   request.server_names = server_names;
@@ -121,6 +118,16 @@ Status RemoteMetadataManager::CreateFile(
   for (std::uint32_t i = 0; i < distribution.num_servers(); ++i) {
     request.bricklists.push_back(
         layout::BrickDistribution::EncodeBrickList(distribution.bricks_on(i)));
+  }
+  request.replica_bricklists.reserve(replicas.size());
+  for (const layout::BrickDistribution& rank : replicas) {
+    std::vector<std::string> lists;
+    lists.reserve(rank.num_servers());
+    for (std::uint32_t i = 0; i < rank.num_servers(); ++i) {
+      lists.push_back(
+          layout::BrickDistribution::EncodeBrickList(rank.bricks_on(i)));
+    }
+    request.replica_bricklists.push_back(std::move(lists));
   }
   BinaryWriter body;
   request.Encode(body);

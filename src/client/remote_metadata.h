@@ -50,9 +50,10 @@ class RemoteMetadataManager final : public MetadataService {
   Result<std::vector<ServerInfo>> ListServers() override;
   Result<ServerInfo> LookupServer(const std::string& name) override;
 
-  Status CreateFile(const FileMeta& meta,
-                    const std::vector<std::string>& server_names,
-                    const layout::BrickDistribution& distribution) override;
+  Status CreateFile(
+      const FileMeta& meta, const std::vector<std::string>& server_names,
+      const layout::BrickDistribution& distribution,
+      const std::vector<layout::BrickDistribution>& replicas = {}) override;
   Result<FileRecord> LookupFile(const std::string& path) override;
   Status UpdateFileSize(const std::string& path,
                         std::uint64_t size_bytes) override;

@@ -62,6 +62,10 @@ struct BrickRequest {
 /// uncombined one exactly one).
 struct ServerRequest {
   ServerId server = 0;
+  /// Replica rank this request targets (replication extension,
+  /// layout/replication.h). 0 = the primary copy — the only value
+  /// unreplicated plans ever carry.
+  std::uint32_t replica = 0;
   std::vector<BrickRequest> bricks;
   /// List-I/O plans only (PlanListAccess): the exact subfile extents this
   /// request names on the wire, in subfile-offset order, merged where both

@@ -13,6 +13,7 @@
 #include "net/frame.h"
 #include "net/messages.h"
 #include "server/event_loop.h"
+#include "server/metrics_http.h"
 
 namespace dpfs::metad {
 
@@ -113,7 +114,19 @@ Result<std::unique_ptr<MetadService>> MetadService::Start(
       raw->AcceptLoop();
     });
   }
+  if (service->options_.metrics_port != 0) {
+    DPFS_ASSIGN_OR_RETURN(
+        service->metrics_http_,
+        server::MetricsHttpServer::Start(
+            service->options_.metrics_port == server::kEphemeralMetricsPort
+                ? 0
+                : service->options_.metrics_port));
+  }
   return service;
+}
+
+std::uint16_t MetadService::metrics_http_port() const noexcept {
+  return metrics_http_ == nullptr ? 0 : metrics_http_->port();
 }
 
 MetadService::MetadService(MetadOptions options, net::TcpListener listener,
@@ -129,6 +142,7 @@ MetadService::~MetadService() { Stop(); }
 
 void MetadService::Stop() {
   stopping_.store(true, std::memory_order_relaxed);
+  if (metrics_http_) metrics_http_->Stop();
   if (event_loop_) event_loop_->Stop();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -337,9 +351,28 @@ Bytes MetadService::Dispatch(net::MessageType type, BinaryReader& reader) {
           layout::BrickDistribution::FromBrickLists(map.value().num_bricks(),
                                                     std::move(bricklists));
       if (!distribution.ok()) return StatusReply(distribution.status());
+      std::vector<layout::BrickDistribution> replicas;
+      replicas.reserve(request.value().replica_bricklists.size());
+      for (const std::vector<std::string>& rank :
+           request.value().replica_bricklists) {
+        std::vector<std::vector<layout::BrickId>> rank_lists;
+        rank_lists.reserve(rank.size());
+        for (const std::string& text : rank) {
+          Result<std::vector<layout::BrickId>> bricks =
+              layout::BrickDistribution::DecodeBrickList(text);
+          if (!bricks.ok()) return StatusReply(bricks.status());
+          rank_lists.push_back(std::move(bricks).value());
+        }
+        Result<layout::BrickDistribution> rank_dist =
+            layout::BrickDistribution::FromBrickLists(
+                map.value().num_bricks(), std::move(rank_lists));
+        if (!rank_dist.ok()) return StatusReply(rank_dist.status());
+        replicas.push_back(std::move(rank_dist).value());
+      }
       return StatusReply(metadata_->CreateFile(request.value().meta,
                                                request.value().server_names,
-                                               distribution.value()));
+                                               distribution.value(),
+                                               replicas));
     }
 
     case net::MessageType::kMetaLookupFile: {

@@ -36,6 +36,7 @@
 
 namespace dpfs::server {
 class EventLoop;
+class MetricsHttpServer;
 }  // namespace dpfs::server
 
 namespace dpfs::metad {
@@ -48,6 +49,10 @@ struct MetadOptions {
   std::size_t max_sessions = 0;
   /// Engine selection; DPFS_SERVER_ENGINE overrides it process-wide.
   server::ServerEngine engine = server::ServerEngine::kThreadPerConnection;
+  /// != 0: serve `GET /metrics` over plain HTTP on this port
+  /// (server/metrics_http.h); 0 = no HTTP endpoint;
+  /// server::kEphemeralMetricsPort = ephemeral.
+  std::uint16_t metrics_port = 0;
 };
 
 class MetadService {
@@ -68,6 +73,8 @@ class MetadService {
   [[nodiscard]] server::ServerEngine engine() const noexcept {
     return options_.engine;
   }
+  /// Bound HTTP scrape port (metrics_port != 0 only); 0 when disabled.
+  [[nodiscard]] std::uint16_t metrics_http_port() const noexcept;
   /// The embedded manager actually serving requests (tests reach through
   /// this to inspect the database the service owns).
   [[nodiscard]] client::MetadataManager& metadata() noexcept {
@@ -109,6 +116,8 @@ class MetadService {
       DPFS_GUARDED_BY(sessions_mu_);  // for unblocking on Stop
 
   std::unique_ptr<server::EventLoop> event_loop_;  // engine == kEventLoop
+  std::unique_ptr<server::MetricsHttpServer>
+      metrics_http_;  // metrics_port != 0 only
 };
 
 }  // namespace dpfs::metad

@@ -13,6 +13,7 @@
 #include "net/frame.h"
 #include "net/messages.h"
 #include "server/event_loop.h"
+#include "server/metrics_http.h"
 
 namespace dpfs::server {
 
@@ -127,7 +128,19 @@ Result<std::unique_ptr<IoServer>> IoServer::Start(ServerOptions options) {
       raw->MetricsDumpLoop();
     });
   }
+  if (server->options_.metrics_port != 0) {
+    DPFS_ASSIGN_OR_RETURN(
+        server->metrics_http_,
+        MetricsHttpServer::Start(
+            server->options_.metrics_port == kEphemeralMetricsPort
+                ? 0
+                : server->options_.metrics_port));
+  }
   return server;
+}
+
+std::uint16_t IoServer::metrics_http_port() const noexcept {
+  return metrics_http_ == nullptr ? 0 : metrics_http_->port();
 }
 
 IoServer::IoServer(ServerOptions options, net::TcpListener listener)
@@ -150,6 +163,7 @@ void IoServer::Stop() {
     dump_cv_.NotifyAll();
     dump_thread_.join();
   }
+  if (metrics_http_) metrics_http_->Stop();
   if (event_loop_) event_loop_->Stop();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();

@@ -25,6 +25,7 @@
 namespace dpfs::server {
 
 class EventLoop;
+class MetricsHttpServer;
 
 /// Connection-handling engine. The paper's model (one thread per accepted
 /// connection, §2) is the default; the epoll reactor with request batching
@@ -56,7 +57,16 @@ struct ServerOptions {
   std::chrono::milliseconds metrics_dump_interval{0};
   /// Snapshot target; empty = root_dir / "metrics.txt".
   std::filesystem::path metrics_dump_path;
+  /// != 0: also serve the metrics snapshot over plain HTTP on this port
+  /// (`GET /metrics`, server/metrics_http.h) so external scrapers can pull
+  /// without speaking the DPFS protocol. 0 = no HTTP endpoint. Use
+  /// kEphemeralMetricsPort to bind an ephemeral port (tests).
+  std::uint16_t metrics_port = 0;
 };
+
+/// Sentinel for ServerOptions/MetadOptions::metrics_port: start the HTTP
+/// endpoint on an ephemeral port (query it via metrics_http_port()).
+inline constexpr std::uint16_t kEphemeralMetricsPort = 0xffff;
 
 /// Monotonic counters exposed for tests and the shell's `df`.
 struct ServerStats {
@@ -84,6 +94,8 @@ class IoServer {
   [[nodiscard]] ServerEngine engine() const noexcept {
     return options_.engine;
   }
+  /// Bound HTTP scrape port (metrics_port != 0 only); 0 when disabled.
+  [[nodiscard]] std::uint16_t metrics_http_port() const noexcept;
 
   /// Stops accepting, unblocks in-flight sessions, joins all threads.
   /// Idempotent.
@@ -122,6 +134,8 @@ class IoServer {
   Mutex dump_mu_;
   CondVar dump_cv_;
   bool dump_stop_ DPFS_GUARDED_BY(dump_mu_) = false;
+
+  std::unique_ptr<MetricsHttpServer> metrics_http_;  // metrics_port != 0 only
 };
 
 }  // namespace dpfs::server

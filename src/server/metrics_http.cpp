@@ -1,0 +1,97 @@
+#include "server/metrics_http.h"
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace dpfs::server {
+
+namespace {
+
+// Process-wide scrape counter (docs/OBSERVABILITY.md): every HTTP request
+// the endpoint answers, 200 and 404 alike.
+metrics::Counter& ScrapeCounter() {
+  static metrics::Counter& c = metrics::GetCounter("metrics_http.requests");
+  return c;
+}
+
+// Reads until the end of the request headers ("\r\n\r\n"), a size cap, or
+// peer close, and returns the request text. Scrapers send tiny requests, so
+// the first recv almost always completes the read.
+std::string ReadRequest(net::TcpSocket& socket) {
+  std::string request;
+  Bytes chunk(1024);
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const Result<net::TcpSocket::SomeIo> got =
+        socket.RecvSome(MutableByteSpan(chunk));
+    if (!got.ok() || got.value().closed || got.value().bytes == 0) break;
+    request.append(reinterpret_cast<const char*>(chunk.data()),
+                   got.value().bytes);
+  }
+  return request;
+}
+
+void WriteResponse(net::TcpSocket& socket, const std::string& status_line,
+                   const std::string& body) {
+  std::string response = "HTTP/1.0 " + status_line +
+                         "\r\n"
+                         "Content-Type: text/plain; charset=utf-8\r\n"
+                         "Content-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\n"
+                         "Connection: close\r\n"
+                         "\r\n" +
+                         body;
+  // dpfs:unchecked(a scraper that hangs up mid-response only hurts itself;
+  // the serve loop moves on to the next connection either way)
+  (void)socket.SendAll(
+      ByteSpan(reinterpret_cast<const unsigned char*>(response.data()),
+               response.size()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
+    std::uint16_t port) {
+  DPFS_ASSIGN_OR_RETURN(net::TcpListener listener, net::TcpListener::Bind(port));
+  std::unique_ptr<MetricsHttpServer> server(
+      new MetricsHttpServer(std::move(listener)));
+  server->thread_ = std::thread([raw = server.get()] { raw->ServeLoop(); });
+  return server;
+}
+
+MetricsHttpServer::MetricsHttpServer(net::TcpListener listener)
+    : listener_(std::move(listener)), port_(listener_.port()) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_.Close();  // unblocks Accept()
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<net::TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;  // transient accept failure; keep serving
+    }
+    net::TcpSocket socket = std::move(accepted).value();
+    const std::string request = ReadRequest(socket);
+    ScrapeCounter().Add();
+    // Only the exact scrape route exists; "GET /metrics HTTP/1.x" is what
+    // Prometheus and curl send. Anything else is a 404.
+    if (request.rfind("GET /metrics ", 0) == 0 ||
+        request.rfind("GET /metrics\r", 0) == 0) {
+      WriteResponse(socket, "200 OK",
+                    metrics::Registry::Global().TextSnapshot());
+    } else {
+      WriteResponse(socket, "404 Not Found", "only GET /metrics is served\n");
+    }
+  }
+}
+
+}  // namespace dpfs::server

@@ -60,6 +60,21 @@ StorageClassModel RemoteWan() noexcept {
   return model;
 }
 
+StorageClassModel GeoWan() noexcept {
+  StorageClassModel model;
+  model.name = "geo-wan";
+  // A provisioned inter-site link: fat pipe, long round trip. Distinct
+  // from RemoteWan (thin pipe): streaming throughput is fine, per-message
+  // latency dominates small/chatty accesses — the regime a cross-site
+  // replica rank lives in (docs/REPLICATION.md).
+  model.link_bytes_per_s = 50.0 * 1024 * 1024;
+  model.link_latency_s = 40e-3;  // inter-site round trip / 2
+  model.disk_bytes_per_s = 25.0 * 1024 * 1024;
+  model.disk_overhead_s = 5e-3;  // ordinary disk frontend, unlike HPSS
+  model.fragment_overhead_s = 0.35e-3;
+  return model;
+}
+
 Result<StorageClassModel> StorageClassByName(std::string_view name) {
   if (EqualsIgnoreCase(name, "class1")) return Class1();
   if (EqualsIgnoreCase(name, "class2")) return Class2();
@@ -67,6 +82,7 @@ Result<StorageClassModel> StorageClassByName(std::string_view name) {
   if (EqualsIgnoreCase(name, "remote-wan") || EqualsIgnoreCase(name, "wan")) {
     return RemoteWan();
   }
+  if (EqualsIgnoreCase(name, "geo-wan")) return GeoWan();
   return InvalidArgumentError("unknown storage class '" + std::string(name) +
                               "'");
 }

@@ -44,12 +44,16 @@ struct StorageClassModel {
   [[nodiscard]] double SoloBrickTime(std::uint64_t bytes) const noexcept;
 };
 
-/// The three calibrated classes plus a WAN-remote model (HPSS-style
-/// motivation baseline, not used in any reproduced figure).
+/// The three calibrated classes plus two WAN models: RemoteWan is the
+/// HPSS-style motivation baseline (thin pipe, not used in any reproduced
+/// figure); GeoWan models a modern provisioned inter-site link — high
+/// bandwidth *and* high latency — for the latency-sensitivity sweep in
+/// bench/micro_degraded (cross-site replicas, docs/REPLICATION.md).
 StorageClassModel Class1() noexcept;
 StorageClassModel Class2() noexcept;
 StorageClassModel Class3() noexcept;
 StorageClassModel RemoteWan() noexcept;
+StorageClassModel GeoWan() noexcept;
 
 Result<StorageClassModel> StorageClassByName(std::string_view name);
 

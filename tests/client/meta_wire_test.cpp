@@ -336,6 +336,67 @@ TEST(MetaWireReplies, ListingReplyRoundTrip) {
   EXPECT_EQ(decoded.listing.files, reply.listing.files);
 }
 
+TEST(MetaWireReplication, CreateFileRequestReplicaSectionRoundTrips) {
+  CreateFileRequest request;
+  request.meta = MakeArrayMeta();
+  request.server_names = {"s0", "s1", "s2"};
+  request.bricklists = {"0,3,6,9", "1,4,7,10", "2,5,8,11"};
+  request.replica_bricklists = {{"1,4,7,10", "2,5,8,11", "0,3,6,9"}};
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const CreateFileRequest decoded = CreateFileRequest::Decode(reader).value();
+  EXPECT_EQ(decoded.replica_bricklists, request.replica_bricklists);
+}
+
+TEST(MetaWireReplication, UnreplicatedCreateFrameIsPreReplicationBytes) {
+  // Backward compatibility pin: an R=1 request omits the trailing replica
+  // section entirely, so old decoders read the frame unchanged — and old
+  // frames (no trailing bytes) decode with no replicas.
+  CreateFileRequest request;
+  request.meta = MakeArrayMeta();
+  request.server_names = {"s0", "s1"};
+  request.bricklists = {"0,2", "1,3"};
+  BinaryWriter with_field;
+  request.Encode(with_field);
+  BinaryReader reader(with_field.buffer());
+  const CreateFileRequest decoded = CreateFileRequest::Decode(reader).value();
+  EXPECT_TRUE(decoded.replica_bricklists.empty());
+}
+
+TEST(MetaWireReplication, CreateFileRequestMisSizedReplicaRankRejected) {
+  // Every replica rank must carry one bricklist per server.
+  CreateFileRequest request;
+  request.meta = MakeArrayMeta();
+  request.server_names = {"s0", "s1"};
+  request.bricklists = {"0,2", "1,3"};
+  request.replica_bricklists = {{"1,3"}};  // one list for two servers
+  BinaryWriter writer;
+  request.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(CreateFileRequest::Decode(reader).ok());
+}
+
+TEST(MetaWireReplication, FileRecordReplyReplicasRoundTrip) {
+  FileRecordReply reply;
+  reply.record.meta = MakeArrayMeta();
+  reply.record.servers = {MakeServer("s0", 10), MakeServer("s1", 11)};
+  reply.record.distribution =
+      layout::BrickDistribution::FromBrickLists(4, {{0, 2}, {1, 3}}).value();
+  reply.record.replicas = {
+      layout::BrickDistribution::FromBrickLists(4, {{1, 3}, {0, 2}}).value()};
+  BinaryWriter writer;
+  reply.Encode(writer);
+  BinaryReader reader(writer.buffer());
+  const FileRecordReply decoded = FileRecordReply::Decode(reader).value();
+  EXPECT_EQ(decoded.record.replication(), 2u);
+  ASSERT_EQ(decoded.record.replicas.size(), 1u);
+  EXPECT_EQ(decoded.record.replicas[0].bricks_on(0),
+            (std::vector<layout::BrickId>{1, 3}));
+  EXPECT_EQ(decoded.record.replicas[0].bricks_on(1),
+            (std::vector<layout::BrickId>{0, 2}));
+}
+
 TEST(MetaWireRobustness, TruncatedBodiesNeverCrash) {
   // Encode one of everything, then decode every strict prefix: each must
   // return an error (or, for a lucky prefix boundary, a valid value) and
@@ -354,6 +415,7 @@ TEST(MetaWireRobustness, TruncatedBodiesNeverCrash) {
     r.meta = MakeArrayMeta();
     r.server_names = {"s0"};
     r.bricklists = {"0,1"};
+    r.replica_bricklists = {{"0,1"}};
     r.Encode(w);
     bodies.push_back(w.buffer());
   }
@@ -364,6 +426,8 @@ TEST(MetaWireRobustness, TruncatedBodiesNeverCrash) {
     r.record.servers = {MakeServer("s0", 10)};
     r.record.distribution =
         layout::BrickDistribution::FromBrickLists(2, {{0, 1}}).value();
+    r.record.replicas = {
+        layout::BrickDistribution::FromBrickLists(2, {{0, 1}}).value()};
     r.Encode(w);
     bodies.push_back(w.buffer());
   }

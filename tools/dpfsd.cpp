@@ -7,6 +7,7 @@
 //         [--capacity 536870912]
 //         [--performance 1] [--engine thread|event]
 //         [--metrics-dump-ms 0] [--metrics-dump-path FILE]
+//         [--metrics-port 0]
 //
 // With --metadb, the server registers itself in the DPFS_SERVER table so
 // clients can find it (re-registering replaces a stale row). With --metad,
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
                  "[--metad HOST:PORT] "
                  "[--capacity BYTES] [--performance N] [--max-sessions N]\n"
                  "             [--engine thread|event] [--metrics-dump-ms N] "
-                 "[--metrics-dump-path FILE]\n");
+                 "[--metrics-dump-path FILE] [--metrics-port N]\n");
     return 2;
   }
   if (opts.Has("metadb") && opts.Has("metad")) {
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
   server_options.metrics_dump_interval =
       std::chrono::milliseconds(opts.GetInt("metrics-dump-ms", 0));
   server_options.metrics_dump_path = opts.GetString("metrics-dump-path", "");
+  server_options.metrics_port =
+      static_cast<std::uint16_t>(opts.GetInt("metrics-port", 0));
 
   Result<std::unique_ptr<server::IoServer>> started =
       server::IoServer::Start(std::move(server_options));
@@ -111,6 +114,10 @@ int main(int argc, char** argv) {
   std::printf("dpfsd: serving %s on %s\n",
               opts.GetString("root", "").c_str(),
               io_server->endpoint().ToString().c_str());
+  if (io_server->metrics_http_port() != 0) {
+    std::printf("dpfsd: metrics at http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(io_server->metrics_http_port()));
+  }
 
   if (opts.Has("metadb") || opts.Has("metad")) {
     client::ServerInfo info;

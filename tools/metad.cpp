@@ -2,7 +2,7 @@
 // `metadata_endpoint`; docs/METADATA_SCHEMA.md "Remote access").
 //
 //   dpfs-metad --metadb /shared/dpfs-meta [--metadb-shards 1] [--port 7060]
-//              [--max-sessions 0] [--engine thread|event]
+//              [--max-sessions 0] [--engine thread|event] [--metrics-port 0]
 //
 // Owns the metadata database (and its advisory flock) and serves the
 // kMeta* namespace opcodes; dpfsd registers through it with --metad, and
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                  "usage: dpfs-metad --metadb DIR [--metadb-shards N] "
                  "[--port N]\n"
                  "                  [--max-sessions N] "
-                 "[--engine thread|event]\n");
+                 "[--engine thread|event] [--metrics-port N]\n");
     return 2;
   }
 
@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dpfs-metad: --engine must be 'thread' or 'event'\n");
     return 2;
   }
+  options.metrics_port =
+      static_cast<std::uint16_t>(opts.GetInt("metrics-port", 0));
 
   Result<std::unique_ptr<metadb::ShardedDatabase>> db =
       metadb::ShardedDatabase::Open(
@@ -76,6 +78,10 @@ int main(int argc, char** argv) {
   std::printf("dpfs-metad: serving %s on %s\n",
               opts.GetString("metadb", "").c_str(),
               service->endpoint().ToString().c_str());
+  if (service->metrics_http_port() != 0) {
+    std::printf("dpfs-metad: metrics at http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(service->metrics_http_port()));
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
